@@ -1,0 +1,72 @@
+// Communication complexity, empirically — the last columns of Table I.
+//
+// Measures per-view network usage (messages and bytes) for each protocol as
+// n grows, on the happy path, and reports the growth factor between
+// successive network sizes. O(n) protocols (Jolteon/HotStuff steady state)
+// grow ~2x when n doubles; O(n²) (the Moonshots' vote multicast + per-entry
+// certificate re-multicast) grow ~4x.
+//
+// The second section repeats the Moonshot measurement with threshold-style
+// aggregate certificates (one signature + bitmap instead of 2f+1
+// signatures), the assumption under which Table I states its complexity —
+// showing how much of the byte volume is certificate re-multicast.
+#include "bench_common.hpp"
+
+namespace {
+using namespace moonshot;
+using namespace moonshot::bench;
+
+struct Usage {
+  double msgs_per_view;
+  double bytes_per_view;
+};
+
+Usage measure(ProtocolKind p, std::size_t n, bool aggregate) {
+  ExperimentConfig cfg = ideal_config(p, n, milliseconds(10), 1);
+  cfg.duration = seconds(5);
+  cfg.aggregate_certificates = aggregate;
+  Experiment e(cfg);
+  const auto r = e.run();
+  const double views = static_cast<double>(r.max_view);
+  return Usage{static_cast<double>(r.net_stats.messages_sent) / views,
+               static_cast<double>(r.net_stats.bytes_sent) / views};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)Options::parse(argc, argv);
+  const std::vector<std::size_t> sizes = {10, 20, 40, 80};
+
+  std::printf("=== Communication complexity per view (Table I, empirical) ===\n\n");
+  std::printf("%-20s", "protocol");
+  for (std::size_t n : sizes) std::printf("  %8s n=%-3zu", "", n);
+  std::printf("  growth/doubling\n");
+
+  for (const auto p :
+       {ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
+        ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon, ProtocolKind::kHotStuff}) {
+    std::vector<Usage> usage;
+    for (std::size_t n : sizes) usage.push_back(measure(p, n, false));
+    std::printf("%-20s", protocol_name(p));
+    for (const auto& u : usage) std::printf("  %9.0f msg", u.msgs_per_view);
+    const double growth = usage.back().msgs_per_view / usage[usage.size() - 2].msgs_per_view;
+    std::printf("  %13.1fx\n", growth);
+  }
+  std::printf("\nExpected: ~4x per doubling for the Moonshots (O(n^2) vote multicast),\n"
+              "~2x for Jolteon/HotStuff (O(n) steady state: unicast votes).\n\n");
+
+  std::printf("=== Certificate bytes: signature arrays vs threshold aggregates ===\n\n");
+  std::printf("%-8s %22s %22s %8s\n", "n", "bytes/view (arrays)", "bytes/view (threshold)",
+              "ratio");
+  for (std::size_t n : {10u, 40u, 80u}) {
+    const auto arrays = measure(ProtocolKind::kPipelinedMoonshot, n, false);
+    const auto agg = measure(ProtocolKind::kPipelinedMoonshot, n, true);
+    std::printf("%-8zu %22.0f %22.0f %7.2fx\n", n, arrays.bytes_per_view,
+                agg.bytes_per_view, arrays.bytes_per_view / agg.bytes_per_view);
+  }
+  std::printf("\nThreshold certificates shrink the O(n)-sized QCs that every node\n"
+              "re-multicasts on view entry, cutting total bytes substantially while\n"
+              "message counts (and hence the complexity class) stay O(n^2).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "bench_common.hpp"
+
+#include <cstring>
+
+namespace moonshot::bench {
+
+Options Options::parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) opt.mode = Mode::kFull;
+    if (std::strcmp(argv[i], "--quick") == 0) opt.mode = Mode::kQuick;
+  }
+  return opt;
+}
+
+Duration duration_for(std::size_t n, const Options& opt) {
+  double base_s;
+  if (n <= 10) base_s = 20;
+  else if (n <= 50) base_s = 15;
+  else if (n <= 100) base_s = 12;
+  else base_s = 6;
+  return Duration(static_cast<std::int64_t>(base_s * opt.duration_scale() * 1e9));
+}
+
+ExperimentConfig wan_config(ProtocolKind p, std::size_t n, std::uint64_t payload,
+                            std::uint64_t seed, const Options& opt) {
+  ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.n = n;
+  cfg.payload_size = payload;
+  cfg.delta = milliseconds(500);  // Δ used by the paper's failure runs
+  cfg.duration = duration_for(n, opt);
+  cfg.seed = seed;
+  cfg.net.matrix = net::LatencyMatrix::aws5();
+  cfg.net.regions_used = 5;
+  cfg.net.jitter = 0.05;
+  cfg.net.adversarial_before_gst = false;
+  return cfg;
+}
+
+ExperimentConfig ideal_config(ProtocolKind p, std::size_t n, Duration delta_one_way,
+                              std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.n = n;
+  cfg.payload_size = 0;
+  cfg.delta = milliseconds(500);
+  cfg.duration = seconds(10);
+  cfg.seed = seed;
+  cfg.net.matrix = net::LatencyMatrix::uniform(delta_one_way, 1);
+  cfg.net.regions_used = 1;
+  cfg.net.jitter = 0.0;
+  cfg.net.proc_base = Duration(0);
+  cfg.net.proc_sig = Duration(0);
+  cfg.net.proc_cert = Duration(0);
+  cfg.net.proc_per_kb = Duration(0);
+  cfg.net.adversarial_before_gst = false;
+  return cfg;
+}
+
+std::vector<GridCell> run_happy_grid(const std::vector<ProtocolKind>& protocols,
+                                     const std::vector<std::size_t>& sizes,
+                                     const std::vector<std::uint64_t>& payloads,
+                                     const Options& opt) {
+  std::vector<GridCell> grid;
+  for (const std::size_t n : sizes) {
+    for (const std::uint64_t payload : payloads) {
+      for (const ProtocolKind p : protocols) {
+        GridCell cell;
+        cell.protocol = p;
+        cell.n = n;
+        cell.payload = payload;
+        for (int s = 0; s < opt.seeds(); ++s) {
+          const auto result = run_experiment(wan_config(p, n, payload, 1 + s, opt));
+          cell.blocks_per_sec += result.summary.blocks_per_sec;
+          cell.latency_ms += result.summary.avg_latency_ms;
+          cell.transfer_bps += result.summary.transfer_rate_bps;
+          cell.consistent = cell.consistent && result.logs_consistent;
+        }
+        const double k = opt.seeds();
+        cell.blocks_per_sec /= k;
+        cell.latency_ms /= k;
+        cell.transfer_bps /= k;
+        std::fprintf(stderr, "  [grid] %-2s n=%-3zu p=%-8s  %6.2f blk/s  %8.1f ms%s\n",
+                     protocol_tag(p), n, payload_label(payload).c_str(),
+                     cell.blocks_per_sec, cell.latency_ms,
+                     cell.consistent ? "" : "  *** INCONSISTENT ***");
+        grid.push_back(cell);
+      }
+    }
+  }
+  return grid;
+}
+
+const GridCell* find_cell(const std::vector<GridCell>& grid, ProtocolKind p, std::size_t n,
+                          std::uint64_t payload) {
+  for (const auto& c : grid)
+    if (c.protocol == p && c.n == n && c.payload == payload) return &c;
+  return nullptr;
+}
+
+std::string payload_label(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes == 0) return "empty";
+  if (bytes < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fkB", static_cast<double>(bytes) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", static_cast<double>(bytes) / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace moonshot::bench

@@ -1,0 +1,86 @@
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md §4). Default settings use shortened simulated durations and one
+// seed so the whole suite runs in minutes on one core; pass --full for
+// paper-length runs (3 seeds x 60 s), --quick for a smoke pass.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace moonshot::bench {
+
+struct Options {
+  enum class Mode { kQuick, kDefault, kFull };
+  Mode mode = Mode::kDefault;
+  static Options parse(int argc, char** argv);
+  int seeds() const { return mode == Mode::kFull ? 3 : 1; }
+  double duration_scale() const {
+    switch (mode) {
+      case Mode::kQuick: return 0.3;
+      case Mode::kDefault: return 1.0;
+      case Mode::kFull: return 5.0;
+    }
+    return 1.0;
+  }
+};
+
+/// All four protocols in the paper's presentation order.
+inline std::vector<ProtocolKind> all_protocols() {
+  return {ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
+          ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon};
+}
+
+/// The paper's happy-path payload ladder: empty to 1.8 MB in powers of ten
+/// of 180-byte items.
+inline std::vector<std::uint64_t> paper_payloads() {
+  return {0, 1800, 18000, 180000, 1800000};
+}
+
+/// Network sizes of Figure 6.
+inline std::vector<std::size_t> paper_sizes() { return {10, 50, 100, 200}; }
+
+/// Simulated run length per network size (larger n = more events/second of
+/// simulated time; these defaults keep the suite minutes-long on one core).
+Duration duration_for(std::size_t n, const Options& opt);
+
+/// The paper's WAN setting: Table II latencies, five regions (blocked
+/// placement), 10 Gbps NICs, Δ = 500 ms, f' = 0.
+ExperimentConfig wan_config(ProtocolKind p, std::size_t n, std::uint64_t payload,
+                            std::uint64_t seed, const Options& opt);
+
+/// An idealized network: uniform one-way δ, no jitter, no processing costs.
+/// Used to measure protocol constants (Table I) in exact multiples of δ.
+ExperimentConfig ideal_config(ProtocolKind p, std::size_t n, Duration delta_one_way,
+                              std::uint64_t seed);
+
+struct GridCell {
+  ProtocolKind protocol;
+  std::size_t n = 0;
+  std::uint64_t payload = 0;
+  // Averages across seeds:
+  double blocks_per_sec = 0;
+  double latency_ms = 0;
+  double transfer_bps = 0;
+  bool consistent = true;
+};
+
+/// Runs the (protocol x n x payload) grid and returns one averaged cell per
+/// combination. Progress goes to stderr.
+std::vector<GridCell> run_happy_grid(const std::vector<ProtocolKind>& protocols,
+                                     const std::vector<std::size_t>& sizes,
+                                     const std::vector<std::uint64_t>& payloads,
+                                     const Options& opt);
+
+/// Finds a cell in a grid.
+const GridCell* find_cell(const std::vector<GridCell>& grid, ProtocolKind p, std::size_t n,
+                          std::uint64_t payload);
+
+/// "0", "1.8kB", "1.8MB", ...
+std::string payload_label(std::uint64_t bytes);
+
+}  // namespace moonshot::bench

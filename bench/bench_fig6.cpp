@@ -1,0 +1,43 @@
+// Reproduces Figure 6: performance overview with f' = 0 and payloads up to
+// 1.8 MB across 10/50/100/200-node WANs. Prints one series per (n, metric):
+// throughput (blocks/s) and mean commit latency per payload size, for
+// SM / PM / CM / J.
+//
+// Paper's key trends to look for in the output:
+//  (1) throughput roughly halves and latency roughly doubles per order of
+//      magnitude of payload growth;
+//  (2) both metrics degrade as n grows;
+//  (3) the Moonshots are similar in throughput; CM's latency advantage grows
+//      with payload;
+//  (4) all Moonshots beat Jolteon in both metrics.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moonshot;
+  using namespace moonshot::bench;
+  const auto opt = Options::parse(argc, argv);
+
+  std::printf("=== Figure 6: performance overview (f'=0, p <= 1.8MB) ===\n");
+  std::printf("WAN: Table II latencies, 5 regions, 10 Gbps NICs; durations scaled for\n");
+  std::printf("simulation (rates are per-second; see EXPERIMENTS.md).\n\n");
+
+  const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt);
+
+  for (const std::size_t n : paper_sizes()) {
+    std::printf("--- n = %zu ---\n", n);
+    std::printf("%-10s", "payload");
+    for (const auto p : all_protocols())
+      std::printf("  %8s-blk/s %8s-ms", protocol_tag(p), protocol_tag(p));
+    std::printf("\n");
+    for (const std::uint64_t payload : paper_payloads()) {
+      std::printf("%-10s", payload_label(payload).c_str());
+      for (const auto p : all_protocols()) {
+        const GridCell* c = find_cell(grid, p, n, payload);
+        std::printf("  %14.2f %11.1f", c->blocks_per_sec, c->latency_ms);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

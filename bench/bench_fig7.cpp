@@ -1,0 +1,40 @@
+// Reproduces Figure 7: per-configuration performance relative to Jolteon
+// (f' = 0, outlier configurations flagged rather than plotted). Each row is
+// one (n, payload) cell; values are Moonshot/Jolteon ratios.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moonshot;
+  using namespace moonshot::bench;
+  const auto opt = Options::parse(argc, argv);
+
+  std::printf("=== Figure 7: performance vs Jolteon per configuration (f'=0) ===\n\n");
+
+  const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt);
+
+  const std::vector<ProtocolKind> moonshots = {ProtocolKind::kSimpleMoonshot,
+                                               ProtocolKind::kPipelinedMoonshot,
+                                               ProtocolKind::kCommitMoonshot};
+  std::printf("%-6s %-10s", "n", "payload");
+  for (const auto p : moonshots)
+    std::printf("  %6s-thr(x) %6s-lat(x)", protocol_tag(p), protocol_tag(p));
+  std::printf("  %s\n", "note");
+
+  for (const std::size_t n : paper_sizes()) {
+    for (const std::uint64_t payload : paper_payloads()) {
+      std::printf("%-6zu %-10s", n, payload_label(payload).c_str());
+      bool outlier = false;
+      for (const auto p : moonshots) {
+        const GridCell* m = find_cell(grid, p, n, payload);
+        const GridCell* j = find_cell(grid, ProtocolKind::kJolteon, n, payload);
+        const double thr = j->blocks_per_sec > 0 ? m->blocks_per_sec / j->blocks_per_sec : 0;
+        const double lat = j->latency_ms > 0 ? m->latency_ms / j->latency_ms : 0;
+        if (thr > 2.5 || (lat > 0 && lat < 0.3)) outlier = true;
+        std::printf("  %12.2f %12.2f", thr, lat);
+      }
+      std::printf("  %s\n", outlier ? "OUTLIER (excluded in Table III)" : "");
+    }
+  }
+  std::printf("\n>1 throughput and <1 latency mean Moonshot wins.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Figure 9: evaluation under failures. n = 100, f' = 33
+// crash-silent nodes, empty payloads, Δ = 500 ms, three fair leader
+// schedules:
+//   B  — honest… byzantine…            (best case for non-resilient/pipelined)
+//   WM — (honest, byzantine) x f' …    (worst case for resilient pipelined)
+//   WJ — (honest, honest, byzantine) x f' … (worst case for non-resilient)
+//
+// Paper's findings to look for:
+//  * Jolteon collapses under WJ (~7x lower throughput, ~50x higher latency
+//    than its own best case B).
+//  * SM/PM commit everything under WM but with high latency; SM worst
+//    (no optimistic responsiveness, 5Δ timer).
+//  * CM is consistently good: ~8x Jolteon's throughput and >100x lower
+//    latency under WJ.
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moonshot;
+  using namespace moonshot::bench;
+  const auto opt = Options::parse(argc, argv);
+
+  std::printf("=== Figure 9: performance under failures (n=100, f'=33, p=0, Delta=500ms) ===\n\n");
+
+  const std::vector<ScheduleKind> schedules = {ScheduleKind::kB, ScheduleKind::kWM,
+                                               ScheduleKind::kWJ};
+  struct Cell {
+    double blocks_per_sec = 0;
+    double latency_ms = 0;
+    bool consistent = true;
+  };
+  std::map<std::pair<int, int>, Cell> cells;
+
+  // The schedules repeat with period n = 100 views, and a Byzantine view
+  // costs a full view timer (1.5–2.5 s at Δ = 500 ms), so one cycle takes
+  // 60–130 s of simulated time depending on the protocol. The paper's
+  // 5-minute runs cover several cycles; we default to the same 300 s.
+  const double dur_s = opt.mode == Options::Mode::kQuick ? 120.0 : 300.0;
+  int si = 0;
+  for (const auto s : schedules) {
+    int pi = 0;
+    for (const auto p : all_protocols()) {
+      Cell cell;
+      for (int seed = 0; seed < opt.seeds(); ++seed) {
+        ExperimentConfig cfg = wan_config(p, 100, 0, 1 + seed, opt);
+        cfg.crashed = 33;
+        cfg.schedule = s;
+        cfg.duration = Duration(static_cast<std::int64_t>(dur_s * 1e9));
+        const auto r = run_experiment(cfg);
+        cell.blocks_per_sec += r.summary.blocks_per_sec;
+        cell.latency_ms += r.summary.avg_latency_ms;
+        cell.consistent = cell.consistent && r.logs_consistent;
+      }
+      cell.blocks_per_sec /= opt.seeds();
+      cell.latency_ms /= opt.seeds();
+      std::fprintf(stderr, "  [fig9] %-2s schedule=%-2s  %6.2f blk/s  %9.1f ms%s\n",
+                   protocol_tag(p), schedule_name(s), cell.blocks_per_sec, cell.latency_ms,
+                   cell.consistent ? "" : "  *** INCONSISTENT ***");
+      cells[{si, pi}] = cell;
+      ++pi;
+    }
+    ++si;
+  }
+
+  for (int metric = 0; metric < 2; ++metric) {
+    std::printf("--- %s ---\n", metric == 0 ? "throughput (blocks/s)" : "latency (ms)");
+    std::printf("%-10s", "schedule");
+    for (const auto p : all_protocols()) std::printf(" %10s", protocol_tag(p));
+    std::printf("\n");
+    for (int s = 0; s < 3; ++s) {
+      std::printf("%-10s", schedule_name(schedules[s]));
+      for (int p = 0; p < 4; ++p) {
+        const auto& c = cells[{s, p}];
+        std::printf(" %10.2f", metric == 0 ? c.blocks_per_sec : c.latency_ms);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Headline ratios the paper reports.
+  const auto& cm_wj = cells[{2, 2}];
+  const auto& j_wj = cells[{2, 3}];
+  const auto& j_b = cells[{0, 3}];
+  if (j_wj.blocks_per_sec > 0 && cm_wj.latency_ms > 0) {
+    std::printf("CM vs J under WJ: %.1fx throughput, %.0fx lower latency (paper: ~8x, >100x)\n",
+                cm_wj.blocks_per_sec / j_wj.blocks_per_sec,
+                j_wj.latency_ms / cm_wj.latency_ms);
+  }
+  if (j_wj.blocks_per_sec > 0 && j_b.blocks_per_sec > 0) {
+    std::printf("J degradation B -> WJ: %.1fx throughput drop, %.1fx latency increase "
+                "(paper: ~7x, ~50x)\n",
+                j_b.blocks_per_sec / j_wj.blocks_per_sec, j_wj.latency_ms / j_b.latency_ms);
+  }
+  return 0;
+}

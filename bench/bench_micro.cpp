@@ -1,0 +1,150 @@
+// Micro-benchmarks for the substrates (google-benchmark): hashing, signing,
+// certificate assembly/validation, serialization, event-queue throughput.
+// Not a paper experiment — a sanity check that the substrates are fast
+// enough to carry the simulations.
+#include <benchmark/benchmark.h>
+
+#include "consensus/accumulators.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+#include "sim/scheduler.hpp"
+#include "types/certs.hpp"
+#include "types/messages.hpp"
+
+namespace {
+using namespace moonshot;
+
+void BM_Sha256_1KB(benchmark::State& state) {
+  Bytes data(1024, 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sha256(data));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KB);
+
+void BM_Ed25519_Sign(benchmark::State& state) {
+  const auto kp = crypto::ed25519_scheme()->derive_keypair(1);
+  const Bytes msg(32, 0x42);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::ed25519_scheme()->sign(kp.priv, msg));
+}
+BENCHMARK(BM_Ed25519_Sign);
+
+void BM_Ed25519_Verify(benchmark::State& state) {
+  const auto kp = crypto::ed25519_scheme()->derive_keypair(1);
+  const Bytes msg(32, 0x42);
+  const auto sig = crypto::ed25519_scheme()->sign(kp.priv, msg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::ed25519_scheme()->verify(kp.pub, msg, sig));
+}
+BENCHMARK(BM_Ed25519_Verify);
+
+void BM_FastScheme_Verify(benchmark::State& state) {
+  const auto kp = crypto::fast_scheme()->derive_keypair(1);
+  const Bytes msg(32, 0x42);
+  const auto sig = crypto::fast_scheme()->sign(kp.priv, msg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::fast_scheme()->verify(kp.pub, msg, sig));
+}
+BENCHMARK(BM_FastScheme_Verify);
+
+void BM_QcAssembleValidate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto gen = ValidatorSet::generate(n, crypto::fast_scheme(), 1);
+  const auto block = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(0, 1));
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < gen.set->quorum_size(); ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block->id(), i, gen.private_keys[i],
+                               gen.set->scheme()));
+  for (auto _ : state) {
+    const auto qc = QuorumCert::assemble(votes, 1, *gen.set);
+    benchmark::DoNotOptimize(qc->validate(*gen.set, true));
+  }
+}
+BENCHMARK(BM_QcAssembleValidate)->Arg(4)->Arg(100);
+
+void BM_MessageSerialize(benchmark::State& state) {
+  const auto gen = ValidatorSet::generate(100, crypto::fast_scheme(), 1);
+  const auto block = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(1800, 1));
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < gen.set->quorum_size(); ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block->id(), i, gen.private_keys[i],
+                               gen.set->scheme()));
+  const auto qc = QuorumCert::assemble(votes, 1, *gen.set);
+  const auto m = make_message<ProposalMsg>(block, qc, nullptr, NodeId{0});
+  for (auto _ : state) benchmark::DoNotOptimize(message_wire_size(*m));
+}
+BENCHMARK(BM_MessageSerialize);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i)
+      sched.schedule_at(TimePoint{i}, [&counter] { ++counter; });
+    sched.run_all();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_AggregateVerify(benchmark::State& state) {
+  // Threshold-certificate validation: one XOR-MAC aggregate over the quorum.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto gen = ValidatorSet::generate(n, crypto::fast_scheme(), 1);
+  const auto block = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(0, 1));
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < gen.set->quorum_size(); ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block->id(), i, gen.private_keys[i],
+                               gen.set->scheme()));
+  const auto qc = QuorumCert::assemble(votes, 1, *gen.set, /*aggregate=*/true);
+  for (auto _ : state) benchmark::DoNotOptimize(qc->validate(*gen.set, true));
+}
+BENCHMARK(BM_AggregateVerify)->Arg(4)->Arg(100);
+
+void BM_TcAssemble(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto gen = ValidatorSet::generate(n, crypto::fast_scheme(), 1);
+  const auto block = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(0, 1));
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < gen.set->quorum_size(); ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block->id(), i, gen.private_keys[i],
+                               gen.set->scheme()));
+  const auto qc = QuorumCert::assemble(votes, 1, *gen.set);
+  std::vector<TimeoutMsg> timeouts;
+  for (NodeId i = 0; i < gen.set->quorum_size(); ++i)
+    timeouts.push_back(TimeoutMsg::make(2, i, qc, gen.private_keys[i], gen.set->scheme()));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(TimeoutCert::assemble(timeouts, *gen.set));
+}
+BENCHMARK(BM_TcAssemble)->Arg(4)->Arg(100);
+
+void BM_BlockHash(benchmark::State& state) {
+  // Block-id computation for a 1.8 kB inline payload.
+  Payload p;
+  p.inline_data = Bytes(1800, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block::create(1, 1, Block::genesis()->id(), p));
+  }
+}
+BENCHMARK(BM_BlockHash);
+
+void BM_VoteAccumulator(benchmark::State& state) {
+  const auto gen = ValidatorSet::generate(100, crypto::fast_scheme(), 1);
+  const auto block = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(0, 1));
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < 100; ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block->id(), i, gen.private_keys[i],
+                               gen.set->scheme()));
+  for (auto _ : state) {
+    VoteAccumulator acc(gen.set, false);
+    for (const auto& v : votes) benchmark::DoNotOptimize(acc.add(v, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_VoteAccumulator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

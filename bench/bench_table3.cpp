@@ -1,0 +1,73 @@
+// Reproduces Table III: mean Moonshot-vs-Jolteon throughput and latency
+// ratios per network size with f' = 0, outliers removed.
+//
+// The paper observed ~1.5x throughput and ~0.5x latency on average, with
+// n=200 small-payload outliers near 3x / 0.25x. Outlier rule here mirrors
+// that: cells whose throughput ratio exceeds 2.5x (or latency ratio falls
+// below 0.3x) are excluded from the mean and reported separately.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moonshot;
+  using namespace moonshot::bench;
+  const auto opt = Options::parse(argc, argv);
+
+  std::printf("=== Table III: performance vs Jolteon (f'=0, outliers removed) ===\n\n");
+
+  const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt);
+
+  const std::vector<ProtocolKind> moonshots = {ProtocolKind::kSimpleMoonshot,
+                                               ProtocolKind::kPipelinedMoonshot,
+                                               ProtocolKind::kCommitMoonshot};
+
+  std::printf("%-6s", "n");
+  for (const auto p : moonshots)
+    std::printf("  %6s-thr(x) %6s-lat(x)", protocol_tag(p), protocol_tag(p));
+  std::printf("\n");
+
+  int outliers = 0;
+  double grand_thr[3] = {}, grand_lat[3] = {};
+  int grand_cnt[3] = {};
+  for (const std::size_t n : paper_sizes()) {
+    std::printf("%-6zu", n);
+    int mi = 0;
+    for (const auto p : moonshots) {
+      double thr_sum = 0, lat_sum = 0;
+      int count = 0;
+      for (const std::uint64_t payload : paper_payloads()) {
+        const GridCell* m = find_cell(grid, p, n, payload);
+        const GridCell* j = find_cell(grid, ProtocolKind::kJolteon, n, payload);
+        if (j->blocks_per_sec <= 0 || m->latency_ms <= 0) continue;
+        const double thr = m->blocks_per_sec / j->blocks_per_sec;
+        const double lat = m->latency_ms / j->latency_ms;
+        if (thr > 2.5 || lat < 0.3) {  // paper-style outlier
+          ++outliers;
+          std::fprintf(stderr, "  [outlier] %s n=%zu p=%s: thr=%.2fx lat=%.2fx\n",
+                       protocol_tag(p), n, payload_label(payload).c_str(), thr, lat);
+          continue;
+        }
+        thr_sum += thr;
+        lat_sum += lat;
+        ++count;
+      }
+      if (count > 0) {
+        std::printf("  %12.2f %12.2f", thr_sum / count, lat_sum / count);
+        grand_thr[mi] += thr_sum;
+        grand_lat[mi] += lat_sum;
+        grand_cnt[mi] += count;
+      } else {
+        std::printf("  %12s %12s", "-", "-");
+      }
+      ++mi;
+    }
+    std::printf("\n");
+  }
+  std::printf("%-6s", "mean");
+  for (int mi = 0; mi < 3; ++mi) {
+    std::printf("  %12.2f %12.2f", grand_thr[mi] / grand_cnt[mi],
+                grand_lat[mi] / grand_cnt[mi]);
+  }
+  std::printf("\n\n%d outlier cell(s) removed (reported on stderr).\n", outliers);
+  std::printf("Paper: ~1.5x throughput, ~0.5x latency on average.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Failure recovery example: watch reorg resilience do its job.
+//
+// A 7-node network (f = 2) runs under the paper's WM leader schedule — every
+// honest leader in the head of the schedule is followed by a crashed one.
+// The example prints the committed chain annotated with each block's
+// proposing view, for Pipelined Moonshot and for Jolteon, making the
+// difference tangible:
+//   * Moonshot keeps every honest leader's block (votes are multicast, so
+//     the certificate forms everywhere);
+//   * Jolteon loses them (votes die at the crashed next leader).
+//
+//   ./build/examples/failure_recovery
+#include <cstdio>
+#include <set>
+
+#include "harness/experiment.hpp"
+#include "support/hex.hpp"
+
+namespace {
+
+using namespace moonshot;
+
+void run_one(ProtocolKind p) {
+  ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.n = 7;
+  cfg.crashed = 2;  // nodes 5 and 6 are crash-silent
+  cfg.schedule = ScheduleKind::kWM;
+  cfg.payload_size = kPayloadItemSize;
+  cfg.delta = milliseconds(100);
+  cfg.duration = seconds(15);
+  cfg.seed = 5;
+  cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(10), 1);
+  cfg.net.regions_used = 1;
+
+  Experiment e(cfg);
+  const auto result = e.run();
+
+  std::printf("--- %s ---\n", protocol_name(p));
+  std::printf("WM schedule head: view 1 -> node %u (honest), view 2 -> node %u (CRASHED),\n",
+              0u, 5u);
+  std::printf("                  view 3 -> node %u (honest), view 4 -> node %u (CRASHED)\n\n",
+              1u, 6u);
+
+  const auto& chain = e.node(0).commit_log().blocks();
+  std::set<View> views;
+  std::printf("committed chain (first cycle):   ");
+  for (const auto& b : chain) {
+    if (b->view() > 7) break;
+    std::printf("v%llu ", static_cast<unsigned long long>(b->view()));
+    views.insert(b->view());
+  }
+  std::printf("\n");
+  for (View v : {1u, 3u}) {
+    std::printf("honest view %llu (Byzantine successor): block %s\n",
+                static_cast<unsigned long long>(v),
+                views.count(v) ? "COMMITTED (reorg resilient)" : "LOST (reorged away)");
+  }
+  std::printf("throughput %.2f blocks/s, latency %.0f ms, chain length %zu, safety %s\n\n",
+              result.summary.blocks_per_sec, result.summary.avg_latency_ms, chain.size(),
+              result.logs_consistent ? "ok" : "VIOLATED");
+}
+
+}  // namespace
+
+int main() {
+  run_one(ProtocolKind::kPipelinedMoonshot);
+  run_one(ProtocolKind::kCommitMoonshot);
+  run_one(ProtocolKind::kJolteon);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Replicated key-value store: state machine replication on top of the
+// consensus library — the "SMR" in BFT SMR.
+//
+// Each view's payload carries real serialized commands (SET key value).
+// Every node applies the commands of committed blocks, in commit order, to
+// a local map. Because the protocol guarantees a single totally ordered log,
+// all honest replicas end in the identical state — which this example
+// verifies byte-for-byte, including under a crashed node.
+//
+//   ./build/examples/kv_state_machine
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "support/codec.hpp"
+
+namespace {
+
+using namespace moonshot;
+
+// --- A tiny command codec ------------------------------------------------------
+
+struct SetCommand {
+  std::string key;
+  std::string value;
+};
+
+Payload encode_commands(const std::vector<SetCommand>& cmds) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(cmds.size()));
+  for (const auto& c : cmds) {
+    w.str(c.key);
+    w.str(c.value);
+  }
+  Payload p;
+  p.inline_data = w.take();
+  return p;
+}
+
+std::vector<SetCommand> decode_commands(const Payload& p) {
+  Reader r(p.inline_data);
+  std::vector<SetCommand> out;
+  auto count = r.u32();
+  if (!count) return out;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto key = r.str();
+    auto value = r.str();
+    if (!key || !value) return {};
+    out.push_back({std::move(*key), std::move(*value)});
+  }
+  return out;
+}
+
+// --- The replicated state machine ------------------------------------------------
+
+class KvStore {
+ public:
+  void apply(const BlockPtr& block) {
+    for (const auto& cmd : decode_commands(block->payload())) {
+      data_[cmd.key] = cmd.value;
+      ++applied_;
+    }
+  }
+  const std::map<std::string, std::string>& data() const { return data_; }
+  std::size_t applied() const { return applied_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::size_t applied_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kCommitMoonshot;
+  cfg.n = 4;
+  cfg.crashed = 1;  // one replica is down; the service keeps running
+  cfg.schedule = ScheduleKind::kB;
+  cfg.delta = milliseconds(100);
+  cfg.duration = seconds(5);
+  cfg.seed = 9;
+  cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(5), 1);
+  cfg.net.regions_used = 1;
+  cfg.verify_signatures = true;
+
+  // Each view's block carries deterministic client commands. (In a real
+  // deployment this closure would drain a client mempool instead.)
+  cfg.payload_source = [](View v) {
+    std::vector<SetCommand> cmds;
+    cmds.push_back({"counter", std::to_string(v)});
+    cmds.push_back({"key-" + std::to_string(v % 10), "value-from-view-" + std::to_string(v)});
+    return encode_commands(cmds);
+  };
+
+  Experiment experiment(cfg);
+
+  // Attach a KV replica to each honest node's commit stream.
+  std::vector<KvStore> replicas(cfg.n);
+  for (NodeId id = 0; id < cfg.n; ++id) {
+    if (experiment.is_faulty(id)) continue;
+    auto& store = replicas[id];
+    experiment.node(id).commit_log_mutable().add_callback(
+        [&store](const BlockPtr& b, TimePoint) { store.apply(b); });
+  }
+
+  const auto result = experiment.run();
+
+  std::printf("Replicated KV store on %s, n=%zu with %zu crashed replica(s)\n\n",
+              protocol_name(cfg.protocol), cfg.n, cfg.crashed);
+  std::printf("blocks committed: %llu, commands applied at node 0: %zu\n",
+              static_cast<unsigned long long>(result.summary.committed_blocks),
+              replicas[0].applied());
+
+  // All honest replicas must hold the identical state.
+  bool identical = true;
+  for (NodeId id = 1; id < cfg.n; ++id) {
+    if (experiment.is_faulty(id)) continue;
+    // Replicas at different commit depths are fine in-flight, but after the
+    // run quiesces they should agree exactly on this small workload.
+    if (replicas[id].data() != replicas[0].data()) identical = false;
+  }
+  std::printf("replica states identical: %s\n\n", identical ? "yes" : "NO");
+
+  std::printf("sample of node 0's state (%zu keys):\n", replicas[0].data().size());
+  int shown = 0;
+  for (const auto& [k, v] : replicas[0].data()) {
+    std::printf("  %-10s = %s\n", k.c_str(), v.c_str());
+    if (++shown >= 5) break;
+  }
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Quickstart: run a 4-node Pipelined Moonshot network on a simulated LAN and
+// watch blocks commit.
+//
+//   ./build/examples/quickstart
+//
+// This is the smallest end-to-end use of the library's public API: configure
+// an Experiment, run it, inspect the committed chain and metrics.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "support/hex.hpp"
+
+int main() {
+  using namespace moonshot;
+
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kPipelinedMoonshot;
+  cfg.n = 4;                       // 3f+1 with f = 1
+  cfg.payload_size = 10 * kPayloadItemSize;  // 10 transactions of 180 B per block
+  cfg.delta = milliseconds(100);   // Δ: conservative bound for timers
+  cfg.duration = seconds(2);       // simulated run length
+  cfg.seed = 7;
+  cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(5), 1);  // 5 ms LAN
+  cfg.net.regions_used = 1;
+  cfg.verify_signatures = true;    // full signature checking
+
+  std::printf("Running %s with n=%zu for %.1fs of simulated time...\n\n",
+              protocol_name(cfg.protocol), cfg.n, to_seconds(cfg.duration));
+
+  Experiment experiment(cfg);
+  const ExperimentResult result = experiment.run();
+
+  // Print the head of the committed chain as node 0 sees it.
+  const auto& chain = experiment.node(0).commit_log().blocks();
+  std::printf("Committed chain (first 10 of %zu blocks):\n", chain.size());
+  for (std::size_t i = 0; i < chain.size() && i < 10; ++i) {
+    const auto& b = chain[i];
+    std::printf("  height %3llu  view %3llu  id %s  payload %llu B\n",
+                static_cast<unsigned long long>(b->height()),
+                static_cast<unsigned long long>(b->view()),
+                short_hex(b->id().view()).c_str(),
+                static_cast<unsigned long long>(b->payload().wire_size()));
+  }
+
+  std::printf("\nMetrics (paper definitions, quorum = %zu):\n", result.quorum);
+  std::printf("  blocks committed : %llu (%.1f blocks/s)\n",
+              static_cast<unsigned long long>(result.summary.committed_blocks),
+              result.summary.blocks_per_sec);
+  std::printf("  avg commit latency: %.2f ms\n", result.summary.avg_latency_ms);
+  std::printf("  transfer rate     : %.1f kB/s\n", result.summary.transfer_rate_bps / 1e3);
+  std::printf("  cross-node safety : %s\n", result.logs_consistent ? "consistent" : "VIOLATED");
+  return result.logs_consistent && result.summary.committed_blocks > 0 ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Real-network demo: the same Pipelined Moonshot state machine that runs in
+// the deterministic simulator, running over actual localhost TCP sockets
+// with wall-clock timers — four nodes, one process, real frames on the wire.
+//
+//   ./build/examples/tcp_cluster
+#include <cstdio>
+#include <unistd.h>
+
+#include "harness/tcp_cluster.hpp"
+#include "support/hex.hpp"
+
+int main() {
+  using namespace moonshot;
+
+  TcpCluster::Config cfg;
+  cfg.protocol = ProtocolKind::kPipelinedMoonshot;
+  cfg.n = 4;
+  // Derive the port range from the pid so repeated runs don't collide.
+  cfg.base_port = static_cast<std::uint16_t>(20000 + (::getpid() % 2000) * 16);
+  cfg.delta = milliseconds(100);
+  cfg.payload_size = 10 * kPayloadItemSize;
+
+  std::printf("Starting a 4-node %s cluster on 127.0.0.1:%u-%u (real TCP)...\n",
+              protocol_name(cfg.protocol), cfg.base_port, cfg.base_port + 3);
+
+  TcpCluster cluster(cfg);
+  cluster.run_for(seconds(3));
+
+  std::printf("\nAfter 3 wall-clock seconds:\n");
+  for (NodeId id = 0; id < cluster.size(); ++id) {
+    const auto& log = cluster.node(id).commit_log();
+    std::printf("  node %u committed %4zu blocks, head %s\n", id, log.size(),
+                short_hex(log.last_id().view()).c_str());
+  }
+  const bool ok = cluster.logs_consistent() && cluster.min_committed() > 0;
+  std::printf("\ncross-node safety: %s, min chain length: %zu\n",
+              cluster.logs_consistent() ? "consistent" : "VIOLATED",
+              cluster.min_committed());
+  std::printf("%s\n", ok ? "TCP cluster run: OK" : "TCP cluster run: FAILED");
+  return ok ? 0 : 1;
+}

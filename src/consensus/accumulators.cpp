@@ -1,0 +1,63 @@
+#include "consensus/accumulators.hpp"
+
+namespace moonshot {
+
+QcPtr VoteAccumulator::add(const Vote& vote, Height block_height) {
+  if (!validators_->contains(vote.voter)) return nullptr;
+  if (verify_ && !vote.verify(*validators_)) return nullptr;
+
+  auto& bucket = by_view_[vote.view][Key{vote.kind, vote.block}];
+  if (bucket.emitted) return nullptr;
+  for (const auto& v : bucket.votes)
+    if (v.voter == vote.voter) return nullptr;  // duplicate
+  bucket.votes.push_back(vote);
+
+  if (bucket.votes.size() >= validators_->quorum_size()) {
+    bucket.emitted = true;
+    return QuorumCert::assemble(bucket.votes, block_height, *validators_, aggregate_);
+  }
+  return nullptr;
+}
+
+std::size_t VoteAccumulator::count(View view, VoteKind kind, const BlockId& block) const {
+  auto vit = by_view_.find(view);
+  if (vit == by_view_.end()) return 0;
+  auto kit = vit->second.find(Key{kind, block});
+  return kit == vit->second.end() ? 0 : kit->second.votes.size();
+}
+
+void VoteAccumulator::prune_below(View view) {
+  by_view_.erase(by_view_.begin(), by_view_.lower_bound(view));
+}
+
+TimeoutAccumulator::Result TimeoutAccumulator::add(const TimeoutMsg& timeout) {
+  Result result;
+  if (!validators_->contains(timeout.sender)) return result;
+  if (!timeout.verify(*validators_, verify_)) return result;
+
+  auto& bucket = by_view_[timeout.view];
+  for (const auto& t : bucket.timeouts)
+    if (t.sender == timeout.sender) return result;  // duplicate
+  bucket.timeouts.push_back(timeout);
+
+  if (!bucket.f1_emitted && bucket.timeouts.size() >= validators_->honest_evidence_size()) {
+    bucket.f1_emitted = true;
+    result.reached_f_plus_1 = true;
+  }
+  if (!bucket.tc_emitted && bucket.timeouts.size() >= validators_->quorum_size()) {
+    bucket.tc_emitted = true;
+    result.tc = TimeoutCert::assemble(bucket.timeouts, *validators_);
+  }
+  return result;
+}
+
+std::size_t TimeoutAccumulator::count(View view) const {
+  auto it = by_view_.find(view);
+  return it == by_view_.end() ? 0 : it->second.timeouts.size();
+}
+
+void TimeoutAccumulator::prune_below(View view) {
+  by_view_.erase(by_view_.begin(), by_view_.lower_bound(view));
+}
+
+}  // namespace moonshot

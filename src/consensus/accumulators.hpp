@@ -1,0 +1,90 @@
+// Vote and timeout accumulation: collecting quorums into certificates.
+//
+// Every node runs these locally because Moonshot multicasts votes — there is
+// no designated aggregator. Accumulators deduplicate by sender, reject
+// invalid signatures, emit each certificate exactly once, and prune state
+// for old views as the node advances.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "types/certs.hpp"
+#include "types/validator_set.hpp"
+#include "types/vote.hpp"
+
+namespace moonshot {
+
+/// Accumulates votes per (view, kind, block). add() returns a certificate
+/// the first time a quorum is reached for that key, nullptr otherwise.
+class VoteAccumulator {
+ public:
+  VoteAccumulator(ValidatorSetPtr validators, bool verify_signatures,
+                  bool aggregate_certificates = false)
+      : validators_(std::move(validators)),
+        verify_(verify_signatures),
+        aggregate_(aggregate_certificates) {}
+
+  /// Feeds one vote. `block_height` is the height of the voted block if
+  /// known to the caller (metadata stored in the certificate), 0 otherwise.
+  QcPtr add(const Vote& vote, Height block_height);
+
+  /// Number of distinct voters collected for a key (testing/diagnostics).
+  std::size_t count(View view, VoteKind kind, const BlockId& block) const;
+
+  /// Drops all state for views < `view`.
+  void prune_below(View view);
+
+ private:
+  struct Key {
+    VoteKind kind;
+    BlockId block;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.kind != b.kind) return a.kind < b.kind;
+      return a.block < b.block;
+    }
+  };
+  struct Bucket {
+    std::vector<Vote> votes;  // distinct voters
+    bool emitted = false;
+  };
+
+  ValidatorSetPtr validators_;
+  bool verify_;
+  bool aggregate_;
+  std::map<View, std::map<Key, Bucket>> by_view_;
+};
+
+/// Accumulates timeout messages per view. Emits two one-shot events per
+/// view: the f+1 threshold (evidence at least one honest node timed out —
+/// the Bracha amplification trigger) and the quorum TC.
+class TimeoutAccumulator {
+ public:
+  TimeoutAccumulator(ValidatorSetPtr validators, bool verify_signatures)
+      : validators_(std::move(validators)), verify_(verify_signatures) {}
+
+  struct Result {
+    bool reached_f_plus_1 = false;  // true the first time f+1 distinct senders seen
+    TcPtr tc;                       // non-null the first time a quorum is reached
+  };
+
+  Result add(const TimeoutMsg& timeout);
+
+  std::size_t count(View view) const;
+  void prune_below(View view);
+
+ private:
+  struct Bucket {
+    std::vector<TimeoutMsg> timeouts;  // distinct senders
+    bool f1_emitted = false;
+    bool tc_emitted = false;
+  };
+
+  ValidatorSetPtr validators_;
+  bool verify_;
+  std::map<View, Bucket> by_view_;
+};
+
+}  // namespace moonshot

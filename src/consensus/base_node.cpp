@@ -1,0 +1,239 @@
+#include "consensus/base_node.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/hex.hpp"
+
+namespace moonshot {
+
+BaseNode::BaseNode(NodeContext ctx)
+    : ctx_(std::move(ctx)),
+      vote_acc_(ctx_.validators, ctx_.verify_signatures, ctx_.aggregate_certificates),
+      timeout_acc_(ctx_.validators, ctx_.verify_signatures) {
+  MOONSHOT_INVARIANT(ctx_.network && ctx_.sched && ctx_.validators && ctx_.leaders,
+                     "node context incomplete");
+}
+
+Vote BaseNode::make_vote(VoteKind kind, View view, const BlockId& block) const {
+  return Vote::make(kind, view, block, ctx_.id, ctx_.priv, ctx_.validators->scheme());
+}
+
+TimeoutMsg BaseNode::make_timeout(View view, QcPtr lock) const {
+  return TimeoutMsg::make(view, ctx_.id, std::move(lock), ctx_.priv,
+                          ctx_.validators->scheme());
+}
+
+BlockPtr BaseNode::create_block(View view, const BlockPtr& parent) {
+  MOONSHOT_INVARIANT(parent != nullptr, "cannot extend an unknown parent");
+  Payload payload = ctx_.payload_for_view ? ctx_.payload_for_view(view) : Payload{};
+  BlockPtr block = Block::create(view, parent->height() + 1, parent->id(), std::move(payload));
+  const bool fresh = store_block(block);
+  if (fresh && ctx_.on_block_created) ctx_.on_block_created(block, ctx_.sched->now());
+  return block;
+}
+
+void BaseNode::record_qc_and_try_commit(const QcPtr& qc) {
+  MOONSHOT_INVARIANT(qc != nullptr, "null certificate");
+  auto [it, inserted] = qc_by_view_.emplace(qc->view, qc);
+  if (!inserted) {
+    if (it->second->block != qc->block) {
+      // Two certified blocks in one view implies > f Byzantine voters.
+      LOG_ERROR("node %u: conflicting certificates for view %llu (%s vs %s)", ctx_.id,
+                static_cast<unsigned long long>(qc->view),
+                short_hex(it->second->block.view()).c_str(),
+                short_hex(qc->block.view()).c_str());
+    }
+    return;
+  }
+
+  // Direct commit: commit_chain_length_ certificates in consecutive views
+  // over a parent chain commit the oldest block. The newly recorded
+  // certificate can complete a chain in any position, so every window
+  // containing it is checked.
+  for (int offset = 0; offset < commit_chain_length_; ++offset) {
+    try_commit_chain_ending_at(qc->view + offset);
+  }
+}
+
+void BaseNode::try_commit_chain_ending_at(View newest_view) {
+  const View length = static_cast<View>(commit_chain_length_);
+  if (newest_view < length) return;  // the chain would dip below view 1
+  // Walk from the newest certificate down, checking adjacency and links.
+  QcPtr cur = qc_for_view(newest_view);
+  if (!cur) return;
+  for (View back = 1; back < length; ++back) {
+    const QcPtr prev = qc_for_view(newest_view - back);
+    if (!prev) return;
+    const BlockPtr body = store_.get(cur->block);
+    if (!body) return;  // retried when the body arrives
+    if (body->parent() != prev->block) return;
+    cur = prev;
+  }
+  commit_chain_by_id(cur->block);
+}
+
+QcPtr BaseNode::qc_for_view(View v) const {
+  auto it = qc_by_view_.find(v);
+  return it == qc_by_view_.end() ? nullptr : it->second;
+}
+
+void BaseNode::commit_chain(const BlockPtr& block) {
+  MOONSHOT_INVARIANT(block != nullptr, "commit of unknown block");
+  commit_chain_by_id(block->id());
+}
+
+void BaseNode::commit_chain_by_id(const BlockId& target_id) {
+  const BlockPtr target = store_.get(target_id);
+  if (!target) {
+    pending_commit_targets_.insert(target_id);
+    request_block(target_id);
+    return;
+  }
+  if (commit_log_.is_committed(target_id)) return;
+
+  // Walk down to the last committed ancestor, collecting the chain.
+  std::vector<BlockPtr> chain;
+  BlockPtr cur = target;
+  while (!commit_log_.is_committed(cur->id())) {
+    chain.push_back(cur);
+    if (cur->height() == 0) break;
+    BlockPtr parent = store_.get(cur->parent());
+    if (!parent) {
+      pending_commit_targets_.insert(target_id);
+      request_block(cur->parent());  // catch-up: fetch the missing body
+      return;                        // resume when it arrives
+    }
+    cur = parent;
+  }
+  const TimePoint now = ctx_.sched->now();
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) commit_log_.commit(*rit, now);
+}
+
+bool BaseNode::store_block(const BlockPtr& block) {
+  if (!block) return false;
+  if (!store_.add(block)) return false;
+
+  // Retry deferred commits now that a new body exists.
+  if (!pending_commit_targets_.empty()) {
+    const auto targets = pending_commit_targets_;
+    pending_commit_targets_.clear();
+    for (const auto& id : targets) commit_chain_by_id(id);
+  }
+  // A body arriving can complete a previously recorded commit chain in any
+  // window position.
+  const QcPtr qc = qc_for_view(block->view());
+  if (qc && qc->block == block->id()) {
+    for (int offset = 0; offset < commit_chain_length_; ++offset) {
+      try_commit_chain_ending_at(block->view() + offset);
+    }
+  }
+
+  on_block_stored(block);
+  return true;
+}
+
+void BaseNode::arm_view_timer(Duration d) {
+  cancel_view_timer();
+  const std::uint64_t generation = ++timer_generation_;
+  view_timer_ = ctx_.sched->schedule_after(d, [this, generation] {
+    if (generation != timer_generation_) return;  // superseded
+    on_view_timer_expired();
+  });
+}
+
+void BaseNode::cancel_view_timer() {
+  if (view_timer_ != 0) {
+    ctx_.sched->cancel(view_timer_);
+    view_timer_ = 0;
+  }
+  ++timer_generation_;
+}
+
+void BaseNode::request_block(const BlockId& id) {
+  if (store_.contains(id)) return;
+  auto [it, inserted] = outstanding_fetches_.emplace(id, 0);
+  if (!inserted) return;  // a fetch (with retries) is already in flight
+  const std::size_t n = ctx_.validators->size();
+
+  // Deterministic peer rotation seeded by the block id; retries every 2Δ
+  // move to the next peer. Capped: a block that f+1 peers cannot supply was
+  // likely never certified.
+  struct Retry {
+    BaseNode* self;
+    BlockId id;
+    void operator()() const {
+      auto it = self->outstanding_fetches_.find(id);
+      if (it == self->outstanding_fetches_.end()) return;   // arrived, done
+      if (self->store_.contains(id)) {
+        self->outstanding_fetches_.erase(it);
+        return;
+      }
+      const std::size_t n = self->ctx_.validators->size();
+      if (it->second > static_cast<int>(self->validators().f()) + 1) {
+        self->outstanding_fetches_.erase(it);  // give up
+        return;
+      }
+      const NodeId peer = static_cast<NodeId>(
+          (fnv1a(id.view()) + static_cast<std::size_t>(it->second) + 1 + self->ctx_.id) % n);
+      if (peer != self->ctx_.id) {
+        self->unicast(peer, make_message<BlockRequestMsg>(id, self->ctx_.id));
+      }
+      ++it->second;
+      self->ctx_.sched->schedule_after(self->ctx_.delta * 2, Retry{self, id});
+    }
+  };
+  if (n <= 1) return;  // nobody to ask
+  Retry{this, id}();
+}
+
+bool BaseNode::handle_sync(NodeId from, const Message& m) {
+  if (const auto* req = std::get_if<BlockRequestMsg>(&m)) {
+    if (const BlockPtr block = store_.get(req->id)) {
+      unicast(from, make_message<BlockResponseMsg>(block, ctx_.id));
+    }
+    return true;
+  }
+  if (const auto* resp = std::get_if<BlockResponseMsg>(&m)) {
+    // Block ids are content-derived (Block::deserialize recomputes them), so
+    // a response can only ever deliver the genuine body for its id.
+    if (resp->block) {
+      outstanding_fetches_.erase(resp->block->id());
+      store_block(resp->block);
+    }
+    return true;
+  }
+  return false;
+}
+
+Duration BaseNode::backed_off(Duration base) const {
+  if (!ctx_.timeout_backoff) return base;
+  return base * (1 << std::min(backoff_exponent_, 6));
+}
+
+void BaseNode::note_progress() {
+  // Decay slowly: resetting to zero on every success makes a chronically
+  // undersized Δ saw-tooth (the view after each success gets the short timer
+  // again and fails, so two *consecutive* certified views — the commit
+  // rule's requirement — never happen). Decrement only after a sustained
+  // streak of certificate-driven views.
+  if (++progress_streak_ >= 8 && backoff_exponent_ > 0) {
+    --backoff_exponent_;
+    progress_streak_ = 0;
+  }
+}
+
+void BaseNode::note_timeout() {
+  ++backoff_exponent_;
+  progress_streak_ = 0;
+}
+
+bool BaseNode::check_qc(const QuorumCert& qc) const {
+  return qc.validate(*ctx_.validators, ctx_.verify_signatures);
+}
+
+bool BaseNode::check_tc(const TimeoutCert& tc) const {
+  return tc.validate(*ctx_.validators, ctx_.verify_signatures);
+}
+
+}  // namespace moonshot

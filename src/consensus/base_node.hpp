@@ -1,0 +1,142 @@
+// Machinery shared by all four protocol implementations (three Moonshots and
+// Jolteon): block storage, deferred commits, the two-chain commit rule over
+// a per-view certificate table, view timers, and signing/send helpers.
+//
+// Subclasses implement the message handlers; BaseNode owns no protocol
+// rules beyond the commit-rule plumbing every chained protocol here shares:
+// "commit B when B is certified in view v and its direct child is certified
+// in view v+1".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "consensus/accumulators.hpp"
+#include "consensus/context.hpp"
+#include "consensus/node.hpp"
+#include "support/log.hpp"
+
+namespace moonshot {
+
+class BaseNode : public IConsensusNode {
+ public:
+  explicit BaseNode(NodeContext ctx);
+
+  View current_view() const override { return view_; }
+  const CommitLog& commit_log() const override { return commit_log_; }
+  CommitLog& commit_log_mutable() override { return commit_log_; }
+  const BlockStore& block_store() const override { return store_; }
+
+  NodeId id() const { return ctx_.id; }
+
+ protected:
+  // --- identities & quorums -------------------------------------------------
+  NodeId leader_of(View v) const { return ctx_.leaders->leader(v); }
+  bool i_am_leader(View v) const { return leader_of(v) == ctx_.id; }
+  std::size_t quorum() const { return ctx_.validators->quorum_size(); }
+  const ValidatorSet& validators() const { return *ctx_.validators; }
+
+  // --- sending ---------------------------------------------------------------
+  void multicast(MessagePtr m) { ctx_.network->multicast(ctx_.id, std::move(m)); }
+  void unicast(NodeId to, MessagePtr m) { ctx_.network->unicast(ctx_.id, to, std::move(m)); }
+
+  /// Creates, records (for the accumulator) and multicasts a vote.
+  Vote make_vote(VoteKind kind, View view, const BlockId& block) const;
+  TimeoutMsg make_timeout(View view, QcPtr lock) const;
+
+  // --- block creation ---------------------------------------------------------
+  /// Creates the unique block for `view` extending `parent`, adds it to the
+  /// local store and fires the creation hook. Payload comes from the per-view
+  /// payload source, so re-creating the block for the same (view, parent)
+  /// yields the same id.
+  BlockPtr create_block(View view, const BlockPtr& parent);
+
+  // --- certificate table & the k-chain commit rule ----------------------------
+  /// Records a certificate for its view (first one wins; a conflicting
+  /// certificate for the same view and a different block would imply more
+  /// than f Byzantine nodes and is logged and ignored). Then applies the
+  /// commit rule: `commit_chain_length_` certificates in consecutive views
+  /// over a parent chain commit the oldest block of the chain (2 for the
+  /// Moonshots and Jolteon, 3 for chained HotStuff).
+  void record_qc_and_try_commit(const QcPtr& qc);
+
+  /// Set by subclasses before any certificate is processed.
+  int commit_chain_length_ = 2;
+
+  /// Commits the oldest block of a fully-certified consecutive-view chain
+  /// ending at `newest_view`, if one exists in the certificate table.
+  void try_commit_chain_ending_at(View newest_view);
+
+  /// The certificate recorded for a view, if any.
+  QcPtr qc_for_view(View v) const;
+
+  /// Commits `block` and all its uncommitted ancestors (indirect commit).
+  /// Defers quietly if some ancestor's body has not arrived yet; the commit
+  /// resumes when the missing block is stored.
+  void commit_chain(const BlockPtr& block);
+  void commit_chain_by_id(const BlockId& target_id);
+
+  /// Adds a block body to the store and flushes anything that was waiting on
+  /// it (deferred commits and, via the hook, subclass-buffered proposals).
+  /// Returns true if the block was new.
+  bool store_block(const BlockPtr& block);
+
+  /// Subclass hook: called when a new block body arrives (after deferred
+  /// commits flush) so buffered votes/proposals can be re-evaluated.
+  virtual void on_block_stored(const BlockPtr& /*block*/) {}
+
+  // --- block synchronisation (catch-up) ----------------------------------------
+  /// Requests a missing block body from a peer (rotating deterministically),
+  /// retrying every 2Δ until it arrives. Bounded per id.
+  void request_block(const BlockId& id);
+
+  /// Handles BlockRequestMsg / BlockResponseMsg. Returns true if `m` was a
+  /// sync message (the caller's protocol handler should then stop).
+  bool handle_sync(NodeId from, const Message& m);
+
+  // --- view timer --------------------------------------------------------------
+  /// (Re)arms the view timer to fire after `d`; on expiry calls
+  /// on_view_timer_expired().
+  void arm_view_timer(Duration d);
+  void cancel_view_timer();
+  virtual void on_view_timer_expired() = 0;
+
+  /// Exponential pacemaker backoff. The paper's analyses fix τ as a multiple
+  /// of Δ after GST; practical deployments (including the Jolteon codebase
+  /// the paper builds on) double the timer while no progress is observed so
+  /// that views eventually outlast any load the fixed Δ underestimated
+  /// (e.g. multi-megabyte proposals). backed_off() scales a base timeout by
+  /// 2^k where k counts timer expiries since the last certificate-driven
+  /// view entry.
+  Duration backed_off(Duration base) const;
+  void note_progress();  // view advanced via a block certificate
+  void note_timeout();   // our view timer expired
+
+  // --- validation helpers --------------------------------------------------------
+  /// Structural + (optionally) cryptographic certificate validation.
+  bool check_qc(const QuorumCert& qc) const;
+  bool check_tc(const TimeoutCert& tc) const;
+
+  NodeContext ctx_;
+  View view_ = 0;  // 0 = not started; start() enters view 1
+  BlockStore store_;
+  CommitLog commit_log_;
+  VoteAccumulator vote_acc_;
+  TimeoutAccumulator timeout_acc_;
+
+ private:
+  std::map<View, QcPtr> qc_by_view_;
+  // Commit targets waiting for a missing ancestor body.
+  std::unordered_set<BlockId> pending_commit_targets_;
+  // Outstanding block fetches: id -> retry count.
+  std::unordered_map<BlockId, int> outstanding_fetches_;
+  sim::TaskId view_timer_ = 0;
+  std::uint64_t timer_generation_ = 0;
+  int backoff_exponent_ = 0;
+  int progress_streak_ = 0;
+};
+
+}  // namespace moonshot

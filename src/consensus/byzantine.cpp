@@ -1,0 +1,95 @@
+#include "consensus/byzantine.hpp"
+
+namespace moonshot {
+
+EquivocatorNode::EquivocatorNode(NodeContext ctx) : BaseNode(std::move(ctx)) {}
+
+void EquivocatorNode::start() {
+  view_ = 1;
+  if (i_am_leader(1)) equivocate_propose();
+}
+
+void EquivocatorNode::handle(NodeId from, const MessagePtr& m) {
+  (void)from;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, ProposalMsg> || std::is_same_v<T, FbProposalMsg>) {
+          if (!msg.block) return;
+          store_block(msg.block);
+          if (msg.justify) observe_qc(msg.justify);
+          vote_for_everything(msg.block);
+        } else if constexpr (std::is_same_v<T, OptProposalMsg>) {
+          if (!msg.block) return;
+          store_block(msg.block);
+          vote_for_everything(msg.block);
+        } else if constexpr (std::is_same_v<T, VoteMsg>) {
+          if (msg.vote.kind == VoteKind::kCommit) return;
+          const BlockPtr body = store_.get(msg.vote.block);
+          if (const QcPtr qc = vote_acc_.add(msg.vote, body ? body->height() : 0)) {
+            observe_qc(qc);
+          }
+        } else if constexpr (std::is_same_v<T, CertMsg>) {
+          if (msg.qc) observe_qc(msg.qc);
+        } else if constexpr (std::is_same_v<T, TcMsg>) {
+          if (msg.tc && msg.tc->view >= view_) {
+            view_ = msg.tc->view + 1;
+            if (i_am_leader(view_)) equivocate_propose();
+          }
+        }
+        // Timeouts and status messages: ignored; this adversary attacks
+        // safety, not liveness.
+      },
+      *m);
+}
+
+void EquivocatorNode::observe_qc(const QcPtr& qc) {
+  if (!qc || qc->kind == VoteKind::kCommit) return;
+  if (!qc->validate(*ctx_.validators, false)) return;
+  if (qc->rank() > highest_qc_->rank()) highest_qc_ = qc;
+  if (qc->view >= view_) {
+    view_ = qc->view + 1;
+    if (i_am_leader(view_)) equivocate_propose();
+  }
+}
+
+void EquivocatorNode::equivocate_propose() {
+  const BlockPtr parent = store_.get(highest_qc_->block);
+  if (!parent) return;
+
+  // Two conflicting blocks for the same view: same parent, different
+  // payloads (distinct synthetic seeds).
+  Payload pa = Payload::synthetic(64, view_ * 2);
+  Payload pb = Payload::synthetic(64, view_ * 2 + 1);
+  const BlockPtr a = Block::create(view_, parent->height() + 1, parent->id(), pa);
+  const BlockPtr b = Block::create(view_, parent->height() + 1, parent->id(), pb);
+  store_block(a);
+  store_block(b);
+  if (ctx_.on_block_created) {
+    ctx_.on_block_created(a, ctx_.sched->now());
+    ctx_.on_block_created(b, ctx_.sched->now());
+  }
+
+  // Odd node ids get block a, even ids get block b.
+  const std::size_t n = ctx_.validators->size();
+  for (NodeId to = 0; to < n; ++to) {
+    const BlockPtr& block = (to % 2 == 0) ? a : b;
+    unicast(to, make_message<ProposalMsg>(block, highest_qc_, nullptr, ctx_.id));
+    unicast(to, make_message<OptProposalMsg>(block, ctx_.id));
+  }
+}
+
+void EquivocatorNode::vote_for_everything(const BlockPtr& block) {
+  // Double-vote with every kind, but bounded per view so the adversary does
+  // not degenerate into a bandwidth-flooding attack (which the network model
+  // would punish but which is not the point of these tests).
+  int& cast = votes_cast_[block->view()];
+  if (cast >= 4) return;
+  ++cast;
+  for (const VoteKind kind :
+       {VoteKind::kNormal, VoteKind::kOptimistic, VoteKind::kFallback, VoteKind::kCommit}) {
+    multicast(make_message<VoteMsg>(make_vote(kind, block->view(), block->id())));
+  }
+}
+
+}  // namespace moonshot

@@ -1,0 +1,44 @@
+// Active Byzantine behaviours for adversarial testing.
+//
+// The evaluation's leader schedules only need crash-silent faults (the
+// harness silences those nodes at the network layer), but the safety
+// arguments of §III-B/§IV-B are about *active* adversaries. EquivocatorNode
+// implements the canonical attack: when it is the leader it proposes two
+// conflicting blocks, sending each to half of the network, and it votes for
+// every proposal it sees (all four vote kinds), trying to split honest nodes
+// onto different chains. With at most f such nodes, quorum intersection must
+// keep all honest commit logs consistent — the property tests assert that.
+#pragma once
+
+#include <map>
+
+#include "consensus/base_node.hpp"
+
+namespace moonshot {
+
+class EquivocatorNode final : public BaseNode {
+ public:
+  explicit EquivocatorNode(NodeContext ctx);
+
+  void start() override;
+  void handle(NodeId from, const MessagePtr& m) override;
+  std::string protocol_name() const override { return "byzantine-equivocator"; }
+
+ protected:
+  void on_view_timer_expired() override {}
+
+ private:
+  /// Tracks certificates to know the current view and a plausible parent.
+  void observe_qc(const QcPtr& qc);
+  /// When leading `view_`, multicast nothing — unicast conflicting proposals
+  /// to the two halves of the network.
+  void equivocate_propose();
+  /// Vote (all kinds) for both of our own equivocating blocks and for any
+  /// block proposed by others.
+  void vote_for_everything(const BlockPtr& block);
+
+  QcPtr highest_qc_ = QuorumCert::genesis_qc();
+  std::map<View, int> votes_cast_;  // bounded double-voting per view
+};
+
+}  // namespace moonshot

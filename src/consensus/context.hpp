@@ -1,0 +1,66 @@
+// Everything a consensus node needs from its environment.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "consensus/leader_schedule.hpp"
+#include "crypto/signature.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "support/time.hpp"
+#include "types/payload.hpp"
+#include "types/validator_set.hpp"
+
+namespace moonshot {
+
+/// Produces the payload b_v for a view. Payloads are fixed per view (paper
+/// §II-B): a leader's optimistic and normal proposals with the same parent
+/// therefore contain the identical block.
+using PayloadSource = std::function<Payload(View)>;
+
+/// Called when a leader first creates a block (metrics: block creation time).
+using BlockCreatedHook = std::function<void(const BlockPtr&, TimePoint)>;
+
+struct NodeContext {
+  NodeId id = kNoNode;
+  ValidatorSetPtr validators;
+  crypto::PrivateKey priv{};
+  net::INetwork* network = nullptr;
+  sim::Scheduler* sched = nullptr;
+  LeaderSchedulePtr leaders;
+  /// The protocol's Δ (known message-delay bound after GST); view timers are
+  /// protocol-specific multiples of this.
+  Duration delta = milliseconds(500);
+  PayloadSource payload_for_view;
+  BlockCreatedHook on_block_created;
+  /// When false, signature checks are skipped (their cost is modelled by the
+  /// network's receive pipeline instead); structural validation always runs.
+  bool verify_signatures = true;
+
+  /// Exponential pacemaker backoff (double the view timer on consecutive
+  /// expiries, reset on certificate-driven progress). Off by default: the
+  /// paper's analyses and failure experiments assume a fixed τ per view.
+  /// Enable when Δ may underestimate the real network (huge payloads).
+  bool timeout_backoff = false;
+
+  // --- ablation switches (bench_ablation; defaults = the paper's design) ----
+  /// Optimistic proposal (ω = δ). Off: leaders propose only at view entry,
+  /// reverting the block period to 2δ.
+  bool enable_opt_proposal = true;
+  /// Vote multicasting (reorg resilience, λ = 3δ). Off: votes are unicast to
+  /// the next leader, the designated-aggregator pattern of linear protocols.
+  bool multicast_votes = true;
+  /// Leader-speaks-once (LSO) variant (paper §III): a leader that has
+  /// already made its optimistic proposal for a view does not follow up
+  /// with the normal/fallback proposal. Cheaper, but sacrifices reorg
+  /// resilience — the adversary can make optimistic proposals fail even
+  /// after GST. Default: LCO (leader-certifies-once), the paper's setting.
+  bool lso_mode = false;
+  /// Threshold-style certificates: assemble quorum certificates as one
+  /// aggregate signature + voter bitmap (O(1) wire size) instead of an
+  /// array of 2f+1 signatures. Requires a scheme with aggregation support.
+  bool aggregate_certificates = false;
+};
+
+}  // namespace moonshot

@@ -1,0 +1,177 @@
+#include "consensus/hotstuff/hotstuff.hpp"
+
+namespace moonshot {
+
+namespace {
+constexpr int kTimerDeltas = 4;  // Table I: view length 4Δ
+}  // namespace
+
+HotStuffNode::HotStuffNode(NodeContext ctx) : BaseNode(std::move(ctx)) {
+  commit_chain_length_ = 3;  // the three-chain rule
+}
+
+void HotStuffNode::start() {
+  view_ = 1;
+  arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
+  if (i_am_leader(1)) propose();
+  try_vote();
+}
+
+void HotStuffNode::handle(NodeId from, const MessagePtr& m) {
+  if (handle_sync(from, *m)) return;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, ProposalMsg>) {
+          if (!msg.block || !msg.justify) return;
+          const View r = msg.block->view();
+          if (r < 1 || leader_of(r) != from) return;
+          if (msg.block->parent() != msg.justify->block) return;
+          if (msg.justify->view + 1 != r) {
+            if (!msg.tc || msg.tc->view + 1 != r) return;
+            if (msg.justify->rank() < msg.tc->high_qc_view()) return;
+            if (!check_tc(*msg.tc)) return;
+          }
+          if (!check_qc(*msg.justify)) return;
+          store_block(msg.block);
+          pending_prop_.emplace(r, msg);
+          handle_qc(msg.justify, /*already_validated=*/true);
+          if (msg.tc) handle_tc(msg.tc, /*already_validated=*/true);
+          try_vote();
+        } else if constexpr (std::is_same_v<T, VoteMsg>) {
+          if (msg.vote.voter != from) return;
+          if (msg.vote.kind != VoteKind::kNormal) return;
+          const BlockPtr body = store_.get(msg.vote.block);
+          if (const QcPtr qc = vote_acc_.add(msg.vote, body ? body->height() : 0)) {
+            handle_qc(qc, /*already_validated=*/true);
+          }
+        } else if constexpr (std::is_same_v<T, TimeoutMsgWrap>) {
+          if (msg.timeout.sender != from) return;
+          if (msg.timeout.view < 1) return;
+          if (msg.timeout.high_qc) handle_qc(msg.timeout.high_qc, /*already_validated=*/false);
+          const auto result = timeout_acc_.add(msg.timeout);
+          if (result.reached_f_plus_1 && msg.timeout.view >= view_)
+            send_timeout(msg.timeout.view);
+          if (result.tc) handle_tc(result.tc, /*already_validated=*/true);
+        } else if constexpr (std::is_same_v<T, CertMsg>) {
+          if (msg.qc) handle_qc(msg.qc, /*already_validated=*/false);
+        } else if constexpr (std::is_same_v<T, TcMsg>) {
+          if (msg.tc) handle_tc(msg.tc, /*already_validated=*/false);
+        } else {
+          // Moonshot-specific message types are not part of HotStuff.
+        }
+      },
+      *m);
+}
+
+void HotStuffNode::handle_qc(const QcPtr& qc, bool already_validated) {
+  if (!qc || qc->kind != VoteKind::kNormal) return;
+  const QcPtr known = qc_for_view(qc->view);
+  const bool duplicate = known && known->block == qc->block;
+  if (duplicate && qc->view + 1 <= view_) return;
+  if (!duplicate && !already_validated && !check_qc(*qc)) return;
+
+  record_qc_and_try_commit(qc);
+  if (qc->rank() > high_qc_->rank()) high_qc_ = qc;
+  update_preferred(qc);
+
+  if (qc->view >= view_) advance_to(qc->view + 1, nullptr);
+  try_vote();
+}
+
+void HotStuffNode::update_preferred(const QcPtr& qc) {
+  // Two-chain lock: preferred round rises to the round of the *parent* of
+  // the certified block (the block with a certified child), when known.
+  const BlockPtr body = store_.get(qc->block);
+  if (!body || body->is_genesis()) return;
+  const BlockPtr parent = store_.get(body->parent());
+  if (!parent) return;
+  preferred_round_ = std::max(preferred_round_, parent->view());
+}
+
+void HotStuffNode::handle_tc(const TcPtr& tc, bool already_validated) {
+  if (!tc) return;
+  if (tc->view < view_) return;
+  if (!already_validated && !check_tc(*tc)) return;
+  if (tc->high_qc) handle_qc(tc->high_qc, /*already_validated=*/true);
+  send_timeout(tc->view);
+  advance_to(tc->view + 1, tc);
+}
+
+void HotStuffNode::advance_to(View new_round, const TcPtr& via_tc) {
+  if (new_round <= view_) return;
+  if (!via_tc) note_progress();
+  view_ = new_round;
+  entry_tc_ = via_tc;
+  proposed_in_round_ = false;
+  arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
+
+  if (view_ > 3) {
+    vote_acc_.prune_below(view_ - 3);
+    timeout_acc_.prune_below(view_ - 3);
+    pending_prop_.erase(pending_prop_.begin(), pending_prop_.lower_bound(view_));
+  }
+
+  if (i_am_leader(view_)) propose();
+  try_vote();
+}
+
+void HotStuffNode::propose() {
+  if (proposed_in_round_) return;
+  const BlockPtr parent = store_.get(high_qc_->block);
+  if (!parent) {
+    request_block(high_qc_->block);  // fetch; on_block_stored retries
+    return;
+  }
+  proposed_in_round_ = true;
+  const BlockPtr block = create_block(view_, parent);
+  multicast(make_message<ProposalMsg>(block, high_qc_,
+                                      high_qc_->view + 1 == view_ ? nullptr : entry_tc_,
+                                      ctx_.id));
+}
+
+void HotStuffNode::try_vote() {
+  if (view_ < 1) return;
+  if (last_voted_round_ >= view_ || timeout_round_ >= view_) return;
+  auto it = pending_prop_.find(view_);
+  if (it == pending_prop_.end()) return;
+  const BlockPtr& block = it->second.block;
+  const QcPtr& justify = it->second.justify;
+  const TcPtr& tc = it->second.tc;
+
+  const bool direct = justify->view + 1 == view_;
+  const bool via_tc = tc && tc->view + 1 == view_ && justify->rank() >= tc->high_qc_view();
+  if (!direct && !via_tc) return;
+  // HotStuff safety rule: the justification must be at least as recent as
+  // the locked (preferred) round.
+  if (justify->view < preferred_round_) return;
+  if (block->parent() != justify->block || !link_valid(block)) return;
+
+  last_voted_round_ = view_;
+  unicast(leader_of(view_ + 1),
+          make_message<VoteMsg>(make_vote(VoteKind::kNormal, view_, block->id())));
+}
+
+void HotStuffNode::send_timeout(View round) {
+  if (timeout_round_ >= round) return;
+  timeout_round_ = round;
+  multicast(make_message<TimeoutMsgWrap>(make_timeout(round, high_qc_)));
+}
+
+void HotStuffNode::on_view_timer_expired() {
+  note_timeout();
+  send_timeout(view_);
+}
+
+void HotStuffNode::on_block_stored(const BlockPtr& block) {
+  if (block->view() + 1 < view_) return;
+  try_vote();
+  if (i_am_leader(view_) && !proposed_in_round_ && high_qc_->block == block->id()) propose();
+}
+
+bool HotStuffNode::link_valid(const BlockPtr& block) const {
+  const BlockPtr parent = store_.get(block->parent());
+  return parent && block->height() == parent->height() + 1 && block->view() > parent->view();
+}
+
+}  // namespace moonshot

@@ -1,0 +1,64 @@
+// Chained HotStuff (Yin et al., PODC 2019) — the first row of the paper's
+// Table I, implemented in the LibraBFT-style rotating-leader formulation:
+//
+//  * Leader of round r proposes a block justified by its high-QC; votes are
+//    unicast to the next leader (linear steady state).
+//  * Three-chain commit: blocks certified in three *consecutive* rounds
+//    commit the oldest of the three. With next-leader aggregation the
+//    minimum commit latency is 7δ (Table I note 2).
+//  * Two-chain locking: a node's preferred round is the round of the
+//    grandparent of the highest certified block it has seen; it only votes
+//    for proposals whose justification is at least that old.
+//  * View change as in Jolteon: timeouts carry the high-QC, a TC justifies
+//    the next proposal. View timer 4Δ.
+//
+// Not part of the paper's own evaluation (which compares against Jolteon),
+// but included so bench_table1 can reproduce the full comparison table and
+// so the commit-rule machinery is exercised at chain length 3.
+#pragma once
+
+#include <map>
+
+#include "consensus/base_node.hpp"
+
+namespace moonshot {
+
+class HotStuffNode final : public BaseNode {
+ public:
+  explicit HotStuffNode(NodeContext ctx);
+
+  void start() override;
+  void handle(NodeId from, const MessagePtr& m) override;
+  std::string protocol_name() const override { return "hotstuff"; }
+
+  const QcPtr& high_qc() const { return high_qc_; }
+  View preferred_round() const { return preferred_round_; }
+
+ protected:
+  void on_view_timer_expired() override;
+  void on_block_stored(const BlockPtr& block) override;
+
+ private:
+  void handle_qc(const QcPtr& qc, bool already_validated);
+  void handle_tc(const TcPtr& tc, bool already_validated);
+  void advance_to(View new_round, const TcPtr& via_tc);
+  void propose();
+  void try_vote();
+  void send_timeout(View round);
+  /// Two-chain locking: raise preferred_round to the grandparent of the
+  /// newly certified block when that chain is present locally.
+  void update_preferred(const QcPtr& qc);
+
+  bool link_valid(const BlockPtr& block) const;
+
+  QcPtr high_qc_ = QuorumCert::genesis_qc();
+  View preferred_round_ = 0;
+  View last_voted_round_ = 0;
+  View timeout_round_ = 0;
+  bool proposed_in_round_ = false;
+  TcPtr entry_tc_;
+
+  std::map<View, ProposalMsg> pending_prop_;
+};
+
+}  // namespace moonshot

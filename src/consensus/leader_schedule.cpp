@@ -1,0 +1,59 @@
+#include "consensus/leader_schedule.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace moonshot {
+
+namespace {
+std::vector<NodeId> honest_ids(std::size_t n, const std::vector<NodeId>& byzantine) {
+  std::vector<bool> is_byz(n, false);
+  for (NodeId b : byzantine) is_byz.at(b) = true;
+  std::vector<NodeId> honest;
+  for (NodeId i = 0; i < n; ++i)
+    if (!is_byz[i]) honest.push_back(i);
+  return honest;
+}
+}  // namespace
+
+LeaderSchedulePtr make_schedule_b(std::size_t n, const std::vector<NodeId>& byzantine) {
+  auto honest = honest_ids(n, byzantine);
+  std::vector<NodeId> order = honest;
+  order.insert(order.end(), byzantine.begin(), byzantine.end());
+  MOONSHOT_INVARIANT(order.size() == n, "schedule must cover all nodes");
+  return std::make_shared<const ListSchedule>(std::move(order));
+}
+
+LeaderSchedulePtr make_schedule_wm(std::size_t n, const std::vector<NodeId>& byzantine) {
+  auto honest = honest_ids(n, byzantine);
+  std::vector<NodeId> order;
+  std::size_t h = 0;
+  // honest-then-byzantine for 2f' views...
+  for (std::size_t b = 0; b < byzantine.size(); ++b) {
+    order.push_back(honest.at(h++));
+    order.push_back(byzantine[b]);
+  }
+  // ...followed by the remaining honest leaders.
+  while (h < honest.size()) order.push_back(honest[h++]);
+  MOONSHOT_INVARIANT(order.size() == n, "schedule must cover all nodes");
+  return std::make_shared<const ListSchedule>(std::move(order));
+}
+
+LeaderSchedulePtr make_schedule_wj(std::size_t n, const std::vector<NodeId>& byzantine) {
+  auto honest = honest_ids(n, byzantine);
+  std::vector<NodeId> order;
+  std::size_t h = 0;
+  // two-honest-then-byzantine for 3f' views...
+  for (std::size_t b = 0; b < byzantine.size(); ++b) {
+    order.push_back(honest.at(h++));
+    order.push_back(honest.at(h++));
+    order.push_back(byzantine[b]);
+  }
+  // ...followed by the remaining honest leaders.
+  while (h < honest.size()) order.push_back(honest[h++]);
+  MOONSHOT_INVARIANT(order.size() == n, "schedule must cover all nodes");
+  return std::make_shared<const ListSchedule>(std::move(order));
+}
+
+}  // namespace moonshot

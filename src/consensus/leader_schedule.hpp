@@ -1,0 +1,61 @@
+// Leader election schedules.
+//
+// The paper's protocols are leader-certifies-once (LCO): the leader changes
+// every view. Fair implementations elect each node once per n views. The
+// failure evaluation (§VI-B) uses three crafted fair schedules over a fixed
+// set of f' crashed nodes:
+//   B  — all honest leaders first, then all Byzantine (best case for
+//        non-reorg-resilient / pipelined protocols);
+//   WM — honest-then-byzantine pairs for 2f' views, then the remaining
+//        honest (worst case for reorg-resilient pipelined protocols);
+//   WJ — honest-honest-byzantine triples for 3f' views, then the remaining
+//        honest (worst case for non-reorg-resilient pipelined protocols).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "types/ids.hpp"
+
+namespace moonshot {
+
+class LeaderSchedule {
+ public:
+  virtual ~LeaderSchedule() = default;
+  /// Leader of view v (v >= 1).
+  virtual NodeId leader(View v) const = 0;
+};
+
+using LeaderSchedulePtr = std::shared_ptr<const LeaderSchedule>;
+
+/// Round-robin: view v is led by node (v-1) mod n.
+class RoundRobinSchedule final : public LeaderSchedule {
+ public:
+  explicit RoundRobinSchedule(std::size_t n) : n_(n) {}
+  NodeId leader(View v) const override { return static_cast<NodeId>((v - 1) % n_); }
+
+ private:
+  std::size_t n_;
+};
+
+/// Repeats an explicit order of n node ids.
+class ListSchedule final : public LeaderSchedule {
+ public:
+  explicit ListSchedule(std::vector<NodeId> order) : order_(std::move(order)) {}
+  NodeId leader(View v) const override {
+    return order_[static_cast<std::size_t>((v - 1) % order_.size())];
+  }
+  const std::vector<NodeId>& order() const { return order_; }
+
+ private:
+  std::vector<NodeId> order_;
+};
+
+/// The three evaluation schedules. `byzantine` lists the f' faulty node ids;
+/// all other ids in [0, n) are honest. Each schedule is fair: every node
+/// leads exactly once per n views.
+LeaderSchedulePtr make_schedule_b(std::size_t n, const std::vector<NodeId>& byzantine);
+LeaderSchedulePtr make_schedule_wm(std::size_t n, const std::vector<NodeId>& byzantine);
+LeaderSchedulePtr make_schedule_wj(std::size_t n, const std::vector<NodeId>& byzantine);
+
+}  // namespace moonshot

@@ -1,0 +1,52 @@
+#include "consensus/moonshot/commit_moonshot.hpp"
+
+namespace moonshot {
+
+CommitMoonshotNode::CommitMoonshotNode(NodeContext ctx)
+    : PipelinedMoonshotNode(std::move(ctx)),
+      commit_acc_(ctx_.validators, ctx_.verify_signatures, ctx_.aggregate_certificates) {}
+
+void CommitMoonshotNode::on_new_certificate(const QcPtr& qc) {
+  if (qc->is_genesis()) return;
+
+  // Direct Pre-commit: fires while our view has not passed the certificate's.
+  if (view_ <= qc->view && timeout_view_ < qc->view) {
+    send_commit_vote(qc->view, qc->block);
+    return;
+  }
+
+  // Indirect Pre-commit: a certificate arriving late (we already moved on)
+  // still earns a commit vote if we commit-voted one of its descendants.
+  if (timeout_view_ < qc->view && !commit_voted_.count(qc->view)) {
+    const auto latest = commit_voted_.rbegin();
+    if (latest != commit_voted_.rend() &&
+        store_.extends(latest->second, qc->block)) {
+      send_commit_vote(qc->view, qc->block);
+    }
+  }
+}
+
+void CommitMoonshotNode::on_commit_vote(const Vote& vote) {
+  if (vote.kind != VoteKind::kCommit) return;
+  const BlockPtr body = store_.get(vote.block);
+  if (const QcPtr qc = commit_acc_.add(vote, body ? body->height() : 0)) {
+    // Alternative Direct Commit: a quorum of commit votes commits the block
+    // and its ancestors — no child certificate needed.
+    commit_chain_by_id(qc->block);
+  }
+}
+
+void CommitMoonshotNode::send_commit_vote(View view, const BlockId& block) {
+  const auto [it, inserted] = commit_voted_.emplace(view, block);
+  if (!inserted) return;  // at most one commit vote per view
+  multicast(make_message<VoteMsg>(make_vote(VoteKind::kCommit, view, block)));
+
+  // Bound memory: very old commit-vote state can no longer help (blocks
+  // that miss the alternative path still commit via the two-chain rule).
+  if (view_ > 16) {
+    commit_acc_.prune_below(view_ - 16);
+    commit_voted_.erase(commit_voted_.begin(), commit_voted_.lower_bound(view_ - 16));
+  }
+}
+
+}  // namespace moonshot

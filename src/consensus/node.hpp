@@ -1,0 +1,30 @@
+// The consensus node interface the harness drives.
+#pragma once
+
+#include <string>
+
+#include "ledger/block_store.hpp"
+#include "ledger/commit_log.hpp"
+#include "types/messages.hpp"
+
+namespace moonshot {
+
+class IConsensusNode {
+ public:
+  virtual ~IConsensusNode() = default;
+
+  /// Enters view 1 and begins participating (leader of view 1 proposes).
+  virtual void start() = 0;
+
+  /// Delivers a message from `from` (authenticated channel: `from` is the
+  /// true sender).
+  virtual void handle(NodeId from, const MessagePtr& m) = 0;
+
+  virtual View current_view() const = 0;
+  virtual const CommitLog& commit_log() const = 0;
+  virtual CommitLog& commit_log_mutable() = 0;
+  virtual const BlockStore& block_store() const = 0;
+  virtual std::string protocol_name() const = 0;
+};
+
+}  // namespace moonshot

@@ -1,0 +1,104 @@
+#include "crypto/ed25519.hpp"
+
+#include <cstring>
+
+#include "crypto/ed25519_group.hpp"
+#include "crypto/ed25519_scalar.hpp"
+#include "crypto/sha512.hpp"
+
+namespace moonshot::crypto {
+
+namespace {
+
+struct ExpandedKey {
+  std::uint8_t scalar[32];  // clamped secret scalar s
+  std::uint8_t prefix[32];  // nonce-derivation prefix
+};
+
+ExpandedKey expand(const Ed25519Seed& seed) {
+  const auto h = sha512(seed.view());
+  ExpandedKey k;
+  std::memcpy(k.scalar, h.data.data(), 32);
+  std::memcpy(k.prefix, h.data.data() + 32, 32);
+  // Clamp per RFC 8032 §5.1.5.
+  k.scalar[0] &= 0xf8;
+  k.scalar[31] &= 0x7f;
+  k.scalar[31] |= 0x40;
+  return k;
+}
+
+}  // namespace
+
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed) {
+  const auto k = expand(seed);
+  const GePoint A = ge_scalarmult_base(k.scalar);
+  Ed25519PublicKey pub;
+  ge_tobytes(pub.data.data(), A);
+  return pub;
+}
+
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed, BytesView message) {
+  const auto k = expand(seed);
+  const auto pub = ed25519_public_key(seed);
+
+  // r = SHA512(prefix || M) mod L
+  Sha512 h;
+  h.update(BytesView(k.prefix, 32));
+  h.update(message);
+  const auto r_hash = h.finish();
+  std::uint8_t r[32];
+  sc_reduce512(r, r_hash.data.data());
+
+  // R = r * B
+  const GePoint R = ge_scalarmult_base(r);
+  std::uint8_t r_enc[32];
+  ge_tobytes(r_enc, R);
+
+  // k = SHA512(R || A || M) mod L
+  Sha512 h2;
+  h2.update(BytesView(r_enc, 32));
+  h2.update(pub.view());
+  h2.update(message);
+  const auto k_hash = h2.finish();
+  std::uint8_t challenge[32];
+  sc_reduce512(challenge, k_hash.data.data());
+
+  // S = (r + k * s) mod L
+  std::uint8_t s_enc[32];
+  sc_muladd(s_enc, challenge, k.scalar, r);
+
+  Ed25519Signature sig;
+  std::memcpy(sig.data.data(), r_enc, 32);
+  std::memcpy(sig.data.data() + 32, s_enc, 32);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& pub, BytesView message,
+                    const Ed25519Signature& sig) {
+  const std::uint8_t* r_enc = sig.data.data();
+  const std::uint8_t* s_enc = sig.data.data() + 32;
+
+  if (!sc_is_canonical(s_enc)) return false;
+
+  const auto A = ge_frombytes(pub.data.data());
+  if (!A) return false;
+  const auto R = ge_frombytes(r_enc);
+  if (!R) return false;
+
+  // k = SHA512(R || A || M) mod L
+  Sha512 h;
+  h.update(BytesView(r_enc, 32));
+  h.update(pub.view());
+  h.update(message);
+  const auto k_hash = h.finish();
+  std::uint8_t challenge[32];
+  sc_reduce512(challenge, k_hash.data.data());
+
+  // Accept iff S*B == R + k*A, i.e. S*B - k*A == R.
+  const GePoint sB = ge_scalarmult_base(s_enc);
+  const GePoint kA = ge_scalarmult(challenge, *A);
+  const GePoint lhs = ge_add(sB, ge_neg(kA));
+  return ge_equal(lhs, *R);
+}
+
+}  // namespace moonshot::crypto

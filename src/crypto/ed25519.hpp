@@ -1,0 +1,29 @@
+// Ed25519 signatures (RFC 8032), built on the field/group/scalar modules.
+//
+// Not constant-time (see ed25519_fe.hpp); suitable for this research library.
+#pragma once
+
+#include <optional>
+
+#include "support/bytes.hpp"
+
+namespace moonshot::crypto {
+
+/// 32-byte seed (the RFC 8032 "private key").
+using Ed25519Seed = FixedBytes<32>;
+/// 32-byte compressed public key.
+using Ed25519PublicKey = FixedBytes<32>;
+/// 64-byte signature (R || S).
+using Ed25519Signature = FixedBytes<64>;
+
+/// Derives the public key for a seed.
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed);
+
+/// Signs a message (deterministic per RFC 8032).
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed, BytesView message);
+
+/// Verifies a signature. Rejects non-canonical S and invalid point encodings.
+bool ed25519_verify(const Ed25519PublicKey& pub, BytesView message,
+                    const Ed25519Signature& sig);
+
+}  // namespace moonshot::crypto

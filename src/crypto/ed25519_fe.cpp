@@ -1,0 +1,202 @@
+#include "crypto/ed25519_fe.hpp"
+
+#include <cstring>
+
+namespace moonshot::crypto {
+
+namespace {
+constexpr std::uint64_t kMask = (1ull << 51) - 1;
+using u128 = unsigned __int128;
+
+/// One carry pass: propagates limb overflow, folding the top carry back into
+/// limb 0 with weight 19 (since 2^255 ≡ 19 mod p).
+void carry_pass(std::uint64_t t[5]) {
+  for (int i = 0; i < 4; ++i) {
+    t[i + 1] += t[i] >> 51;
+    t[i] &= kMask;
+  }
+  const std::uint64_t c = t[4] >> 51;
+  t[4] &= kMask;
+  t[0] += 19 * c;
+}
+}  // namespace
+
+Fe fe_zero() { return Fe{}; }
+Fe fe_one() { return fe_from_u64(1); }
+Fe fe_from_u64(std::uint64_t c) {
+  Fe r;
+  r.v[0] = c & kMask;
+  r.v[1] = c >> 51;
+  return r;
+}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  carry_pass(r.v);
+  return r;
+}
+
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // a + 4p - b keeps every limb non-negative for limbs < 2^52.
+  static constexpr std::uint64_t kFourP0 = 4 * ((1ull << 51) - 19);
+  static constexpr std::uint64_t kFourP = 4 * ((1ull << 51) - 1);
+  Fe r;
+  r.v[0] = a.v[0] + kFourP0 - b.v[0];
+  for (int i = 1; i < 5; ++i) r.v[i] = a.v[i] + kFourP - b.v[i];
+  carry_pass(r.v);
+  return r;
+}
+
+Fe fe_neg(const Fe& a) { return fe_sub(fe_zero(), a); }
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const std::uint64_t b1_19 = 19 * b1, b2_19 = 19 * b2, b3_19 = 19 * b3, b4_19 = 19 * b4;
+
+  u128 r0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 + (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 r1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 + (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 r2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 + (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 r3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 + (u128)a4 * b4_19;
+  u128 r4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 + (u128)a4 * b0;
+
+  Fe out;
+  std::uint64_t c;
+  c = static_cast<std::uint64_t>(r0 >> 51); out.v[0] = static_cast<std::uint64_t>(r0) & kMask;
+  r1 += c;
+  c = static_cast<std::uint64_t>(r1 >> 51); out.v[1] = static_cast<std::uint64_t>(r1) & kMask;
+  r2 += c;
+  c = static_cast<std::uint64_t>(r2 >> 51); out.v[2] = static_cast<std::uint64_t>(r2) & kMask;
+  r3 += c;
+  c = static_cast<std::uint64_t>(r3 >> 51); out.v[3] = static_cast<std::uint64_t>(r3) & kMask;
+  r4 += c;
+  c = static_cast<std::uint64_t>(r4 >> 51); out.v[4] = static_cast<std::uint64_t>(r4) & kMask;
+  out.v[0] += 19 * c;
+  // One extra light pass keeps the invariant limbs < 2^52.
+  out.v[1] += out.v[0] >> 51;
+  out.v[0] &= kMask;
+  return out;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+namespace {
+/// Generic square-and-multiply with a 255-bit little-endian exponent.
+Fe fe_pow(const Fe& base, const std::uint8_t exp_le[32]) {
+  Fe result = fe_one();
+  // MSB-first over 255 bits (bit 255 of the exponents used here is 0).
+  for (int bit = 254; bit >= 0; --bit) {
+    result = fe_sq(result);
+    if ((exp_le[bit >> 3] >> (bit & 7)) & 1) result = fe_mul(result, base);
+  }
+  return result;
+}
+}  // namespace
+
+Fe fe_invert(const Fe& a) {
+  // exponent p - 2 = 2^255 - 21, little-endian bytes: eb ff .. ff 7f
+  std::uint8_t e[32];
+  std::memset(e, 0xff, 32);
+  e[0] = 0xeb;
+  e[31] = 0x7f;
+  return fe_pow(a, e);
+}
+
+Fe fe_pow_p58(const Fe& a) {
+  // exponent (p - 5) / 8 = 2^252 - 3, little-endian bytes: fd ff .. ff 0f
+  std::uint8_t e[32];
+  std::memset(e, 0xff, 32);
+  e[0] = 0xfd;
+  e[31] = 0x0f;
+  return fe_pow(a, e);
+}
+
+const Fe& fe_sqrtm1() {
+  static const Fe cached = [] {
+    // sqrt(-1) = 2^((p-1)/4); exponent 2^253 - 5, bytes: fb ff .. ff 1f
+    std::uint8_t e[32];
+    std::memset(e, 0xff, 32);
+    e[0] = 0xfb;
+    e[31] = 0x1f;
+    return fe_pow(fe_from_u64(2), e);
+  }();
+  return cached;
+}
+
+void fe_tobytes(std::uint8_t out[32], const Fe& a) {
+  std::uint64_t t[5];
+  std::memcpy(t, a.v, sizeof(t));
+  carry_pass(t);
+  carry_pass(t);
+  carry_pass(t);
+  // Now the value V is in [0, 2^255) with limbs < 2^51. Conditionally
+  // subtract p: V >= p  iff  V + 19 >= 2^255.
+  std::uint64_t u[5];
+  std::memcpy(u, t, sizeof(u));
+  u[0] += 19;
+  for (int i = 0; i < 4; ++i) {
+    u[i + 1] += u[i] >> 51;
+    u[i] &= kMask;
+  }
+  const bool ge_p = (u[4] >> 51) != 0;
+  u[4] &= kMask;
+  const std::uint64_t* r = ge_p ? u : t;  // u == V - p when ge_p
+
+  // Pack 5x51-bit limbs into 32 little-endian bytes via a 128-bit accumulator
+  // (51 unread bits of the previous limb can still be pending when the next
+  // limb is shifted in, so 64 bits of accumulator would lose bits).
+  std::memset(out, 0, 32);
+  u128 acc = 0;
+  int acc_bits = 0;
+  int out_i = 0;
+  for (int i = 0; i < 5; ++i) {
+    acc |= static_cast<u128>(r[i]) << acc_bits;
+    acc_bits += 51;
+    while (acc_bits >= 8 && out_i < 32) {
+      out[out_i++] = static_cast<std::uint8_t>(acc & 0xff);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (out_i < 32) out[out_i] = static_cast<std::uint8_t>(acc & 0xff);
+}
+
+Fe fe_frombytes(const std::uint8_t in[32]) {
+  auto load = [&](int byte, int shift, int bits) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      if (byte + i < 32) v |= static_cast<std::uint64_t>(in[byte + i]) << (8 * i);
+    return (v >> shift) & ((bits == 64 ? ~0ull : ((1ull << bits) - 1)));
+  };
+  Fe r;
+  r.v[0] = load(0, 0, 51);
+  r.v[1] = load(6, 3, 51);
+  r.v[2] = load(12, 6, 51);
+  r.v[3] = load(19, 1, 51);
+  r.v[4] = load(24, 12, 51);  // drops bit 255 automatically (51 bits from bit 204)
+  return r;
+}
+
+bool fe_iszero(const Fe& a) {
+  std::uint8_t b[32];
+  fe_tobytes(b, a);
+  std::uint8_t acc = 0;
+  for (auto x : b) acc |= x;
+  return acc == 0;
+}
+
+bool fe_isnegative(const Fe& a) {
+  std::uint8_t b[32];
+  fe_tobytes(b, a);
+  return (b[0] & 1) != 0;
+}
+
+bool fe_equal(const Fe& a, const Fe& b) {
+  std::uint8_t ba[32], bb[32];
+  fe_tobytes(ba, a);
+  fe_tobytes(bb, b);
+  return std::memcmp(ba, bb, 32) == 0;
+}
+
+}  // namespace moonshot::crypto

@@ -1,0 +1,50 @@
+// Field arithmetic for Ed25519: GF(p) with p = 2^255 - 19.
+//
+// Representation: five 51-bit limbs (little-endian), multiplication via
+// unsigned __int128. This implementation favours clarity and testability; it
+// is NOT constant-time and must not be used where timing side channels
+// matter. For this research library (deterministic simulation + tests) that
+// trade-off is appropriate and documented.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace moonshot::crypto {
+
+/// An element of GF(2^255 - 19). Limbs are kept < 2^52 between operations.
+struct Fe {
+  std::uint64_t v[5] = {0, 0, 0, 0, 0};
+};
+
+Fe fe_zero();
+Fe fe_one();
+/// Small constant c (c < 2^51).
+Fe fe_from_u64(std::uint64_t c);
+
+Fe fe_add(const Fe& a, const Fe& b);
+Fe fe_sub(const Fe& a, const Fe& b);
+Fe fe_neg(const Fe& a);
+Fe fe_mul(const Fe& a, const Fe& b);
+Fe fe_sq(const Fe& a);
+/// a^(p-2) — the multiplicative inverse (0 maps to 0).
+Fe fe_invert(const Fe& a);
+/// a^((p-5)/8) — used during square-root extraction for point decompression.
+Fe fe_pow_p58(const Fe& a);
+/// sqrt(-1) = 2^((p-1)/4) mod p; computed once and cached.
+const Fe& fe_sqrtm1();
+
+/// Canonical 32-byte little-endian encoding (value fully reduced mod p).
+void fe_tobytes(std::uint8_t out[32], const Fe& a);
+/// Loads 32 little-endian bytes; the top bit (bit 255) is ignored per RFC 8032.
+Fe fe_frombytes(const std::uint8_t in[32]);
+
+/// True iff a ≡ 0 (mod p).
+bool fe_iszero(const Fe& a);
+/// Parity of the canonical representative (bit 0 of the encoding).
+bool fe_isnegative(const Fe& a);
+/// True iff a ≡ b (mod p).
+bool fe_equal(const Fe& a, const Fe& b);
+
+}  // namespace moonshot::crypto

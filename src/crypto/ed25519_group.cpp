@@ -1,0 +1,139 @@
+#include "crypto/ed25519_group.hpp"
+
+namespace moonshot::crypto {
+
+namespace {
+/// 2*d, used by the addition formula.
+const Fe& ge_2d() {
+  static const Fe cached = fe_add(ge_d(), ge_d());
+  return cached;
+}
+}  // namespace
+
+GePoint ge_identity() {
+  return GePoint{fe_zero(), fe_one(), fe_one(), fe_zero()};
+}
+
+const Fe& ge_d() {
+  static const Fe cached = [] {
+    // d = -121665 / 121666 mod p
+    const Fe num = fe_from_u64(121665);
+    const Fe den = fe_from_u64(121666);
+    return fe_neg(fe_mul(num, fe_invert(den)));
+  }();
+  return cached;
+}
+
+const GePoint& ge_basepoint() {
+  static const GePoint cached = [] {
+    // B has y = 4/5 and even x, so its encoding is enc(4/5) with sign bit 0.
+    const Fe y = fe_mul(fe_from_u64(4), fe_invert(fe_from_u64(5)));
+    std::uint8_t enc[32];
+    fe_tobytes(enc, y);  // sign bit (bit 255) is 0: x chosen even
+    const auto p = ge_frombytes(enc);
+    return *p;  // decompression of the standard base point cannot fail
+  }();
+  return cached;
+}
+
+GePoint ge_add(const GePoint& p, const GePoint& q) {
+  // add-2008-hwcd-3 with a = -1, k = 2d.
+  const Fe A = fe_mul(fe_sub(p.Y, p.X), fe_sub(q.Y, q.X));
+  const Fe B = fe_mul(fe_add(p.Y, p.X), fe_add(q.Y, q.X));
+  const Fe C = fe_mul(fe_mul(p.T, ge_2d()), q.T);
+  const Fe D = fe_mul(fe_add(p.Z, p.Z), q.Z);
+  const Fe E = fe_sub(B, A);
+  const Fe F = fe_sub(D, C);
+  const Fe G = fe_add(D, C);
+  const Fe H = fe_add(B, A);
+  return GePoint{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
+}
+
+GePoint ge_double(const GePoint& p) {
+  // dbl-2008-hwcd with a = -1.
+  const Fe A = fe_sq(p.X);
+  const Fe B = fe_sq(p.Y);
+  const Fe C = fe_add(fe_sq(p.Z), fe_sq(p.Z));
+  const Fe D = fe_neg(A);
+  const Fe xy = fe_add(p.X, p.Y);
+  const Fe E = fe_sub(fe_sub(fe_sq(xy), A), B);
+  const Fe G = fe_add(D, B);
+  const Fe F = fe_sub(G, C);
+  const Fe H = fe_sub(D, B);
+  return GePoint{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
+}
+
+GePoint ge_neg(const GePoint& p) {
+  return GePoint{fe_neg(p.X), p.Y, p.Z, fe_neg(p.T)};
+}
+
+GePoint ge_scalarmult(const std::uint8_t n_le[32], const GePoint& p) {
+  GePoint r = ge_identity();
+  for (int bit = 255; bit >= 0; --bit) {
+    r = ge_double(r);
+    if ((n_le[bit >> 3] >> (bit & 7)) & 1) r = ge_add(r, p);
+  }
+  return r;
+}
+
+GePoint ge_scalarmult_base(const std::uint8_t n_le[32]) {
+  return ge_scalarmult(n_le, ge_basepoint());
+}
+
+bool ge_equal(const GePoint& p, const GePoint& q) {
+  // (X1/Z1 == X2/Z2) and (Y1/Z1 == Y2/Z2), cross-multiplied.
+  return fe_equal(fe_mul(p.X, q.Z), fe_mul(q.X, p.Z)) &&
+         fe_equal(fe_mul(p.Y, q.Z), fe_mul(q.Y, p.Z));
+}
+
+bool ge_is_identity(const GePoint& p) {
+  return fe_iszero(p.X) && fe_equal(p.Y, p.Z);
+}
+
+void ge_tobytes(std::uint8_t out[32], const GePoint& p) {
+  const Fe zinv = fe_invert(p.Z);
+  const Fe x = fe_mul(p.X, zinv);
+  const Fe y = fe_mul(p.Y, zinv);
+  fe_tobytes(out, y);
+  if (fe_isnegative(x)) out[31] |= 0x80;
+}
+
+std::optional<GePoint> ge_frombytes(const std::uint8_t in[32]) {
+  const bool sign = (in[31] & 0x80) != 0;
+  const Fe y = fe_frombytes(in);
+
+  // Solve -x^2 + y^2 = 1 + d x^2 y^2  =>  x^2 = (y^2 - 1) / (d y^2 + 1).
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_sub(y2, fe_one());
+  const Fe v = fe_add(fe_mul(ge_d(), y2), fe_one());
+
+  // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8).
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow_p58(fe_mul(u, v7)));
+
+  const Fe vx2 = fe_mul(v, fe_sq(x));
+  if (fe_equal(vx2, u)) {
+    // x is a root.
+  } else if (fe_equal(vx2, fe_neg(u))) {
+    x = fe_mul(x, fe_sqrtm1());
+  } else {
+    return std::nullopt;  // not a quadratic residue: invalid encoding
+  }
+
+  if (fe_iszero(x)) {
+    // x == 0 with sign bit set is non-canonical (RFC 8032 §5.1.3 step 4).
+    if (sign) return std::nullopt;
+  } else if (fe_isnegative(x) != sign) {
+    x = fe_neg(x);
+  }
+
+  GePoint p;
+  p.X = x;
+  p.Y = y;
+  p.Z = fe_one();
+  p.T = fe_mul(x, y);
+  return p;
+}
+
+}  // namespace moonshot::crypto

@@ -1,0 +1,47 @@
+// Group arithmetic on the Ed25519 curve: -x^2 + y^2 = 1 + d x^2 y^2 over
+// GF(2^255 - 19), using extended twisted-Edwards coordinates (X:Y:Z:T) with
+// x = X/Z, y = Y/Z, T = XY/Z. Formulas from Hisil–Wong–Carter–Dawson 2008
+// ("add-2008-hwcd-3" and "dbl-2008-hwcd", a = -1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/ed25519_fe.hpp"
+
+namespace moonshot::crypto {
+
+/// A curve point in extended coordinates.
+struct GePoint {
+  Fe X, Y, Z, T;
+};
+
+/// The identity element (0 : 1 : 1 : 0).
+GePoint ge_identity();
+/// The standard base point B (y = 4/5, x even); derived once at startup.
+const GePoint& ge_basepoint();
+/// Curve constant d = -121665/121666; derived once at startup.
+const Fe& ge_d();
+
+/// Unified point addition (works for doubling too, but ge_double is faster).
+GePoint ge_add(const GePoint& p, const GePoint& q);
+/// Point doubling.
+GePoint ge_double(const GePoint& p);
+/// Point negation.
+GePoint ge_neg(const GePoint& p);
+/// Scalar multiplication n*P; n is a 256-bit little-endian scalar.
+GePoint ge_scalarmult(const std::uint8_t n_le[32], const GePoint& p);
+/// n*B for the standard base point.
+GePoint ge_scalarmult_base(const std::uint8_t n_le[32]);
+
+/// Projective equality: same affine point?
+bool ge_equal(const GePoint& p, const GePoint& q);
+/// True iff p is the identity.
+bool ge_is_identity(const GePoint& p);
+
+/// Compresses to 32 bytes: canonical y with the sign of x in bit 255.
+void ge_tobytes(std::uint8_t out[32], const GePoint& p);
+/// Decompresses; fails (nullopt) if the encoding is not a curve point.
+std::optional<GePoint> ge_frombytes(const std::uint8_t in[32]);
+
+}  // namespace moonshot::crypto

@@ -1,0 +1,120 @@
+#include "crypto/ed25519_scalar.hpp"
+
+#include <cstring>
+
+namespace moonshot::crypto {
+
+namespace {
+
+// L in little-endian 64-bit limbs.
+// L = 0x1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed
+constexpr std::uint64_t kL[4] = {
+    0x5812631a5cf5d3edull,
+    0x14def9dea2f79cd6ull,
+    0x0000000000000000ull,
+    0x1000000000000000ull,
+};
+
+using u128 = unsigned __int128;
+
+/// r >= L for a 4-limb value?
+bool ge_l(const std::uint64_t r[4]) {
+  for (int i = 3; i >= 0; --i) {
+    if (r[i] > kL[i]) return true;
+    if (r[i] < kL[i]) return false;
+  }
+  return true;  // equal
+}
+
+/// r -= L (assumes r >= L).
+void sub_l(std::uint64_t r[4]) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(r[i]) - kL[i] - borrow;
+    r[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;  // two's-complement borrow flag
+  }
+}
+
+void load_le(std::uint64_t out[], const std::uint8_t* in, int limbs) {
+  for (int i = 0; i < limbs; ++i) {
+    std::uint64_t v = 0;
+    for (int b = 7; b >= 0; --b) v = (v << 8) | in[8 * i + b];
+    out[i] = v;
+  }
+}
+
+void store_le(std::uint8_t* out, const std::uint64_t in[4]) {
+  for (int i = 0; i < 4; ++i)
+    for (int b = 0; b < 8; ++b) out[8 * i + b] = static_cast<std::uint8_t>(in[i] >> (8 * b));
+}
+
+/// Reduces an 8-limb (512-bit) value modulo L into 4 limbs via binary long
+/// division: scan from the most significant bit, shifting into a remainder.
+void reduce_limbs(std::uint64_t out[4], const std::uint64_t in[8]) {
+  std::uint64_t r[4] = {0, 0, 0, 0};
+  for (int bit = 511; bit >= 0; --bit) {
+    // r = (r << 1) | in_bit
+    std::uint64_t carry = (in[bit >> 6] >> (bit & 63)) & 1;
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t next = r[i] >> 63;
+      r[i] = (r[i] << 1) | carry;
+      carry = next;
+    }
+    // r < 2L always holds here (r was < L before the shift), so one
+    // conditional subtraction restores r < L. The shifted-out carry bit is
+    // zero because r < L < 2^253.
+    if (ge_l(r)) sub_l(r);
+  }
+  std::memcpy(out, r, 4 * sizeof(std::uint64_t));
+}
+
+}  // namespace
+
+void sc_reduce512(std::uint8_t out[32], const std::uint8_t in[64]) {
+  std::uint64_t limbs[8];
+  load_le(limbs, in, 8);
+  std::uint64_t r[4];
+  reduce_limbs(r, limbs);
+  store_le(out, r);
+}
+
+void sc_muladd(std::uint8_t out[32], const std::uint8_t a[32], const std::uint8_t b[32],
+               const std::uint8_t c[32]) {
+  std::uint64_t al[4], bl[4], cl[4];
+  load_le(al, a, 4);
+  load_le(bl, b, 4);
+  load_le(cl, c, 4);
+
+  // Schoolbook 256x256 -> 512-bit product.
+  std::uint64_t prod[8] = {0};
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(al[i]) * bl[j] + prod[i + j] + carry;
+      prod[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    prod[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+
+  // prod += c
+  u128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u128 cur = static_cast<u128>(prod[i]) + (i < 4 ? cl[i] : 0) + carry;
+    prod[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+
+  std::uint64_t r[4];
+  reduce_limbs(r, prod);
+  store_le(out, r);
+}
+
+bool sc_is_canonical(const std::uint8_t s[32]) {
+  std::uint64_t l[4];
+  load_le(l, s, 4);
+  return !ge_l(l);
+}
+
+}  // namespace moonshot::crypto

@@ -1,0 +1,25 @@
+// Scalar arithmetic modulo the Ed25519 group order
+// L = 2^252 + 27742317777372353535851937790883648493.
+//
+// Scalars are 32-byte little-endian values. Reduction uses straightforward
+// binary long division — clear and obviously correct; speed is irrelevant at
+// the handful of reductions per signature this library performs.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace moonshot::crypto {
+
+/// Reduces a 64-byte little-endian value modulo L into 32 bytes.
+void sc_reduce512(std::uint8_t out[32], const std::uint8_t in[64]);
+
+/// out = (a * b + c) mod L; all operands 32-byte little-endian.
+void sc_muladd(std::uint8_t out[32], const std::uint8_t a[32], const std::uint8_t b[32],
+               const std::uint8_t c[32]);
+
+/// True iff the 32-byte little-endian value is < L (canonical scalar).
+bool sc_is_canonical(const std::uint8_t s[32]);
+
+}  // namespace moonshot::crypto

@@ -1,0 +1,33 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace moonshot::crypto {
+
+Sha256Digest hmac_sha256(BytesView key, BytesView message) {
+  std::uint8_t k[64] = {0};
+  if (key.size() > 64) {
+    const auto d = sha256(key);
+    std::memcpy(k, d.data.data(), 32);
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad, 64));
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad, 64));
+  outer.update(inner_digest.view());
+  return outer.finish();
+}
+
+}  // namespace moonshot::crypto

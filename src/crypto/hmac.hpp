@@ -1,0 +1,13 @@
+// HMAC-SHA256 (RFC 2104). Used by the FastScheme signature substitute and by
+// deterministic key derivation in tests/harness.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace moonshot::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+Sha256Digest hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace moonshot::crypto

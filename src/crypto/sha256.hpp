@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for block hashing (BlockId) and as the PRF inside HMAC. Streaming
+// interface plus a one-shot helper.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace moonshot::crypto {
+
+/// A 32-byte SHA-256 digest.
+using Sha256Digest = FixedBytes<32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  /// Resets to the initial state; the hasher can be reused after finish().
+  void reset();
+
+  /// Absorbs more input.
+  void update(BytesView data);
+
+  /// Finalizes and returns the digest. The hasher must be reset() before the
+  /// next use.
+  Sha256Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::uint64_t total_len_ = 0;  // bytes absorbed so far
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience.
+Sha256Digest sha256(BytesView data);
+
+}  // namespace moonshot::crypto

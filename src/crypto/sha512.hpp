@@ -1,0 +1,35 @@
+// SHA-512 (FIPS 180-4), implemented from scratch. Required by Ed25519
+// (RFC 8032 uses SHA-512 for key expansion and the challenge hash).
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace moonshot::crypto {
+
+/// A 64-byte SHA-512 digest.
+using Sha512Digest = FixedBytes<64>;
+
+/// Incremental SHA-512 hasher.
+class Sha512 {
+ public:
+  Sha512() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  Sha512Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint64_t state_[8];
+  std::uint8_t buffer_[128];
+  std::uint64_t total_len_ = 0;  // bytes absorbed (2^64 bytes is ample here)
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience.
+Sha512Digest sha512(BytesView data);
+
+}  // namespace moonshot::crypto

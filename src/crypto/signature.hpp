@@ -1,0 +1,77 @@
+// Signature scheme abstraction used by the consensus layer.
+//
+// Two interchangeable implementations:
+//  * Ed25519Scheme — real RFC 8032 signatures, exactly what the paper's
+//    implementation used (ED25519 over individually-signed votes, with
+//    certificates as arrays of signatures).
+//  * FastScheme — an HMAC-SHA256-based stand-in with identical key/signature
+//    sizes. It derives each private key from the public key and a global
+//    simulation secret, so verification is possible with only the public key.
+//    This is obviously NOT cryptographically sound against real adversaries —
+//    it exists so that large simulated networks (200 nodes, millions of
+//    votes) do not spend hours in curve arithmetic on one core. Byzantine
+//    behaviour in the simulator is injected structurally (equivocation,
+//    withholding), never by forging signatures, so soundness of the
+//    *experiment* is preserved. Tests exercise both schemes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/bytes.hpp"
+
+namespace moonshot::crypto {
+
+/// 32-byte private key material (Ed25519 seed, or FastScheme MAC key).
+using PrivateKey = FixedBytes<32>;
+/// 32-byte public key.
+using PublicKey = FixedBytes<32>;
+/// 64-byte signature.
+using Signature = FixedBytes<64>;
+
+struct KeyPair {
+  PrivateKey priv;
+  PublicKey pub;
+};
+
+/// Polymorphic signature scheme. Implementations must be stateless and
+/// thread-compatible; all methods are const.
+class SignatureScheme {
+ public:
+  virtual ~SignatureScheme() = default;
+
+  /// Deterministically derives a keypair from a 64-bit seed (for tests and
+  /// reproducible simulations).
+  virtual KeyPair derive_keypair(std::uint64_t seed) const = 0;
+
+  virtual Signature sign(const PrivateKey& priv, BytesView message) const = 0;
+  virtual bool verify(const PublicKey& pub, BytesView message,
+                      const Signature& sig) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Aggregation support (BLS-style constant-size multi-signatures over a
+  /// common message). Table I's communication-complexity column assumes
+  /// threshold signatures; schemes that support aggregation let quorum
+  /// certificates carry one signature instead of 2f+1.
+  virtual bool supports_aggregation() const { return false; }
+  /// Combines same-message signatures into one. Order must match `signers`.
+  virtual Signature aggregate(BytesView /*message*/,
+                              const std::vector<Signature>& /*sigs*/) const {
+    return Signature{};
+  }
+  /// Verifies an aggregate against the signer set's public keys.
+  virtual bool verify_aggregate(const std::vector<PublicKey>& /*pubs*/,
+                                BytesView /*message*/,
+                                const Signature& /*agg*/) const {
+    return false;
+  }
+};
+
+/// Real Ed25519 (RFC 8032).
+std::shared_ptr<const SignatureScheme> ed25519_scheme();
+
+/// Fast HMAC-based simulation scheme (see file comment).
+std::shared_ptr<const SignatureScheme> fast_scheme();
+
+}  // namespace moonshot::crypto

@@ -1,0 +1,144 @@
+#include "harness/conformance.hpp"
+
+#include <sstream>
+
+namespace moonshot {
+
+ConformanceChecker::ConformanceChecker(ProtocolKind protocol, ValidatorSetPtr validators,
+                                       LeaderSchedulePtr leaders,
+                                       std::vector<bool> is_byzantine)
+    : protocol_(protocol),
+      validators_(std::move(validators)),
+      leaders_(std::move(leaders)),
+      byzantine_(std::move(is_byzantine)) {}
+
+void ConformanceChecker::observe_vote(NodeId from, const Vote& vote) {
+  votes_[{vote.view, vote.kind}][vote.block].insert(from);
+  auto& sv = by_sender_view_[{from, vote.view}];
+  switch (vote.kind) {
+    case VoteKind::kOptimistic:
+      ++sv.opt_votes;
+      sv.voted_blocks.insert(vote.block);
+      break;
+    case VoteKind::kNormal:
+    case VoteKind::kFallback:
+      ++sv.main_votes;
+      sv.voted_blocks.insert(vote.block);
+      break;
+    case VoteKind::kCommit:
+      ++sv.commit_votes;
+      break;
+  }
+}
+
+void ConformanceChecker::observe(NodeId from, const Message& m) {
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, VoteMsg>) {
+          observe_vote(from, msg.vote);
+        } else if constexpr (std::is_same_v<T, TimeoutMsgWrap>) {
+          ++by_sender_view_[{from, msg.timeout.view}].timeouts;
+        } else if constexpr (std::is_same_v<T, ProposalMsg> ||
+                             std::is_same_v<T, OptProposalMsg> ||
+                             std::is_same_v<T, FbProposalMsg>) {
+          auto& sv = by_sender_view_[{from, msg.block->view()}];
+          sv.proposed_blocks.emplace(msg.block->id(), msg.block->parent());
+          if (leaders_->leader(msg.block->view()) != from)
+            sv.proposed_without_leadership = true;
+        }
+        // Cert/TC/status/sync relays have no per-view budget.
+      },
+      m);
+}
+
+std::vector<std::string> ConformanceChecker::violations() const {
+  std::vector<std::string> out;
+  const auto fail = [&out](NodeId who, View view, const std::string& what) {
+    std::ostringstream os;
+    os << "node " << who << " view " << view << ": " << what;
+    out.push_back(os.str());
+  };
+
+  const bool moonshot_pipelined = protocol_ == ProtocolKind::kPipelinedMoonshot ||
+                                  protocol_ == ProtocolKind::kCommitMoonshot;
+
+  for (const auto& [key, sv] : by_sender_view_) {
+    const auto [who, view] = key;
+    if (who < byzantine_.size() && byzantine_[who]) continue;  // exempt
+
+    // Voting budgets.
+    if (moonshot_pipelined) {
+      if (sv.opt_votes > 1) fail(who, view, "more than one optimistic vote");
+      if (sv.main_votes > 1) fail(who, view, "more than one normal/fallback vote");
+      if (sv.opt_votes == 1 && sv.main_votes == 1 && sv.voted_blocks.size() > 1)
+        fail(who, view, "optimistic and normal votes for different blocks");
+    } else {
+      if (sv.opt_votes > 0) fail(who, view, "unexpected optimistic vote");
+      if (sv.main_votes > 1) fail(who, view, "more than one vote");
+    }
+    if (protocol_ != ProtocolKind::kCommitMoonshot && sv.commit_votes > 0)
+      fail(who, view, "unexpected commit vote");
+    if (sv.commit_votes > 1) fail(who, view, "more than one commit vote");
+
+    // Timeouts.
+    if (sv.timeouts > 1) fail(who, view, "more than one timeout");
+
+    // Proposals. Up to two distinct blocks are legitimate (an optimistic
+    // proposal plus the corrective normal/fallback one), but only with
+    // different parents — two same-parent proposals must be one block.
+    if (sv.proposed_without_leadership) fail(who, view, "proposed without being leader");
+    if (sv.proposed_blocks.size() > 2) {
+      fail(who, view, "proposed more than two distinct blocks");
+    } else if (sv.proposed_blocks.size() == 2) {
+      std::set<BlockId> parents;
+      for (const auto& [block, parent] : sv.proposed_blocks) parents.insert(parent);
+      if (parents.size() != 2)
+        fail(who, view, "two distinct proposals with the same parent (equivocation)");
+    }
+  }
+
+  // Certified-view uniqueness across the whole trace.
+  for (const auto& [view_kind, blocks] : votes_) {
+    std::size_t certified = 0;
+    for (const auto& [block, voters] : blocks) {
+      if (voters.size() >= validators_->quorum_size()) ++certified;
+    }
+    if (certified > 1) {
+      std::ostringstream os;
+      os << "view " << view_kind.first << " kind " << static_cast<int>(view_kind.second)
+         << ": " << certified << " blocks reached a vote quorum";
+      out.push_back(os.str());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> run_conformance(ExperimentConfig cfg) {
+  Experiment e(cfg);
+  std::vector<bool> byz(cfg.n, false);
+  for (NodeId id = 0; id < cfg.n; ++id) byz[id] = e.is_faulty(id);
+  // The checker needs the validator set and schedule the experiment built;
+  // reconstruct them identically (both are deterministic from cfg).
+  auto generated = ValidatorSet::generate(
+      cfg.n, cfg.use_ed25519 ? crypto::ed25519_scheme() : crypto::fast_scheme(), cfg.seed);
+  std::vector<NodeId> byz_ids;
+  for (NodeId id = 0; id < cfg.n; ++id)
+    if (byz[id]) byz_ids.push_back(id);
+  LeaderSchedulePtr leaders;
+  switch (cfg.schedule) {
+    case ScheduleKind::kRoundRobin:
+      leaders = std::make_shared<const RoundRobinSchedule>(cfg.n);
+      break;
+    case ScheduleKind::kB: leaders = make_schedule_b(cfg.n, byz_ids); break;
+    case ScheduleKind::kWM: leaders = make_schedule_wm(cfg.n, byz_ids); break;
+    case ScheduleKind::kWJ: leaders = make_schedule_wj(cfg.n, byz_ids); break;
+  }
+  ConformanceChecker real_checker(cfg.protocol, generated.set, leaders, byz);
+  e.network().set_tap(
+      [&real_checker](NodeId from, const Message& m) { real_checker.observe(from, m); });
+  e.run();
+  return real_checker.violations();
+}
+
+}  // namespace moonshot

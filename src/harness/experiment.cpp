@@ -1,0 +1,192 @@
+#include "harness/experiment.hpp"
+
+#include "consensus/byzantine.hpp"
+#include "consensus/hotstuff/hotstuff.hpp"
+#include "consensus/jolteon/jolteon.hpp"
+#include "consensus/moonshot/commit_moonshot.hpp"
+#include "consensus/moonshot/pipelined_moonshot.hpp"
+#include "consensus/moonshot/simple_moonshot.hpp"
+#include "support/assert.hpp"
+#include "support/prng.hpp"
+
+namespace moonshot {
+
+const char* protocol_name(ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::kSimpleMoonshot: return "simple-moonshot";
+    case ProtocolKind::kPipelinedMoonshot: return "pipelined-moonshot";
+    case ProtocolKind::kCommitMoonshot: return "commit-moonshot";
+    case ProtocolKind::kJolteon: return "jolteon";
+    case ProtocolKind::kHotStuff: return "hotstuff";
+  }
+  return "?";
+}
+
+const char* protocol_tag(ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::kSimpleMoonshot: return "SM";
+    case ProtocolKind::kPipelinedMoonshot: return "PM";
+    case ProtocolKind::kCommitMoonshot: return "CM";
+    case ProtocolKind::kJolteon: return "J";
+    case ProtocolKind::kHotStuff: return "HS";
+  }
+  return "?";
+}
+
+const char* schedule_name(ScheduleKind s) {
+  switch (s) {
+    case ScheduleKind::kRoundRobin: return "round-robin";
+    case ScheduleKind::kB: return "B";
+    case ScheduleKind::kWM: return "WM";
+    case ScheduleKind::kWJ: return "WJ";
+  }
+  return "?";
+}
+
+namespace {
+LeaderSchedulePtr build_schedule(const ExperimentConfig& cfg,
+                                 const std::vector<NodeId>& byzantine) {
+  switch (cfg.schedule) {
+    case ScheduleKind::kRoundRobin:
+      return std::make_shared<const RoundRobinSchedule>(cfg.n);
+    case ScheduleKind::kB: return make_schedule_b(cfg.n, byzantine);
+    case ScheduleKind::kWM: return make_schedule_wm(cfg.n, byzantine);
+    case ScheduleKind::kWJ: return make_schedule_wj(cfg.n, byzantine);
+  }
+  return nullptr;
+}
+}  // namespace
+
+Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
+  MOONSHOT_INVARIANT(cfg_.n >= 1, "need at least one node");
+  MOONSHOT_INVARIANT(cfg_.crashed <= (cfg_.n - 1) / 3,
+                     "crashed nodes must not exceed f");
+
+  // Network.
+  cfg_.net.seed = cfg_.seed;
+  cfg_.net.delta = cfg_.delta;
+  network_ = std::make_unique<net::SimNetwork>(
+      sched_, cfg_.n, cfg_.net, [this](NodeId to, NodeId from, const MessagePtr& m) {
+        if (is_crashed(to)) return;
+        nodes_[to]->handle(from, m);
+      });
+
+  // Validators & keys.
+  auto scheme = cfg_.use_ed25519 ? crypto::ed25519_scheme() : crypto::fast_scheme();
+  auto generated = ValidatorSet::generate(cfg_.n, std::move(scheme), cfg_.seed);
+  validators_ = generated.set;
+
+  if (cfg_.tx_rate > 0) {
+    tx_tracker_ = std::make_unique<TxTracker>(cfg_.tx_rate, validators_->quorum_size(),
+                                              cfg_.seed);
+  }
+
+  // Faulty set: the highest `crashed` node ids (crash-silent).
+  std::vector<NodeId> byzantine;
+  for (std::size_t i = cfg_.n - cfg_.crashed; i < cfg_.n; ++i)
+    byzantine.push_back(static_cast<NodeId>(i));
+  const LeaderSchedulePtr leaders = build_schedule(cfg_, byzantine);
+
+  // Deterministic per-view payloads (fixed per view; see types/payload.hpp).
+  PayloadSource payloads = cfg_.payload_source;
+  if (!payloads) {
+    const std::uint64_t payload_size = cfg_.payload_size;
+    const std::uint64_t seed = cfg_.seed;
+    payloads = [payload_size, seed](View v) {
+      return Payload::synthetic(payload_size, seed * 0x100000000ull + v);
+    };
+  }
+
+  nodes_.reserve(cfg_.n);
+  for (NodeId id = 0; id < cfg_.n; ++id) {
+    NodeContext ctx;
+    ctx.id = id;
+    ctx.validators = validators_;
+    ctx.priv = generated.private_keys[id];
+    ctx.network = network_.get();
+    ctx.sched = &sched_;
+    ctx.leaders = leaders;
+    ctx.delta = cfg_.delta;
+    ctx.payload_for_view = payloads;
+    ctx.on_block_created = [this](const BlockPtr& b, TimePoint t) {
+      metrics_.on_created(b, t);
+      if (tx_tracker_) tx_tracker_->on_block_created(b, t);
+    };
+    ctx.verify_signatures = cfg_.verify_signatures;
+    ctx.enable_opt_proposal = cfg_.enable_opt_proposal;
+    ctx.multicast_votes = cfg_.multicast_votes;
+    ctx.timeout_backoff = cfg_.timeout_backoff;
+    ctx.aggregate_certificates =
+        cfg_.aggregate_certificates && validators_->scheme().supports_aggregation();
+    ctx.lso_mode = cfg_.lso_mode;
+
+    std::unique_ptr<IConsensusNode> node;
+    if (is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate) {
+      nodes_.push_back(std::make_unique<EquivocatorNode>(std::move(ctx)));
+      continue;
+    }
+    switch (cfg_.protocol) {
+      case ProtocolKind::kSimpleMoonshot:
+        node = std::make_unique<SimpleMoonshotNode>(std::move(ctx));
+        break;
+      case ProtocolKind::kPipelinedMoonshot:
+        node = std::make_unique<PipelinedMoonshotNode>(std::move(ctx));
+        break;
+      case ProtocolKind::kCommitMoonshot:
+        node = std::make_unique<CommitMoonshotNode>(std::move(ctx));
+        break;
+      case ProtocolKind::kJolteon:
+        node = std::make_unique<JolteonNode>(std::move(ctx));
+        break;
+      case ProtocolKind::kHotStuff:
+        node = std::make_unique<HotStuffNode>(std::move(ctx));
+        break;
+    }
+    node->commit_log_mutable().add_callback([this, id](const BlockPtr& b, TimePoint t) {
+      metrics_.on_committed(id, b, t);
+      if (tx_tracker_) tx_tracker_->on_block_committed(id, b, t);
+    });
+    nodes_.push_back(std::move(node));
+  }
+
+  if (cfg_.fault_kind == FaultKind::kCrash) {
+    for (NodeId b : byzantine) network_->silence(b);
+  }
+}
+
+Experiment::~Experiment() = default;
+
+ExperimentResult Experiment::run() {
+  if (!started_) {
+    started_ = true;
+    for (NodeId id = 0; id < cfg_.n; ++id) {
+      if (!is_crashed(id)) nodes_[id]->start();  // equivocators start too
+    }
+  }
+  sched_.run_for(cfg_.duration);
+  return result();
+}
+
+ExperimentResult Experiment::result() {
+  ExperimentResult r;
+  r.quorum = validators_->quorum_size();
+  r.summary = metrics_.summarize(r.quorum, cfg_.duration);
+  r.net_stats = network_->stats();
+  r.events = sched_.events_executed();
+  std::vector<const CommitLog*> logs;
+  for (NodeId id = 0; id < cfg_.n; ++id) {
+    if (is_faulty(id)) continue;  // only honest logs are judged
+    r.max_view = std::max(r.max_view, nodes_[id]->current_view());
+    logs.push_back(&nodes_[id]->commit_log());
+  }
+  r.logs_consistent = commit_logs_consistent(logs);
+  if (tx_tracker_) r.tx = tx_tracker_->summarize(cfg_.duration);
+  return r;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  Experiment e(cfg);
+  return e.run();
+}
+
+}  // namespace moonshot

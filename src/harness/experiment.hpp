@@ -1,0 +1,133 @@
+// The experiment runner: builds a simulated WAN of consensus nodes, injects
+// faults per the paper's leader schedules, runs for a configured simulated
+// duration, and reports the paper's metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/context.hpp"
+#include "consensus/node.hpp"
+#include "harness/metrics.hpp"
+#include "harness/tx_tracker.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "types/validator_set.hpp"
+
+namespace moonshot {
+
+enum class ProtocolKind {
+  kSimpleMoonshot,
+  kPipelinedMoonshot,
+  kCommitMoonshot,
+  kJolteon,
+  kHotStuff,  // chained HotStuff (Table I row 1; not in the paper's WAN runs)
+};
+const char* protocol_name(ProtocolKind p);
+/// Short tags used in the paper's figures: SM, PM, CM, J.
+const char* protocol_tag(ProtocolKind p);
+
+enum class ScheduleKind {
+  kRoundRobin,  // plain fair rotation (happy-path runs)
+  kB,           // honest… then byzantine…           (paper §VI-B)
+  kWM,          // (honest, byzantine)×f' then honest
+  kWJ,          // (honest, honest, byzantine)×f' then honest
+};
+const char* schedule_name(ScheduleKind s);
+
+enum class FaultKind {
+  kCrash,       // crash-silent: node sends and receives nothing
+  kEquivocate,  // active adversary: conflicting proposals + double votes
+};
+
+struct ExperimentConfig {
+  ProtocolKind protocol = ProtocolKind::kPipelinedMoonshot;
+  std::size_t n = 4;
+  /// Synthetic payload bytes per block (paper: 0 .. 9 MB, 180-byte items).
+  std::uint64_t payload_size = 0;
+  /// Protocol Δ (timer base). The paper's failure runs use 500 ms.
+  Duration delta = milliseconds(500);
+  /// Simulated run length.
+  Duration duration = seconds(60);
+  std::uint64_t seed = 1;
+  ScheduleKind schedule = ScheduleKind::kRoundRobin;
+  /// Number of faulty nodes f' (the highest `crashed` node ids).
+  std::size_t crashed = 0;
+  /// How the faulty nodes misbehave.
+  FaultKind fault_kind = FaultKind::kCrash;
+  /// Network model (latency matrix, bandwidth, GST…). `delta`/`seed` above
+  /// are copied in when the experiment is built.
+  net::NetworkConfig net;
+  /// Use real Ed25519 instead of the fast simulation scheme.
+  bool use_ed25519 = false;
+  /// Make nodes verify signatures cryptographically (tests; slow at scale —
+  /// the network model charges verification time either way).
+  bool verify_signatures = false;
+  /// Custom per-view payload source; when set it overrides payload_size
+  /// (used by the SMR examples to carry real transactions).
+  PayloadSource payload_source;
+  /// Ablation switches (see consensus/context.hpp).
+  bool enable_opt_proposal = true;
+  bool multicast_votes = true;
+  /// Exponential pacemaker backoff (see consensus/context.hpp).
+  bool timeout_backoff = false;
+  /// Threshold-style O(1) certificates (see consensus/context.hpp).
+  bool aggregate_certificates = false;
+  /// Leader-speaks-once variant (see consensus/context.hpp).
+  bool lso_mode = false;
+  /// Client transaction arrival rate (tx/s) for end-to-end latency tracking;
+  /// 0 disables the tracker.
+  double tx_rate = 0.0;
+};
+
+struct ExperimentResult {
+  MetricsCollector::Summary summary;
+  net::NetworkStats net_stats;
+  View max_view = 0;      // highest view reached by any honest node
+  std::uint64_t events = 0;
+  bool logs_consistent = true;  // cross-node commit-log safety check
+  std::size_t quorum = 0;
+  /// End-to-end transaction latency (populated when cfg.tx_rate > 0).
+  TxTracker::Summary tx;
+};
+
+/// Owns the simulator, network, and nodes for one run. Tests can drive the
+/// scheduler manually; benchmarks call run() once.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig cfg);
+  ~Experiment();
+
+  /// Runs for cfg.duration of simulated time.
+  ExperimentResult run();
+
+  /// Collects the result without running (for manual driving in tests).
+  ExperimentResult result();
+
+  sim::Scheduler& scheduler() { return sched_; }
+  net::SimNetwork& network() { return *network_; }
+  IConsensusNode& node(NodeId id) { return *nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+  bool is_faulty(NodeId id) const { return id + cfg_.crashed >= cfg_.n; }
+  bool is_crashed(NodeId id) const {
+    return is_faulty(id) && cfg_.fault_kind == FaultKind::kCrash;
+  }
+  const ExperimentConfig& config() const { return cfg_; }
+  MetricsCollector& metrics() { return metrics_; }
+
+ private:
+  ExperimentConfig cfg_;
+  sim::Scheduler sched_;
+  std::unique_ptr<net::SimNetwork> network_;
+  ValidatorSetPtr validators_;
+  std::vector<std::unique_ptr<IConsensusNode>> nodes_;
+  MetricsCollector metrics_;
+  std::unique_ptr<TxTracker> tx_tracker_;
+  bool started_ = false;
+};
+
+/// One-call convenience for benches.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+}  // namespace moonshot

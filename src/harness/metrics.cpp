@@ -1,0 +1,60 @@
+#include "harness/metrics.hpp"
+
+namespace moonshot {
+
+void MetricsCollector::on_created(const BlockPtr& block, TimePoint when) {
+  auto& stat = blocks_[block->id()];
+  if (!stat.has_created) {
+    stat.has_created = true;
+    stat.created = when;
+    stat.payload_bytes = block->payload().wire_size();
+    stat.height = block->height();
+  }
+}
+
+void MetricsCollector::on_committed(NodeId /*node*/, const BlockPtr& block, TimePoint when) {
+  auto& stat = blocks_[block->id()];
+  if (!stat.has_created) {
+    // Block committed by a node that never saw the creation hook (possible
+    // only if the creator is Byzantine or metrics attached late); treat the
+    // first observation as creation so latency stays well-defined.
+    stat.has_created = true;
+    stat.created = when;
+    stat.payload_bytes = block->payload().wire_size();
+    stat.height = block->height();
+  }
+  stat.commits.push_back(when);  // nodes commit a block at most once
+}
+
+MetricsCollector::Summary MetricsCollector::summarize(std::size_t threshold,
+                                                      Duration run_duration) const {
+  Summary s;
+  std::vector<double> latencies;
+  for (const auto& [id, stat] : blocks_) {
+    if (stat.commits.size() < threshold) continue;
+    auto commits = stat.commits;
+    std::nth_element(commits.begin(), commits.begin() + static_cast<std::ptrdiff_t>(threshold - 1),
+                     commits.end());
+    const TimePoint kth = commits[threshold - 1];
+    s.committed_blocks++;
+    s.committed_payload_bytes += stat.payload_bytes;
+    s.max_committed_height = std::max(s.max_committed_height, stat.height);
+    latencies.push_back(to_ms(kth - stat.created));
+  }
+  const double secs = to_seconds(run_duration);
+  if (secs > 0) {
+    s.blocks_per_sec = static_cast<double>(s.committed_blocks) / secs;
+    s.transfer_rate_bps = static_cast<double>(s.committed_payload_bytes) / secs;
+  }
+  if (!latencies.empty()) {
+    double sum = 0;
+    for (double l : latencies) sum += l;
+    s.avg_latency_ms = sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    s.p50_latency_ms = latencies[latencies.size() / 2];
+    s.p90_latency_ms = latencies[latencies.size() * 9 / 10];
+  }
+  return s;
+}
+
+}  // namespace moonshot

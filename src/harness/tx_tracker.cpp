@@ -1,0 +1,58 @@
+#include "harness/tx_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moonshot {
+
+TxTracker::TxTracker(double rate_per_sec, std::size_t commit_threshold, std::uint64_t seed)
+    : rate_per_sec_(rate_per_sec), threshold_(commit_threshold), prng_(seed ^ 0x7478u) {}
+
+void TxTracker::generate_arrivals(TimePoint until) {
+  if (rate_per_sec_ <= 0) return;
+  while (next_arrival_ <= until) {
+    pending_.push_back(next_arrival_);
+    ++submitted_;
+    // Exponential inter-arrival: -ln(U)/rate.
+    const double u = std::max(prng_.next_double(), 1e-12);
+    const double gap_s = -std::log(u) / rate_per_sec_;
+    next_arrival_ = next_arrival_ + Duration(static_cast<std::int64_t>(gap_s * 1e9));
+  }
+}
+
+void TxTracker::on_block_created(const BlockPtr& block, TimePoint when) {
+  generate_arrivals(when);
+  auto [it, inserted] = by_block_.try_emplace(block->id());
+  if (!inserted) return;  // the same block re-created (opt + normal proposal)
+  it->second.arrivals = std::move(pending_);
+  pending_.clear();
+}
+
+void TxTracker::on_block_committed(NodeId /*node*/, const BlockPtr& block, TimePoint when) {
+  auto it = by_block_.find(block->id());
+  if (it == by_block_.end() || it->second.done) return;
+  if (++it->second.commits < threshold_) return;
+  it->second.done = true;
+  for (const TimePoint arrival : it->second.arrivals) {
+    e2e_ms_.push_back(to_ms(when - arrival));
+  }
+  it->second.arrivals.clear();
+  it->second.arrivals.shrink_to_fit();
+}
+
+TxTracker::Summary TxTracker::summarize(Duration run_duration) {
+  generate_arrivals(TimePoint::zero() + run_duration);  // count stragglers
+  Summary s;
+  s.submitted = submitted_;
+  s.committed = e2e_ms_.size();
+  if (!e2e_ms_.empty()) {
+    double sum = 0;
+    for (double v : e2e_ms_) sum += v;
+    s.avg_e2e_ms = sum / static_cast<double>(e2e_ms_.size());
+    std::sort(e2e_ms_.begin(), e2e_ms_.end());
+    s.p90_e2e_ms = e2e_ms_[e2e_ms_.size() * 9 / 10];
+  }
+  return s;
+}
+
+}  // namespace moonshot

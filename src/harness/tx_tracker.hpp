@@ -1,0 +1,69 @@
+// End-to-end transaction latency tracking.
+//
+// The paper's headline metrics are per-block; its introduction motivates
+// *end-to-end commit latency* — the time from a client submitting a
+// transaction to its execution. This tracker models a stream of client
+// transactions with deterministic (seeded) exponential inter-arrival times:
+// each transaction joins the first block created after its arrival, and its
+// end-to-end latency ends when that block has been committed by the quorum's
+// worth of nodes (the same (2f+1)-th-node convention as the block metric).
+//
+// End-to-end latency therefore decomposes into queueing delay (≈ half a
+// block period, where ω = δ halves Moonshot's term relative to Jolteon's
+// 2δ) plus the block commit latency λ.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/prng.hpp"
+#include "support/time.hpp"
+#include "types/block.hpp"
+#include "types/ids.hpp"
+
+namespace moonshot {
+
+class TxTracker {
+ public:
+  /// `rate_per_sec` transactions arrive (deterministically, per seed) over
+  /// the run; a block's transactions finish when `commit_threshold` distinct
+  /// nodes have committed it.
+  TxTracker(double rate_per_sec, std::size_t commit_threshold, std::uint64_t seed);
+
+  /// Hook: a block was created (first creation wins — re-creations of the
+  /// same block id are ignored). Assigns all transactions that arrived up to
+  /// `when` and are still unassigned.
+  void on_block_created(const BlockPtr& block, TimePoint when);
+
+  /// Hook: `node` committed `block` at `when`.
+  void on_block_committed(NodeId node, const BlockPtr& block, TimePoint when);
+
+  struct Summary {
+    std::uint64_t submitted = 0;
+    std::uint64_t committed = 0;
+    double avg_e2e_ms = 0.0;
+    double p90_e2e_ms = 0.0;
+  };
+  Summary summarize(Duration run_duration);
+
+ private:
+  /// Generates arrivals up to `until` (lazy, deterministic).
+  void generate_arrivals(TimePoint until);
+
+  double rate_per_sec_;
+  std::size_t threshold_;
+  Prng prng_;
+  TimePoint next_arrival_{};
+  std::vector<TimePoint> pending_;  // arrived, not yet in a block
+
+  struct BlockTxs {
+    std::vector<TimePoint> arrivals;
+    std::size_t commits = 0;
+    bool done = false;
+  };
+  std::unordered_map<BlockId, BlockTxs> by_block_;
+  std::vector<double> e2e_ms_;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace moonshot

@@ -1,0 +1,46 @@
+#include "ledger/block_store.hpp"
+
+#include <algorithm>
+
+namespace moonshot {
+
+BlockStore::BlockStore() { blocks_.emplace(Block::genesis()->id(), Block::genesis()); }
+
+bool BlockStore::add(BlockPtr block) {
+  if (!block) return false;
+  return blocks_.emplace(block->id(), std::move(block)).second;
+}
+
+BlockPtr BlockStore::get(const BlockId& id) const {
+  auto it = blocks_.find(id);
+  return it == blocks_.end() ? nullptr : it->second;
+}
+
+bool BlockStore::extends(const BlockId& descendant, const BlockId& ancestor) const {
+  BlockPtr cur = get(descendant);
+  const BlockPtr anc = get(ancestor);
+  if (!cur || !anc) return false;
+  while (cur) {
+    if (cur->id() == ancestor) return true;
+    if (cur->height() <= anc->height()) return false;  // passed it: not an ancestor
+    cur = get(cur->parent());
+  }
+  return false;  // chain broken (missing block)
+}
+
+std::vector<BlockPtr> BlockStore::path(const BlockId& ancestor, const BlockId& descendant) const {
+  std::vector<BlockPtr> out;
+  BlockPtr cur = get(descendant);
+  const BlockPtr anc = get(ancestor);
+  if (!cur || !anc) return {};
+  while (cur && cur->id() != ancestor) {
+    if (cur->height() <= anc->height()) return {};
+    out.push_back(cur);
+    cur = get(cur->parent());
+  }
+  if (!cur) return {};  // broken chain
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace moonshot

@@ -1,0 +1,44 @@
+// Per-node storage of received blocks, indexed by id, with ancestry queries.
+//
+// Blocks can arrive out of order (an optimistic proposal may reach a node
+// before its parent), so the store accepts orphans and links them when the
+// parent shows up.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "types/block.hpp"
+
+namespace moonshot {
+
+class BlockStore {
+ public:
+  /// The store always contains genesis.
+  BlockStore();
+
+  /// Adds a block (idempotent). Returns true if it was new.
+  bool add(BlockPtr block);
+
+  /// Fetches by id; nullptr if unknown.
+  BlockPtr get(const BlockId& id) const;
+  bool contains(const BlockId& id) const { return blocks_.count(id) > 0; }
+
+  /// True iff `descendant` (directly or transitively) extends `ancestor`,
+  /// walking only through blocks present in the store. A block extends
+  /// itself (paper convention). False if the chain between them is not fully
+  /// present.
+  bool extends(const BlockId& descendant, const BlockId& ancestor) const;
+
+  /// Blocks on the path (ancestor, descendant]: ordered ancestor-side first.
+  /// Empty if the path does not exist in the store.
+  std::vector<BlockPtr> path(const BlockId& ancestor, const BlockId& descendant) const;
+
+  std::size_t size() const { return blocks_.size(); }
+
+ private:
+  std::unordered_map<BlockId, BlockPtr> blocks_;
+};
+
+}  // namespace moonshot

@@ -1,0 +1,37 @@
+#include "ledger/commit_log.hpp"
+
+#include "support/assert.hpp"
+
+namespace moonshot {
+
+void CommitLog::commit(const BlockPtr& block, TimePoint when) {
+  MOONSHOT_INVARIANT(block != nullptr, "commit of null block");
+  if (block->is_genesis()) return;
+  MOONSHOT_INVARIANT(block->height() == last_height() + 1,
+                     "commit must advance height by exactly one");
+  MOONSHOT_INVARIANT(block->parent() == last_id(),
+                     "committed block must extend the previous commit");
+  blocks_.push_back(block);
+  committed_ids_.insert(block->id());
+  for (const auto& cb : callbacks_) cb(block, when);
+}
+
+bool CommitLog::is_committed(const BlockId& id) const {
+  return id == Block::genesis()->id() || committed_ids_.count(id) > 0;
+}
+
+bool commit_logs_consistent(const std::vector<const CommitLog*>& logs) {
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    for (std::size_t j = i + 1; j < logs.size(); ++j) {
+      const auto& a = logs[i]->blocks();
+      const auto& b = logs[j]->blocks();
+      const std::size_t common = std::min(a.size(), b.size());
+      for (std::size_t k = 0; k < common; ++k) {
+        if (a[k]->id() != b[k]->id()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace moonshot

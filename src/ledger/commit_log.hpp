@@ -1,0 +1,53 @@
+// The totally ordered log of committed blocks.
+//
+// Enforces the structural invariant that each committed block directly
+// extends the previously committed one. A violation here means the consensus
+// implementation above it is unsafe, so it aborts loudly (BFT safety must
+// hold for f ≤ ⌊(n-1)/3⌋ faults regardless of adversary behaviour).
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "support/time.hpp"
+#include "types/block.hpp"
+
+namespace moonshot {
+
+class CommitLog {
+ public:
+  using CommitCallback = std::function<void(const BlockPtr&, TimePoint)>;
+
+  /// Appends `block` at commit time `when`. Aborts if the block does not
+  /// directly extend the last committed block. Committing genesis is a no-op
+  /// (it is implicitly committed at position 0).
+  void commit(const BlockPtr& block, TimePoint when);
+
+  /// True if this block id has already been committed.
+  bool is_committed(const BlockId& id) const;
+
+  Height last_height() const {
+    return blocks_.empty() ? 0 : blocks_.back()->height();
+  }
+  const BlockId& last_id() const {
+    return blocks_.empty() ? Block::genesis()->id() : blocks_.back()->id();
+  }
+  const std::vector<BlockPtr>& blocks() const { return blocks_; }
+  std::size_t size() const { return blocks_.size(); }
+
+  /// Registers a listener invoked for every committed block (metrics, state
+  /// machines). Multiple listeners run in registration order.
+  void add_callback(CommitCallback cb) { callbacks_.push_back(std::move(cb)); }
+
+ private:
+  std::vector<BlockPtr> blocks_;  // excludes genesis; blocks_[i] has height i+1
+  std::unordered_set<BlockId> committed_ids_;
+  std::vector<CommitCallback> callbacks_;
+};
+
+/// Cross-node safety check: all logs must be prefix-comparable (no two nodes
+/// commit different blocks at the same height). Returns true iff consistent.
+bool commit_logs_consistent(const std::vector<const CommitLog*>& logs);
+
+}  // namespace moonshot

@@ -1,0 +1,136 @@
+// The simulated network: transport interface + WAN model.
+//
+// Model (per DESIGN.md):
+//  * Propagation: one-way latency from the region latency matrix, with
+//    seeded multiplicative jitter.
+//  * Bandwidth: each node has one NIC; outgoing messages serialize through
+//    an egress FIFO at `bandwidth_bps`, incoming through an ingress FIFO
+//    that also accounts a per-message processing cost (NIC + CPU treated as
+//    a single receive pipeline). This is what makes O(n²) vote multicasting
+//    and multi-megabyte proposals cost what they cost in the paper's WAN.
+//  * Partial synchrony: before GST an adversary may additionally delay
+//    honest messages, but every message sent before GST is delivered by
+//    GST + Δ (Dwork et al.); after GST only the natural model applies.
+//  * Faults: crashed nodes can be silenced (drop egress+ingress); an
+//    arbitrary drop filter supports partitions in tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+#include "support/prng.hpp"
+#include "types/messages.hpp"
+
+namespace moonshot::net {
+
+/// Transport interface the consensus layer sends through.
+class INetwork {
+ public:
+  virtual ~INetwork() = default;
+  /// Sends to every node, including the sender itself (self-delivery is
+  /// immediate and free — a node always counts its own votes).
+  virtual void multicast(NodeId from, MessagePtr m) = 0;
+  virtual void unicast(NodeId from, NodeId to, MessagePtr m) = 0;
+};
+
+struct NetworkConfig {
+  /// One-way propagation latencies between regions.
+  LatencyMatrix matrix = LatencyMatrix::aws5();
+  std::size_t regions_used = 5;  // nodes assigned evenly across these
+  /// Interleaved (id mod regions) vs blocked (contiguous ranges, default —
+  /// matches the paper's per-region instance groups) node placement.
+  bool interleave_regions = false;
+  /// Multiplicative jitter: latency *= 1 + U(-jitter, +jitter).
+  double jitter = 0.05;
+  /// NIC rate, bits per second (paper: up to 10 Gbps on m5.large).
+  double bandwidth_bps = 10e9;
+  /// Per-stream TCP window: on a WAN link the sustained rate of one TCP
+  /// connection is window/RTT, far below the NIC rate (e.g. 2 MB over a
+  /// 200 ms RTT is ~80 Mbit/s). Governs how long large proposals take per
+  /// link, independent of NIC contention. 0 disables the model.
+  std::uint64_t tcp_window_bytes = 2 * 1024 * 1024;
+  /// Fixed per-message receive-pipeline cost (syscall + parse + dispatch).
+  Duration proc_base = microseconds(5);
+  /// Extra receive cost per signature-bearing small message (vote/timeout).
+  Duration proc_sig = microseconds(25);
+  /// Extra receive cost for certificate-bearing messages (QC/TC/proposals) —
+  /// amortized batch verification of a quorum of signatures.
+  Duration proc_cert = microseconds(150);
+  /// Receive cost per KiB of payload (hashing / copying).
+  Duration proc_per_kb = microseconds(3);
+
+  /// Reorder stress: adds U(0, reorder_extra) to every delivery, breaking
+  /// per-link FIFO ordering (TCP would preserve it; this models the worst
+  /// reordering partial synchrony allows — keep it < Δ − max latency when
+  /// liveness bounds matter). 0 disables.
+  Duration reorder_extra = Duration(0);
+
+  /// Global Stabilization Time. 0 = network is synchronous from the start.
+  TimePoint gst = TimePoint::zero();
+  /// Before GST, the adversary delays delivery to a uniform point in
+  /// [natural_delivery, gst + delta]. (Delivery by GST + Δ is guaranteed.)
+  Duration delta = milliseconds(500);
+  /// If false, pre-GST messages use only the natural model (no adversary).
+  bool adversarial_before_gst = true;
+
+  std::uint64_t seed = 1;
+};
+
+/// Statistics for communication-complexity analysis.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+};
+
+class SimNetwork final : public INetwork {
+ public:
+  /// `deliver` is invoked (via the scheduler) when a message reaches `to`.
+  using DeliverFn = std::function<void(NodeId to, NodeId from, const MessagePtr&)>;
+
+  SimNetwork(sim::Scheduler& sched, std::size_t n, NetworkConfig cfg, DeliverFn deliver);
+
+  void multicast(NodeId from, MessagePtr m) override;
+  void unicast(NodeId from, NodeId to, MessagePtr m) override;
+
+  /// Crashed/Byzantine-silent nodes: all their traffic (both directions) is
+  /// dropped from `when` on.
+  void silence(NodeId node) { silenced_.at(node) = true; }
+  bool is_silenced(NodeId node) const { return silenced_.at(node); }
+
+  /// Optional drop filter for partition tests: return true to drop.
+  using DropFilter = std::function<bool(NodeId from, NodeId to, const Message&)>;
+  void set_drop_filter(DropFilter f) { drop_filter_ = std::move(f); }
+
+  /// Optional tap observing every send (multicast counted once), for trace
+  /// analysis such as the conformance checker.
+  using Tap = std::function<void(NodeId from, const Message&)>;
+  void set_tap(Tap t) { tap_ = std::move(t); }
+
+  const NetworkStats& stats() const { return stats_; }
+  const RegionAssignment& regions() const { return regions_; }
+  const NetworkConfig& config() const { return cfg_; }
+
+ private:
+  void send_one(NodeId from, NodeId to, const MessagePtr& m, std::uint64_t wire_size,
+                TimePoint egress_done);
+  Duration proc_cost(const Message& m, std::uint64_t wire_size) const;
+
+  sim::Scheduler& sched_;
+  NetworkConfig cfg_;
+  RegionAssignment regions_;
+  DeliverFn deliver_;
+  Prng prng_;
+  std::vector<TimePoint> egress_free_;   // per-node NIC egress availability
+  std::vector<TimePoint> ingress_free_;  // per-node receive-pipeline availability
+  std::vector<bool> silenced_;
+  DropFilter drop_filter_;
+  Tap tap_;
+  NetworkStats stats_;
+};
+
+}  // namespace moonshot::net

@@ -1,0 +1,252 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/codec.hpp"
+#include "support/log.hpp"
+
+namespace moonshot::net {
+
+namespace {
+
+/// Reads exactly `len` bytes; false on EOF/error.
+bool read_exact(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::read(fd, buf + got, len - got);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* buf, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t r = ::write(fd, buf + sent, len - sent);
+    if (r <= 0) return false;
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+constexpr std::size_t kMaxFrame = 64 * 1024 * 1024;
+
+}  // namespace
+
+TcpNetwork::TcpNetwork(NodeId id, std::uint16_t base_port, std::size_t n, Enqueue enqueue)
+    : id_(id), base_port_(base_port), n_(n), enqueue_(std::move(enqueue)), out_fds_(n, -1) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MOONSHOT_INVARIANT(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + id_));
+  MOONSHOT_INVARIANT(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                     "bind() failed — port in use?");
+  MOONSHOT_INVARIANT(::listen(listen_fd_, 64) == 0, "listen() failed");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpNetwork::~TcpNetwork() { shutdown(); }
+
+void TcpNetwork::accept_loop() {
+  while (!stopping_) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed: shutting down
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    if (stopping_) {
+      ::close(fd);
+      break;
+    }
+    accepted_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TcpNetwork::reader_loop(int fd) {
+  // First frame is the hello: 4-byte little-endian sender id.
+  std::uint8_t hello[4];
+  if (!read_exact(fd, hello, 4)) {
+    ::close(fd);
+    return;
+  }
+  const NodeId from = static_cast<NodeId>(hello[0]) | (static_cast<NodeId>(hello[1]) << 8) |
+                      (static_cast<NodeId>(hello[2]) << 16) |
+                      (static_cast<NodeId>(hello[3]) << 24);
+  Bytes frame;
+  while (!stopping_) {
+    std::uint8_t len_bytes[4];
+    if (!read_exact(fd, len_bytes, 4)) break;
+    const std::uint32_t len = static_cast<std::uint32_t>(len_bytes[0]) |
+                              (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
+                              (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
+                              (static_cast<std::uint32_t>(len_bytes[3]) << 24);
+    if (len == 0 || len > kMaxFrame) break;
+    frame.resize(len);
+    if (!read_exact(fd, frame.data(), len)) break;
+    Reader r(frame);
+    if (MessagePtr m = deserialize_message(r)) {
+      enqueue_(from, std::move(m));
+    } else {
+      LOG_WARN("tcp node %u: undecodable %u-byte frame from %u", id_, len, from);
+    }
+  }
+  ::close(fd);
+}
+
+void TcpNetwork::connect_peers() {
+  for (NodeId peer = 0; peer < n_; ++peer) {
+    if (peer == id_) continue;
+    int fd = -1;
+    // Retry while the peer's listener comes up.
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + peer));
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) break;
+      ::close(fd);
+      fd = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    MOONSHOT_INVARIANT(fd >= 0, "could not connect to peer");
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Hello frame: our id.
+    std::uint8_t hello[4] = {static_cast<std::uint8_t>(id_),
+                             static_cast<std::uint8_t>(id_ >> 8),
+                             static_cast<std::uint8_t>(id_ >> 16),
+                             static_cast<std::uint8_t>(id_ >> 24)};
+    write_exact(fd, hello, 4);
+    out_fds_[peer] = fd;
+  }
+}
+
+void TcpNetwork::send_frame(int fd, const Bytes& frame) {
+  std::uint8_t len_bytes[4] = {
+      static_cast<std::uint8_t>(frame.size()), static_cast<std::uint8_t>(frame.size() >> 8),
+      static_cast<std::uint8_t>(frame.size() >> 16),
+      static_cast<std::uint8_t>(frame.size() >> 24)};
+  if (!write_exact(fd, len_bytes, 4) || !write_exact(fd, frame.data(), frame.size())) {
+    LOG_WARN("tcp node %u: send failed", id_);
+  }
+}
+
+void TcpNetwork::multicast(NodeId from, MessagePtr m) {
+  Writer w;
+  serialize_message(*m, w);
+  const Bytes frame = w.take();
+  // Self-delivery first (a node counts its own votes).
+  enqueue_(from, m);
+  for (NodeId peer = 0; peer < n_; ++peer) {
+    if (peer == id_ || out_fds_[peer] < 0) continue;
+    send_frame(out_fds_[peer], frame);
+  }
+}
+
+void TcpNetwork::unicast(NodeId from, NodeId to, MessagePtr m) {
+  if (to == id_) {
+    enqueue_(from, std::move(m));
+    return;
+  }
+  if (to >= n_ || out_fds_[to] < 0) return;
+  Writer w;
+  serialize_message(*m, w);
+  send_frame(out_fds_[to], w.buffer());
+}
+
+void TcpNetwork::shutdown() {
+  if (stopping_.exchange(true)) return;
+  // Closing the listener unblocks accept(); closing sockets unblocks reads.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  for (int& fd : out_fds_) {
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    readers.swap(readers_);
+    // Unblock readers stuck in read() on the inbound sockets; the peers'
+    // dial ends may outlive us (they shut down after us at teardown).
+    for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
+    accepted_fds_.clear();
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+// --- TcpRuntime -----------------------------------------------------------------
+
+void TcpRuntime::enqueue(NodeId from, MessagePtr m) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inbox_.emplace_back(from, std::move(m));
+  }
+  cv_.notify_one();
+}
+
+void TcpRuntime::start(IConsensusNode* node) {
+  node_ = node;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void TcpRuntime::stop() {
+  if (stopping_.exchange(true)) return;
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TcpRuntime::loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto wall_start = Clock::now();
+  const auto sim_now_target = [&] {
+    return TimePoint{std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                          wall_start)
+                         .count()};
+  };
+
+  node_->start();
+  while (!stopping_) {
+    // Fire every timer due by the current wall time.
+    sched_.run_until(sim_now_target());
+
+    // Deliver queued inbound messages.
+    std::deque<std::pair<NodeId, MessagePtr>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (inbox_.empty()) {
+        // Sleep until the next timer or a message arrives (1 ms tick cap
+        // keeps timer error negligible at consensus timescales).
+        cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      batch.swap(inbox_);
+    }
+    for (auto& [from, m] : batch) {
+      sched_.run_until(sim_now_target());
+      node_->handle(from, m);
+    }
+  }
+}
+
+}  // namespace moonshot::net

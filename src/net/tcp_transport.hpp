@@ -1,0 +1,109 @@
+// Real TCP transport + wall-clock runtime.
+//
+// The consensus implementations are event-driven state machines over an
+// INetwork and a Scheduler. Everywhere else in this repository those are the
+// deterministic simulator; this module provides the *real* counterparts —
+// localhost TCP sockets with length-prefixed frames, and a runtime that
+// paces the same Scheduler against the wall clock — demonstrating that the
+// protocol code runs unchanged on an actual network stack (the paper's
+// implementation used TCP point-to-point links).
+//
+// Threading model: one event-loop thread per node owns the node object and
+// its Scheduler (no locks inside consensus code); one reader thread per
+// inbound connection parses frames and enqueues them for the loop. Writes
+// happen on the loop thread over pre-established outbound connections.
+//
+// Scope: full-mesh localhost clusters for examples and integration tests.
+// Blocking writes and unbounded inbound queues are acceptable at that scale
+// and documented here rather than hidden.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "consensus/node.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace moonshot::net {
+
+/// INetwork over a full mesh of localhost TCP connections.
+class TcpNetwork final : public INetwork {
+ public:
+  /// Node `id` of `n`; listens on base_port + id, dials base_port + j for
+  /// every peer j. `enqueue` is called from reader threads with parsed
+  /// inbound messages (it must be thread-safe; TcpRuntime's queue is).
+  using Enqueue = std::function<void(NodeId from, MessagePtr)>;
+  TcpNetwork(NodeId id, std::uint16_t base_port, std::size_t n, Enqueue enqueue);
+  ~TcpNetwork() override;
+
+  TcpNetwork(const TcpNetwork&) = delete;
+  TcpNetwork& operator=(const TcpNetwork&) = delete;
+
+  /// Dials all peers (retrying until they listen) — call once every node's
+  /// constructor has returned (i.e. all listeners are up).
+  void connect_peers();
+
+  void multicast(NodeId from, MessagePtr m) override;
+  void unicast(NodeId from, NodeId to, MessagePtr m) override;
+
+  /// Stops reader threads and closes sockets.
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void reader_loop(int fd);
+  void send_frame(int fd, const Bytes& frame);
+
+  NodeId id_;
+  std::uint16_t base_port_;
+  std::size_t n_;
+  Enqueue enqueue_;
+  int listen_fd_ = -1;
+  std::vector<int> out_fds_;  // index = peer id; -1 until connected
+  std::thread accept_thread_;
+  std::vector<std::thread> readers_;
+  std::vector<int> accepted_fds_;  // inbound sockets, closed on shutdown
+  std::mutex readers_mu_;
+  std::atomic<bool> stopping_{false};
+};
+
+/// Wall-clock runtime: owns a consensus node, its Scheduler (paced against
+/// real time) and the inbound-message queue. One loop thread per runtime.
+class TcpRuntime {
+ public:
+  TcpRuntime() = default;
+  ~TcpRuntime() { stop(); }
+
+  /// The Scheduler the node must be constructed against.
+  sim::Scheduler& scheduler() { return sched_; }
+
+  /// Thread-safe enqueue for TcpNetwork reader threads.
+  void enqueue(NodeId from, MessagePtr m);
+
+  /// Starts the loop thread: calls node->start(), then alternates between
+  /// delivering inbound messages and firing due timers, pacing the
+  /// scheduler's clock to the wall clock.
+  void start(IConsensusNode* node);
+
+  /// Signals the loop to finish and joins it.
+  void stop();
+
+ private:
+  void loop();
+
+  sim::Scheduler sched_;
+  IConsensusNode* node_ = nullptr;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<NodeId, MessagePtr>> inbox_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace moonshot::net

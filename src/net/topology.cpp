@@ -1,0 +1,42 @@
+#include "net/topology.hpp"
+
+#include "support/assert.hpp"
+
+namespace moonshot::net {
+
+LatencyMatrix::LatencyMatrix(std::vector<std::string> region_names,
+                             std::vector<std::vector<double>> rtt_ms)
+    : names_(std::move(region_names)), rtt_ms_(std::move(rtt_ms)) {
+  MOONSHOT_INVARIANT(rtt_ms_.size() == names_.size(), "matrix rows == regions");
+  for (const auto& row : rtt_ms_)
+    MOONSHOT_INVARIANT(row.size() == names_.size(), "matrix must be square");
+}
+
+const LatencyMatrix& LatencyMatrix::aws5() {
+  static const LatencyMatrix m(
+      {"us-east-1", "us-west-1", "eu-north-1", "ap-northeast-1", "ap-southeast-2"},
+      {
+          // Destination:  us-e-1  us-w-1  eu-n-1  ap-ne-1  ap-se-2
+          /* us-east-1 */ {5.23, 61.87, 113.78, 167.60, 197.42},
+          /* us-west-1 */ {62.88, 3.69, 172.17, 109.89, 141.54},
+          /* eu-north-1 */ {114.09, 173.31, 5.48, 248.67, 271.68},
+          /* ap-northeast-1 */ {168.04, 109.94, 251.63, 5.99, 111.67},
+          /* ap-southeast-2 */ {199.54, 146.06, 272.31, 112.11, 4.53},
+      });
+  return m;
+}
+
+LatencyMatrix LatencyMatrix::uniform(Duration one_way, std::size_t regions) {
+  const double rtt = 2.0 * to_ms(one_way);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < regions; ++i) names.push_back("region-" + std::to_string(i));
+  std::vector<std::vector<double>> m(regions, std::vector<double>(regions, rtt));
+  return LatencyMatrix(std::move(names), std::move(m));
+}
+
+Duration LatencyMatrix::one_way(RegionId a, RegionId b) const {
+  const double ms = rtt_ms_.at(a).at(b) / 2.0;
+  return Duration(static_cast<std::int64_t>(ms * 1e6));
+}
+
+}  // namespace moonshot::net

@@ -1,0 +1,57 @@
+#include "sim/scheduler.hpp"
+
+#include "support/assert.hpp"
+
+namespace moonshot::sim {
+
+TaskId Scheduler::schedule_at(TimePoint t, Callback cb) {
+  MOONSHOT_INVARIANT(t >= now_, "cannot schedule into the past");
+  const TaskId id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  return id;
+}
+
+TaskId Scheduler::schedule_after(Duration d, Callback cb) {
+  return schedule_at(now_ + d, std::move(cb));
+}
+
+void Scheduler::cancel(TaskId id) { cancelled_.insert(id); }
+
+bool Scheduler::run_next() {
+  while (!queue_.empty()) {
+    // priority_queue has no non-const top+pop of a move-only payload; copy the
+    // callback out. Events are small (shared_ptr captures).
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.t;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(TimePoint limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.t > limit) break;
+    run_next();
+  }
+  if (now_ < limit) now_ = limit;
+}
+
+void Scheduler::run_all(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && run_next()) ++n;
+}
+
+}  // namespace moonshot::sim

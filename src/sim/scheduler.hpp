@@ -1,0 +1,76 @@
+// Discrete-event simulation engine.
+//
+// A Scheduler owns the simulated clock and a priority queue of timestamped
+// callbacks. Events at equal timestamps execute in scheduling order (stable),
+// which — together with seeded PRNGs — makes every run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace moonshot::sim {
+
+/// Handle for cancelling a scheduled event. 0 is never a valid id.
+using TaskId = std::uint64_t;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now). Returns a cancellable id.
+  TaskId schedule_at(TimePoint t, Callback cb);
+
+  /// Schedules `cb` after `d` from now.
+  TaskId schedule_after(Duration d, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-run or unknown id is a
+  /// harmless no-op (timers race with their own expiry).
+  void cancel(TaskId id);
+
+  /// Executes the next event, advancing the clock. Returns false if empty.
+  bool run_next();
+
+  /// Runs events until the queue is empty or the clock would pass `limit`.
+  /// The clock is left at min(limit, time of last event run).
+  void run_until(TimePoint limit);
+
+  /// Runs for `d` simulated time from now.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Drains the queue completely (bounded by `max_events` as a runaway guard).
+  void run_all(std::uint64_t max_events = UINT64_MAX);
+
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint t;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    TaskId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TaskId> cancelled_;
+  TimePoint now_ = TimePoint::zero();
+  std::uint64_t next_seq_ = 0;
+  TaskId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace moonshot::sim

@@ -1,0 +1,22 @@
+// Invariant checking that stays on in release builds.
+//
+// Protocol safety bugs must fail loudly in benchmarks too, so these are not
+// compiled out with NDEBUG the way assert() is.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace moonshot::detail {
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file, int line,
+                                           const char* msg) {
+  std::fprintf(stderr, "INVARIANT VIOLATED: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace moonshot::detail
+
+#define MOONSHOT_INVARIANT(expr, msg)                                            \
+  do {                                                                           \
+    if (!(expr)) ::moonshot::detail::invariant_failure(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

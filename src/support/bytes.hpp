@@ -1,0 +1,83 @@
+// Byte-buffer primitives shared by every module.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moonshot {
+
+/// Owning, growable byte buffer. The library's universal wire/value type.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Converts an ASCII string into a byte buffer (no encoding transformation).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Constant-time byte-wise equality; used when comparing MACs/signatures so
+/// that comparison time does not leak the position of the first mismatch.
+inline bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Fixed-size byte array wrapper with hashing and ordering, for digests/keys.
+template <std::size_t N>
+struct FixedBytes {
+  std::array<std::uint8_t, N> data{};
+
+  constexpr FixedBytes() = default;
+  explicit FixedBytes(const std::array<std::uint8_t, N>& d) : data(d) {}
+
+  /// Builds from a view that must be exactly N bytes long.
+  static FixedBytes from_view(BytesView v) {
+    FixedBytes out;
+    if (v.size() == N) std::memcpy(out.data.data(), v.data(), N);
+    return out;
+  }
+
+  BytesView view() const { return BytesView(data.data(), N); }
+  std::uint8_t* begin() { return data.data(); }
+  const std::uint8_t* begin() const { return data.data(); }
+  std::uint8_t* end() { return data.data() + N; }
+  const std::uint8_t* end() const { return data.data() + N; }
+  static constexpr std::size_t size() { return N; }
+
+  friend bool operator==(const FixedBytes& a, const FixedBytes& b) { return a.data == b.data; }
+  friend auto operator<=>(const FixedBytes& a, const FixedBytes& b) { return a.data <=> b.data; }
+};
+
+/// FNV-1a over arbitrary bytes; used for unordered_map keys (not security).
+inline std::size_t fnv1a(BytesView v) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (auto b : v) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace moonshot
+
+template <std::size_t N>
+struct std::hash<moonshot::FixedBytes<N>> {
+  std::size_t operator()(const moonshot::FixedBytes<N>& f) const noexcept {
+    return moonshot::fnv1a(f.view());
+  }
+};

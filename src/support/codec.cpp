@@ -1,0 +1,86 @@
+#include "support/codec.hpp"
+
+namespace moonshot {
+
+namespace {
+template <typename T>
+void put_le(Bytes& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v = static_cast<T>(v >> 8);
+  }
+}
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+void Writer::u16(std::uint16_t v) { put_le(buf_, v); }
+void Writer::u32(std::uint32_t v) { put_le(buf_, v); }
+void Writer::u64(std::uint64_t v) { put_le(buf_, v); }
+void Writer::i64(std::int64_t v) { put_le(buf_, static_cast<std::uint64_t>(v)); }
+
+void Writer::bytes(BytesView v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+void Writer::raw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+void Writer::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+namespace {
+template <typename T>
+std::optional<T> get_le(BytesView data, std::size_t& pos) {
+  if (data.size() - pos < sizeof(T)) return std::nullopt;
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<T>(data[pos + i]) << (8 * i));
+  }
+  pos += sizeof(T);
+  return v;
+}
+}  // namespace
+
+std::optional<std::uint8_t> Reader::u8() { return get_le<std::uint8_t>(data_, pos_); }
+std::optional<std::uint16_t> Reader::u16() { return get_le<std::uint16_t>(data_, pos_); }
+std::optional<std::uint32_t> Reader::u32() { return get_le<std::uint32_t>(data_, pos_); }
+std::optional<std::uint64_t> Reader::u64() { return get_le<std::uint64_t>(data_, pos_); }
+
+std::optional<std::int64_t> Reader::i64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<Bytes> Reader::bytes() {
+  auto n = u32();
+  if (!n) return std::nullopt;
+  return raw(*n);
+}
+
+std::optional<Bytes> Reader::raw(std::size_t n) {
+  if (remaining() < n) return std::nullopt;
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::optional<std::string> Reader::str() {
+  auto b = bytes();
+  if (!b) return std::nullopt;
+  return std::string(b->begin(), b->end());
+}
+
+std::optional<bool> Reader::boolean() {
+  auto v = u8();
+  if (!v) return std::nullopt;
+  if (*v > 1) return std::nullopt;
+  return *v == 1;
+}
+
+}  // namespace moonshot

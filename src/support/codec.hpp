@@ -1,0 +1,71 @@
+// Deterministic binary serialization.
+//
+// All protocol messages are serialized through Writer/Reader so that (a) the
+// byte layout is canonical — a given value always produces the same bytes,
+// which matters because digests are computed over serialized forms — and
+// (b) message *sizes* are faithful, which the network simulator uses to model
+// bandwidth occupancy.
+//
+// Layout: little-endian fixed-width integers; length-prefixed (u32) byte
+// strings and sequences. No varints: predictable sizing beats a few bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "support/bytes.hpp"
+
+namespace moonshot {
+
+/// Serializes values into a growing byte buffer.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  /// Length-prefixed byte string (u32 length).
+  void bytes(BytesView v);
+  /// Raw bytes, no length prefix (for fixed-size fields like digests).
+  void raw(BytesView v);
+  void str(std::string_view v);
+  void boolean(bool v);
+
+  const Bytes& buffer() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Deserializes values from a byte view. All accessors return nullopt on
+/// truncation instead of throwing: malformed network input is an expected
+/// condition, not a programmer error.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int64_t> i64();
+  /// Length-prefixed byte string.
+  std::optional<Bytes> bytes();
+  /// Exactly n raw bytes.
+  std::optional<Bytes> raw(std::size_t n);
+  std::optional<std::string> str();
+  std::optional<bool> boolean();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace moonshot

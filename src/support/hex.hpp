@@ -1,0 +1,21 @@
+// Hex encoding/decoding for digests, keys and debug output.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "support/bytes.hpp"
+
+namespace moonshot {
+
+/// Encodes bytes as lowercase hex.
+std::string to_hex(BytesView bytes);
+
+/// Decodes a hex string (case-insensitive). Returns nullopt on any malformed
+/// input (odd length, non-hex character).
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Short 8-hex-char prefix, for log lines.
+std::string short_hex(BytesView bytes);
+
+}  // namespace moonshot

@@ -1,0 +1,34 @@
+// Minimal leveled logging.
+//
+// Protocol code logs through this instead of writing to streams directly so
+// that large simulations can run silently and tests can raise verbosity for
+// a single failing scenario.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace moonshot {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are discarded. Defaults to kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Cheap when the level is filtered out.
+void log_at(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define MOONSHOT_LOG(level, ...)                                     \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::moonshot::log_level())) \
+      ::moonshot::log_at(level, __VA_ARGS__);                        \
+  } while (0)
+
+#define LOG_TRACE(...) MOONSHOT_LOG(::moonshot::LogLevel::kTrace, __VA_ARGS__)
+#define LOG_DEBUG(...) MOONSHOT_LOG(::moonshot::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) MOONSHOT_LOG(::moonshot::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) MOONSHOT_LOG(::moonshot::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) MOONSHOT_LOG(::moonshot::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace moonshot

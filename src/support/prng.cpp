@@ -1,0 +1,69 @@
+#include "support/prng.hpp"
+
+namespace moonshot {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Prng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Prng::next_below(std::uint64_t bound) {
+  // Lemire-style rejection: discard values in the biased zone.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Prng::next_range(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next_u64() : next_below(span));
+}
+
+double Prng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+void Prng::fill(Bytes& out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t r = next_u64();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(r & 0xff);
+      r >>= 8;
+    }
+  }
+}
+
+Prng Prng::fork(std::uint64_t stream_id) const {
+  // Mix the original seed with the stream id through splitmix so forks with
+  // different ids are decorrelated regardless of how much the parent was used.
+  std::uint64_t sm = seed_ ^ (0xa5a5a5a5a5a5a5a5ull + stream_id * 0x9e3779b97f4a7c15ull);
+  return Prng(splitmix64(sm));
+}
+
+}  // namespace moonshot

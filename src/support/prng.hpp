@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (latency jitter, key generation in tests,
+// payload contents, fault timing) flows from explicit seeds so that every
+// simulation run is exactly reproducible. xoshiro256** seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace moonshot {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling so the
+  /// distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fills `out` with random bytes.
+  void fill(Bytes& out);
+
+  /// A child generator with an independent stream, derived deterministically
+  /// from this generator's seed and `stream_id`. Lets each simulated node own
+  /// a private PRNG while the whole run stays reproducible.
+  Prng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace moonshot

@@ -1,0 +1,58 @@
+#include "types/block.hpp"
+
+namespace moonshot {
+
+namespace {
+BlockId compute_id(View view, Height height, const BlockId& parent, const Payload& payload) {
+  Writer w;
+  w.str("moonshot-block");
+  w.u64(view);
+  w.u64(height);
+  w.raw(parent.view());
+  payload.serialize(w);
+  return crypto::sha256(w.buffer());
+}
+}  // namespace
+
+Block::Block(View view, Height height, const BlockId& parent_id, Payload payload)
+    : view_(view),
+      height_(height),
+      parent_(parent_id),
+      payload_(std::move(payload)),
+      id_(compute_id(view_, height_, parent_, payload_)) {}
+
+BlockPtr Block::create(View view, Height height, const BlockId& parent_id, Payload payload) {
+  return BlockPtr(new Block(view, height, parent_id, std::move(payload)));
+}
+
+const BlockPtr& Block::genesis() {
+  static const BlockPtr g = BlockPtr(new Block(0, 0, BlockId{}, Payload{}));
+  return g;
+}
+
+void Block::serialize(Writer& w) const {
+  w.u64(view_);
+  w.u64(height_);
+  w.raw(parent_.view());
+  payload_.serialize(w);
+}
+
+BlockPtr Block::deserialize(Reader& r) {
+  auto view = r.u64();
+  auto height = r.u64();
+  auto parent = r.raw(BlockId::size());
+  if (!view || !height || !parent) return nullptr;
+  auto payload = Payload::deserialize(r);
+  if (!payload) return nullptr;
+  return create(*view, *height, BlockId::from_view(*parent), std::move(*payload));
+}
+
+std::uint64_t Block::wire_size() const {
+  Writer w;
+  serialize(w);
+  // The serialized form counts the synthetic payload as 16 bytes of metadata;
+  // add the bytes it stands for.
+  return w.size() + payload_.synthetic_size;
+}
+
+}  // namespace moonshot

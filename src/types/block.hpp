@@ -1,0 +1,63 @@
+// Blocks and block identity.
+//
+// A block B_k := (b_v, H(B_{k-1})) per the paper: a payload fixed for the
+// view it is proposed in, plus the hash of its parent. Blocks are immutable
+// and shared between nodes' stores via shared_ptr<const Block>.
+//
+// Note the paper's key identity property: payloads are *fixed per view*, so
+// if a leader issues both an optimistic and a normal proposal with the same
+// parent, the two proposals carry the very same block (same hash). Block
+// identity here is H(view || height || parent || payload) — deliberately
+// excluding the proposer's identity or wall-clock time.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "crypto/sha256.hpp"
+#include "support/codec.hpp"
+#include "types/ids.hpp"
+#include "types/payload.hpp"
+
+namespace moonshot {
+
+/// A block's content-derived identity.
+using BlockId = crypto::Sha256Digest;
+
+class Block;
+using BlockPtr = std::shared_ptr<const Block>;
+
+class Block {
+ public:
+  /// Creates a block extending `parent_id` at `height` for `view`.
+  static BlockPtr create(View view, Height height, const BlockId& parent_id,
+                         Payload payload);
+
+  /// The unique genesis block B_0 (view 0, height 0, parent = zero digest).
+  static const BlockPtr& genesis();
+
+  View view() const { return view_; }
+  Height height() const { return height_; }
+  const BlockId& parent() const { return parent_; }
+  const Payload& payload() const { return payload_; }
+  const BlockId& id() const { return id_; }
+  bool is_genesis() const { return height_ == 0 && view_ == 0; }
+
+  /// Canonical serialization (what the id hashes over).
+  void serialize(Writer& w) const;
+  static BlockPtr deserialize(Reader& r);
+
+  /// Approximate wire footprint including the synthetic payload bytes.
+  std::uint64_t wire_size() const;
+
+ private:
+  Block(View view, Height height, const BlockId& parent_id, Payload payload);
+
+  View view_;
+  Height height_;
+  BlockId parent_;
+  Payload payload_;
+  BlockId id_;  // computed once at construction
+};
+
+}  // namespace moonshot

@@ -1,0 +1,19 @@
+// Fundamental protocol identifiers.
+#pragma once
+
+#include <cstdint>
+
+namespace moonshot {
+
+/// Index of a node within the ValidatorSet: 0 .. n-1.
+using NodeId = std::uint32_t;
+constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// View (a.k.a. round) number. The genesis block occupies view 0; protocol
+/// execution starts in view 1.
+using View = std::uint64_t;
+
+/// Block height = number of ancestors (genesis has height 0).
+using Height = std::uint64_t;
+
+}  // namespace moonshot

@@ -1,0 +1,23 @@
+#include "types/payload.hpp"
+
+namespace moonshot {
+
+void Payload::serialize(Writer& w) const {
+  w.bytes(inline_data);
+  w.u64(synthetic_size);
+  w.u64(synthetic_seed);
+}
+
+std::optional<Payload> Payload::deserialize(Reader& r) {
+  Payload p;
+  auto data = r.bytes();
+  auto size = r.u64();
+  auto seed = r.u64();
+  if (!data || !size || !seed) return std::nullopt;
+  p.inline_data = std::move(*data);
+  p.synthetic_size = *size;
+  p.synthetic_seed = *seed;
+  return p;
+}
+
+}  // namespace moonshot

@@ -1,0 +1,47 @@
+// Block payloads.
+//
+// The paper replaced the Narwhal mempool with leaders creating parametrically
+// sized payloads at block-creation time (items of 180 bytes). We mirror that:
+// a Payload either carries real inline transactions (examples, SMR apps) or a
+// synthetic size (benchmarks). The synthetic part contributes to the wire
+// size the network simulator charges for, without allocating or hashing
+// megabytes per block — the substitution DESIGN.md documents.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+#include "support/codec.hpp"
+
+namespace moonshot {
+
+/// Size of one payload item in the paper's evaluation (bytes).
+inline constexpr std::uint64_t kPayloadItemSize = 180;
+
+struct Payload {
+  /// Real transaction bytes (used by examples and the KV state machine).
+  Bytes inline_data;
+  /// Additional simulated bytes (benchmarks). Never materialized.
+  std::uint64_t synthetic_size = 0;
+  /// Seed that stands in for the synthetic contents; part of the digest so
+  /// two synthetic payloads with different seeds hash differently.
+  std::uint64_t synthetic_seed = 0;
+
+  /// Bytes this payload occupies on the wire.
+  std::uint64_t wire_size() const { return inline_data.size() + synthetic_size; }
+
+  void serialize(Writer& w) const;
+  static std::optional<Payload> deserialize(Reader& r);
+
+  /// A purely synthetic payload of `size` bytes.
+  static Payload synthetic(std::uint64_t size, std::uint64_t seed) {
+    Payload p;
+    p.synthetic_size = size;
+    p.synthetic_seed = seed;
+    return p;
+  }
+
+  friend bool operator==(const Payload& a, const Payload& b) = default;
+};
+
+}  // namespace moonshot

@@ -1,0 +1,32 @@
+#include "types/validator_set.hpp"
+
+#include "support/assert.hpp"
+
+namespace moonshot {
+
+ValidatorSet::ValidatorSet(std::vector<crypto::PublicKey> keys,
+                           std::shared_ptr<const crypto::SignatureScheme> scheme)
+    : keys_(std::move(keys)), scheme_(std::move(scheme)) {
+  MOONSHOT_INVARIANT(!keys_.empty(), "validator set must be non-empty");
+  MOONSHOT_INVARIANT(scheme_ != nullptr, "signature scheme required");
+}
+
+ValidatorSet::Generated ValidatorSet::generate(
+    std::size_t n, std::shared_ptr<const crypto::SignatureScheme> scheme,
+    std::uint64_t seed) {
+  std::vector<crypto::PublicKey> pubs;
+  std::vector<crypto::PrivateKey> privs;
+  pubs.reserve(n);
+  privs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto kp = scheme->derive_keypair(seed * 0x10001 + i);
+    pubs.push_back(kp.pub);
+    privs.push_back(kp.priv);
+  }
+  Generated g;
+  g.set = std::make_shared<const ValidatorSet>(std::move(pubs), std::move(scheme));
+  g.private_keys = std::move(privs);
+  return g;
+}
+
+}  // namespace moonshot

@@ -1,0 +1,66 @@
+#include "types/vote.hpp"
+
+namespace moonshot {
+
+const char* vote_kind_name(VoteKind k) {
+  switch (k) {
+    case VoteKind::kNormal: return "vote";
+    case VoteKind::kOptimistic: return "opt-vote";
+    case VoteKind::kFallback: return "fb-vote";
+    case VoteKind::kCommit: return "commit";
+  }
+  return "?";
+}
+
+crypto::Sha256Digest Vote::signing_digest(VoteKind kind, View view, const BlockId& block) {
+  Writer w;
+  w.str("moonshot-vote");
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(view);
+  w.raw(block.view());
+  return crypto::sha256(w.buffer());
+}
+
+Vote Vote::make(VoteKind kind, View view, const BlockId& block, NodeId voter,
+                const crypto::PrivateKey& priv, const crypto::SignatureScheme& scheme) {
+  Vote v;
+  v.kind = kind;
+  v.view = view;
+  v.block = block;
+  v.voter = voter;
+  v.sig = scheme.sign(priv, signing_digest(kind, view, block).view());
+  return v;
+}
+
+bool Vote::verify(const ValidatorSet& validators) const {
+  if (!validators.contains(voter)) return false;
+  return validators.scheme().verify(validators.key(voter),
+                                    signing_digest(kind, view, block).view(), sig);
+}
+
+void Vote::serialize(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(view);
+  w.raw(block.view());
+  w.u32(voter);
+  w.raw(sig.view());
+}
+
+std::optional<Vote> Vote::deserialize(Reader& r) {
+  auto kind = r.u8();
+  auto view = r.u64();
+  auto block = r.raw(BlockId::size());
+  auto voter = r.u32();
+  auto sig = r.raw(crypto::Signature::size());
+  if (!kind || !view || !block || !voter || !sig) return std::nullopt;
+  if (*kind > static_cast<std::uint8_t>(VoteKind::kCommit)) return std::nullopt;
+  Vote v;
+  v.kind = static_cast<VoteKind>(*kind);
+  v.view = *view;
+  v.block = BlockId::from_view(*block);
+  v.voter = *voter;
+  v.sig = crypto::Signature::from_view(*sig);
+  return v;
+}
+
+}  // namespace moonshot

@@ -1,0 +1,49 @@
+// Votes: signed endorsements of a block for a view.
+//
+// Pipelined/Commit Moonshot distinguish vote kinds (optimistic / normal /
+// fallback / commit); votes of different kinds may not be aggregated into
+// the same certificate, so the kind is part of the signed content.
+#pragma once
+
+#include <optional>
+
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+#include "support/codec.hpp"
+#include "types/block.hpp"
+#include "types/ids.hpp"
+#include "types/validator_set.hpp"
+
+namespace moonshot {
+
+enum class VoteKind : std::uint8_t {
+  kNormal = 0,      // ⟨vote, H(B), v⟩
+  kOptimistic = 1,  // ⟨opt-vote, H(B), v⟩
+  kFallback = 2,    // ⟨fb-vote, H(B), v⟩
+  kCommit = 3,      // ⟨commit, H(B), v⟩ — Commit Moonshot pre-commit votes
+};
+
+const char* vote_kind_name(VoteKind k);
+
+struct Vote {
+  VoteKind kind = VoteKind::kNormal;
+  View view = 0;
+  BlockId block{};
+  NodeId voter = kNoNode;
+  crypto::Signature sig{};
+
+  /// Digest that the vote signature covers (domain-separated).
+  static crypto::Sha256Digest signing_digest(VoteKind kind, View view, const BlockId& block);
+
+  /// Creates and signs a vote.
+  static Vote make(VoteKind kind, View view, const BlockId& block, NodeId voter,
+                   const crypto::PrivateKey& priv, const crypto::SignatureScheme& scheme);
+
+  /// Checks the signature against the voter's registered key.
+  bool verify(const ValidatorSet& validators) const;
+
+  void serialize(Writer& w) const;
+  static std::optional<Vote> deserialize(Reader& r);
+};
+
+}  // namespace moonshot

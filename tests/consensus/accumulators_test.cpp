@@ -1,0 +1,121 @@
+#include "consensus/accumulators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot {
+namespace {
+
+class AccumulatorTest : public ::testing::Test {
+ protected:
+  AccumulatorTest() : gen_(ValidatorSet::generate(4, crypto::fast_scheme(), 1)) {
+    block_ = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(10, 1));
+  }
+  Vote vote_from(NodeId id, VoteKind kind = VoteKind::kNormal, View view = 1) {
+    return Vote::make(kind, view, block_->id(), id, gen_.private_keys[id],
+                      gen_.set->scheme());
+  }
+  TimeoutMsg timeout_from(NodeId id, View view) {
+    return TimeoutMsg::make(view, id, nullptr, gen_.private_keys[id], gen_.set->scheme());
+  }
+  ValidatorSet::Generated gen_;
+  BlockPtr block_;
+};
+
+TEST_F(AccumulatorTest, EmitsQcAtQuorum) {
+  VoteAccumulator acc(gen_.set, true);
+  EXPECT_EQ(acc.add(vote_from(0), 1), nullptr);
+  EXPECT_EQ(acc.add(vote_from(1), 1), nullptr);
+  const auto qc = acc.add(vote_from(2), 1);
+  ASSERT_NE(qc, nullptr);
+  EXPECT_EQ(qc->voters.size(), 3u);
+  EXPECT_EQ(qc->height, 1u);
+}
+
+TEST_F(AccumulatorTest, EmitsOnlyOnce) {
+  VoteAccumulator acc(gen_.set, true);
+  acc.add(vote_from(0), 1);
+  acc.add(vote_from(1), 1);
+  ASSERT_NE(acc.add(vote_from(2), 1), nullptr);
+  EXPECT_EQ(acc.add(vote_from(3), 1), nullptr);  // past quorum: no re-emit
+}
+
+TEST_F(AccumulatorTest, IgnoresDuplicateVoter) {
+  VoteAccumulator acc(gen_.set, true);
+  acc.add(vote_from(0), 1);
+  acc.add(vote_from(0), 1);
+  acc.add(vote_from(0), 1);
+  EXPECT_EQ(acc.count(1, VoteKind::kNormal, block_->id()), 1u);
+}
+
+TEST_F(AccumulatorTest, RejectsInvalidSignature) {
+  VoteAccumulator acc(gen_.set, true);
+  auto v = vote_from(0);
+  v.sig.data[0] ^= 1;
+  acc.add(v, 1);
+  EXPECT_EQ(acc.count(1, VoteKind::kNormal, block_->id()), 0u);
+}
+
+TEST_F(AccumulatorTest, SkipsSignatureCheckWhenDisabled) {
+  VoteAccumulator acc(gen_.set, false);
+  auto v = vote_from(0);
+  v.sig.data[0] ^= 1;
+  acc.add(v, 1);
+  EXPECT_EQ(acc.count(1, VoteKind::kNormal, block_->id()), 1u);
+}
+
+TEST_F(AccumulatorTest, KindsAccumulateSeparately) {
+  // 2 normal + 2 optimistic votes for the same block: no certificate.
+  VoteAccumulator acc(gen_.set, true);
+  EXPECT_EQ(acc.add(vote_from(0, VoteKind::kNormal), 1), nullptr);
+  EXPECT_EQ(acc.add(vote_from(1, VoteKind::kNormal), 1), nullptr);
+  EXPECT_EQ(acc.add(vote_from(2, VoteKind::kOptimistic), 1), nullptr);
+  EXPECT_EQ(acc.add(vote_from(3, VoteKind::kOptimistic), 1), nullptr);
+  // A third optimistic vote completes the optimistic certificate.
+  const auto qc = acc.add(vote_from(0, VoteKind::kOptimistic), 1);
+  ASSERT_NE(qc, nullptr);
+  EXPECT_EQ(qc->kind, VoteKind::kOptimistic);
+}
+
+TEST_F(AccumulatorTest, PruneDropsOldViews) {
+  VoteAccumulator acc(gen_.set, true);
+  acc.add(vote_from(0, VoteKind::kNormal, 1), 1);
+  acc.add(vote_from(0, VoteKind::kNormal, 5), 1);
+  acc.prune_below(3);
+  EXPECT_EQ(acc.count(1, VoteKind::kNormal, block_->id()), 0u);
+  EXPECT_EQ(acc.count(5, VoteKind::kNormal, block_->id()), 1u);
+}
+
+TEST_F(AccumulatorTest, TimeoutThresholds) {
+  TimeoutAccumulator acc(gen_.set, true);
+  auto r = acc.add(timeout_from(0, 2));
+  EXPECT_FALSE(r.reached_f_plus_1);
+  EXPECT_EQ(r.tc, nullptr);
+  r = acc.add(timeout_from(1, 2));  // f+1 = 2
+  EXPECT_TRUE(r.reached_f_plus_1);
+  EXPECT_EQ(r.tc, nullptr);
+  r = acc.add(timeout_from(2, 2));  // quorum = 3
+  EXPECT_FALSE(r.reached_f_plus_1);  // one-shot
+  ASSERT_NE(r.tc, nullptr);
+  EXPECT_EQ(r.tc->view, 2u);
+  r = acc.add(timeout_from(3, 2));
+  EXPECT_EQ(r.tc, nullptr);  // one-shot
+}
+
+TEST_F(AccumulatorTest, TimeoutDuplicateSenderIgnored) {
+  TimeoutAccumulator acc(gen_.set, true);
+  acc.add(timeout_from(0, 2));
+  const auto r = acc.add(timeout_from(0, 2));
+  EXPECT_FALSE(r.reached_f_plus_1);
+  EXPECT_EQ(acc.count(2), 1u);
+}
+
+TEST_F(AccumulatorTest, TimeoutViewsIndependent) {
+  TimeoutAccumulator acc(gen_.set, true);
+  acc.add(timeout_from(0, 2));
+  acc.add(timeout_from(1, 3));
+  EXPECT_EQ(acc.count(2), 1u);
+  EXPECT_EQ(acc.count(3), 1u);
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,122 @@
+// Leader liveness when the justifying block's body is missing: the leader
+// must fetch it (block sync) and propose once it arrives, rather than stall
+// until the view times out.
+#include <gtest/gtest.h>
+
+#include "consensus/jolteon/jolteon.hpp"
+#include "consensus/moonshot/pipelined_moonshot.hpp"
+
+namespace moonshot {
+namespace {
+
+class CaptureNetwork final : public net::INetwork {
+ public:
+  struct Sent {
+    NodeId from, to;
+    MessagePtr msg;
+  };
+  void multicast(NodeId from, MessagePtr m) override {
+    sent.push_back({from, kNoNode, std::move(m)});
+  }
+  void unicast(NodeId from, NodeId to, MessagePtr m) override {
+    sent.push_back({from, to, std::move(m)});
+  }
+  template <typename T>
+  std::vector<const T*> of_type() const {
+    std::vector<const T*> out;
+    for (const auto& s : sent)
+      if (const T* p = std::get_if<T>(s.msg.get())) out.push_back(p);
+    return out;
+  }
+  void clear() { sent.clear(); }
+  std::vector<Sent> sent;
+};
+
+class LeaderFetchTest : public ::testing::Test {
+ protected:
+  LeaderFetchTest() : gen_(ValidatorSet::generate(4, crypto::fast_scheme(), 1)) {}
+
+  NodeContext make_ctx(NodeId id) {
+    NodeContext ctx;
+    ctx.id = id;
+    ctx.validators = gen_.set;
+    ctx.priv = gen_.private_keys[id];
+    ctx.network = &net_;
+    ctx.sched = &sched_;
+    ctx.leaders = std::make_shared<const RoundRobinSchedule>(4);
+    ctx.delta = milliseconds(100);
+    ctx.payload_for_view = [](View v) { return Payload::synthetic(100, v); };
+    ctx.verify_signatures = true;
+    return ctx;
+  }
+  QcPtr qc_for(const BlockPtr& block) {
+    std::vector<Vote> votes;
+    for (NodeId i = 0; i < 3; ++i)
+      votes.push_back(Vote::make(VoteKind::kNormal, block->view(), block->id(), i,
+                                 gen_.private_keys[i], gen_.set->scheme()));
+    return QuorumCert::assemble(votes, block->height(), *gen_.set);
+  }
+
+  ValidatorSet::Generated gen_;
+  sim::Scheduler sched_;
+  CaptureNetwork net_;
+};
+
+TEST_F(LeaderFetchTest, PipelinedLeaderFetchesMissingParentThenProposes) {
+  // Node 1 leads view 2. It learns C_1(b1) (id only, via a certificate
+  // message) without ever receiving b1's body.
+  PipelinedMoonshotNode node(make_ctx(1));
+  node.start();
+  const auto b1 = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(100, 1));
+  net_.clear();
+  node.handle(0, make_message<CertMsg>(qc_for(b1), NodeId{0}));
+  EXPECT_EQ(node.current_view(), 2u);
+  // No proposal possible yet — but a block request must have gone out.
+  EXPECT_TRUE(net_.of_type<ProposalMsg>().empty());
+  const auto requests = net_.of_type<BlockRequestMsg>();
+  ASSERT_FALSE(requests.empty());
+  EXPECT_EQ(requests[0]->id, b1->id());
+  // A peer answers; the leader proposes immediately.
+  net_.clear();
+  node.handle(2, make_message<BlockResponseMsg>(b1, NodeId{2}));
+  const auto props = net_.of_type<ProposalMsg>();
+  ASSERT_EQ(props.size(), 1u);
+  EXPECT_EQ(props[0]->block->parent(), b1->id());
+  EXPECT_EQ(props[0]->block->view(), 2u);
+}
+
+TEST_F(LeaderFetchTest, JolteonLeaderFetchesMissingParentThenProposes) {
+  JolteonNode node(make_ctx(1));
+  node.start();
+  const auto b1 = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(100, 1));
+  net_.clear();
+  node.handle(0, make_message<CertMsg>(qc_for(b1), NodeId{0}));
+  EXPECT_EQ(node.current_view(), 2u);
+  ASSERT_FALSE(net_.of_type<BlockRequestMsg>().empty());
+  net_.clear();
+  node.handle(3, make_message<BlockResponseMsg>(b1, NodeId{3}));
+  const auto props = net_.of_type<ProposalMsg>();
+  ASSERT_EQ(props.size(), 1u);
+  EXPECT_EQ(props[0]->block->parent(), b1->id());
+}
+
+TEST_F(LeaderFetchTest, NodesServeBlockRequests) {
+  PipelinedMoonshotNode node(make_ctx(2));
+  node.start();
+  const auto b1 = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(100, 1));
+  node.handle(0, make_message<ProposalMsg>(b1, QuorumCert::genesis_qc(), nullptr, NodeId{0}));
+  net_.clear();
+  node.handle(3, make_message<BlockRequestMsg>(b1->id(), NodeId{3}));
+  const auto responses = net_.of_type<BlockResponseMsg>();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0]->block->id(), b1->id());
+  // Unknown blocks are not served (no error, no response).
+  net_.clear();
+  BlockId unknown{};
+  unknown.data[0] = 0x99;
+  node.handle(3, make_message<BlockRequestMsg>(unknown, NodeId{3}));
+  EXPECT_TRUE(net_.of_type<BlockResponseMsg>().empty());
+}
+
+}  // namespace
+}  // namespace moonshot

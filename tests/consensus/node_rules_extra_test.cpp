@@ -1,0 +1,233 @@
+// Additional rule-level tests: Commit Moonshot's indirect pre-commit,
+// Simple Moonshot's f+1 amplification, Pipelined Moonshot's vote guards
+// around TC-driven view entry, and HotStuff's preferred-round lock.
+#include <gtest/gtest.h>
+
+#include "consensus/hotstuff/hotstuff.hpp"
+#include "consensus/moonshot/commit_moonshot.hpp"
+#include "consensus/moonshot/pipelined_moonshot.hpp"
+#include "consensus/moonshot/simple_moonshot.hpp"
+
+namespace moonshot {
+namespace {
+
+class CaptureNetwork final : public net::INetwork {
+ public:
+  struct Sent {
+    NodeId from;
+    NodeId to;
+    MessagePtr msg;
+  };
+  void multicast(NodeId from, MessagePtr m) override {
+    sent.push_back({from, kNoNode, std::move(m)});
+  }
+  void unicast(NodeId from, NodeId to, MessagePtr m) override {
+    sent.push_back({from, to, std::move(m)});
+  }
+  template <typename T>
+  std::vector<const T*> of_type() const {
+    std::vector<const T*> out;
+    for (const auto& s : sent)
+      if (const T* p = std::get_if<T>(s.msg.get())) out.push_back(p);
+    return out;
+  }
+  std::vector<Vote> votes() const {
+    std::vector<Vote> out;
+    for (const auto* v : of_type<VoteMsg>()) out.push_back(v->vote);
+    return out;
+  }
+  void clear() { sent.clear(); }
+  std::vector<Sent> sent;
+};
+
+class NodeRulesExtraTest : public ::testing::Test {
+ protected:
+  NodeRulesExtraTest() : gen_(ValidatorSet::generate(4, crypto::fast_scheme(), 1)) {}
+
+  NodeContext make_ctx(NodeId id) {
+    NodeContext ctx;
+    ctx.id = id;
+    ctx.validators = gen_.set;
+    ctx.priv = gen_.private_keys[id];
+    ctx.network = &net_;
+    ctx.sched = &sched_;
+    ctx.leaders = std::make_shared<const RoundRobinSchedule>(4);
+    ctx.delta = milliseconds(100);
+    ctx.payload_for_view = [](View v) { return Payload::synthetic(100, v); };
+    ctx.verify_signatures = true;
+    return ctx;
+  }
+  Vote vote_from(NodeId id, VoteKind kind, View view, const BlockId& block) {
+    return Vote::make(kind, view, block, id, gen_.private_keys[id], gen_.set->scheme());
+  }
+  QcPtr qc_for(const BlockPtr& block, VoteKind kind = VoteKind::kNormal) {
+    std::vector<Vote> votes;
+    for (NodeId i = 0; i < 3; ++i)
+      votes.push_back(vote_from(i, kind, block->view(), block->id()));
+    return QuorumCert::assemble(votes, block->height(), *gen_.set);
+  }
+  TcPtr tc_for(View view, QcPtr lock) {
+    std::vector<TimeoutMsg> ts;
+    for (NodeId i = 0; i < 3; ++i)
+      ts.push_back(TimeoutMsg::make(view, i, lock, gen_.private_keys[i], gen_.set->scheme()));
+    return TimeoutCert::assemble(ts, *gen_.set);
+  }
+  BlockPtr child_of(const BlockPtr& parent, View view) {
+    return Block::create(view, parent->height() + 1, parent->id(),
+                         Payload::synthetic(100, view));
+  }
+
+  ValidatorSet::Generated gen_;
+  sim::Scheduler sched_;
+  CaptureNetwork net_;
+};
+
+// --- Commit Moonshot: indirect pre-commit (Figure 4 rule 2) --------------------
+
+TEST_F(NodeRulesExtraTest, CmIndirectPreCommitForLateCertificate) {
+  CommitMoonshotNode node(make_ctx(3));
+  node.start();
+  const auto b1 = child_of(Block::genesis(), 1);
+  const auto b2 = child_of(b1, 2);
+  // The node learns both bodies through optimistic proposals, which carry
+  // no justifying certificate — so it can see C_2 before ever seeing C_1.
+  node.handle(0, make_message<OptProposalMsg>(b1, NodeId{0}));
+  node.handle(1, make_message<OptProposalMsg>(b2, NodeId{1}));
+  net_.clear();
+  // C_2 first: direct pre-commit for b2 (view 1 <= 2, no timeout), then the
+  // node advances to view 3.
+  node.handle(0, make_message<CertMsg>(qc_for(b2), NodeId{0}));
+  std::vector<Vote> commit_votes;
+  for (const auto& v : net_.votes())
+    if (v.kind == VoteKind::kCommit) commit_votes.push_back(v);
+  ASSERT_EQ(commit_votes.size(), 1u);
+  EXPECT_EQ(commit_votes[0].block, b2->id());
+  EXPECT_EQ(node.current_view(), 3u);
+  net_.clear();
+  // C_1 arrives late (view 3 > 1: the direct rule cannot fire). The
+  // *indirect* rule issues the commit vote because we already commit-voted
+  // b2, a descendant of b1.
+  node.handle(2, make_message<CertMsg>(qc_for(b1), NodeId{2}));
+  commit_votes.clear();
+  for (const auto& v : net_.votes())
+    if (v.kind == VoteKind::kCommit) commit_votes.push_back(v);
+  ASSERT_EQ(commit_votes.size(), 1u);
+  EXPECT_EQ(commit_votes[0].block, b1->id());
+  EXPECT_EQ(commit_votes[0].view, 1u);
+}
+
+// --- Simple Moonshot: f+1 timeout amplification (Figure 1 rule 4) ----------------
+
+TEST_F(NodeRulesExtraTest, SmJoinsTimeoutOnFPlusOneEvidence) {
+  SimpleMoonshotNode node(make_ctx(0));
+  node.start();
+  net_.clear();
+  const auto t = [&](NodeId id) {
+    return TimeoutMsg::make(1, id, nullptr, gen_.private_keys[id], gen_.set->scheme());
+  };
+  node.handle(1, make_message<TimeoutMsgWrap>(t(1)));
+  EXPECT_TRUE(net_.of_type<TimeoutMsgWrap>().empty());  // one is not evidence
+  node.handle(2, make_message<TimeoutMsgWrap>(t(2)));   // f+1 = 2 distinct
+  const auto timeouts = net_.of_type<TimeoutMsgWrap>();
+  ASSERT_EQ(timeouts.size(), 1u);
+  EXPECT_EQ(timeouts[0]->timeout.view, 1u);
+  EXPECT_EQ(timeouts[0]->timeout.high_qc, nullptr);  // SM timeouts carry no lock
+  // And the node has stopped voting in view 1.
+  const auto b1 = child_of(Block::genesis(), 1);
+  net_.clear();
+  node.handle(0, make_message<ProposalMsg>(b1, QuorumCert::genesis_qc(), nullptr, NodeId{0}));
+  EXPECT_TRUE(net_.votes().empty());
+}
+
+TEST_F(NodeRulesExtraTest, SmIgnoresFutureViewTimeouts) {
+  // Figure 1 amplifies only the *current* view's timeouts (Pipelined
+  // Moonshot's rule 4 generalizes to v' >= v; Simple's does not).
+  SimpleMoonshotNode node(make_ctx(0));
+  node.start();
+  net_.clear();
+  const auto t = [&](NodeId id, View v) {
+    return TimeoutMsg::make(v, id, nullptr, gen_.private_keys[id], gen_.set->scheme());
+  };
+  node.handle(1, make_message<TimeoutMsgWrap>(t(1, 5)));
+  node.handle(2, make_message<TimeoutMsgWrap>(t(2, 5)));
+  EXPECT_TRUE(net_.of_type<TimeoutMsgWrap>().empty());
+}
+
+// --- Pipelined Moonshot: opt-vote guards around TC entry -------------------------
+
+TEST_F(NodeRulesExtraTest, PmNoOptimisticVoteAfterTcEntry) {
+  // A node that entered view 2 via TC_1 has necessarily sent T_1
+  // (amplification), so timeout_view = 1 = v-1 blocks the optimistic vote
+  // even if the lock happens to match.
+  PipelinedMoonshotNode node(make_ctx(2));
+  node.start();
+  const auto b1 = child_of(Block::genesis(), 1);
+  node.handle(0, make_message<ProposalMsg>(b1, QuorumCert::genesis_qc(), nullptr, NodeId{0}));
+  const auto qc1 = qc_for(b1);
+  // TC for view 1 whose high-QC is C_1: entry into view 2 via timeout path,
+  // and the lock still rises to C_1 through the TC.
+  node.handle(3, make_message<TcMsg>(tc_for(1, qc1), NodeId{3}));
+  EXPECT_EQ(node.current_view(), 2u);
+  EXPECT_EQ(node.timeout_view(), 1u);
+  EXPECT_EQ(node.lock()->view, 1u);
+  net_.clear();
+  const auto b2 = child_of(b1, 2);
+  node.handle(1, make_message<OptProposalMsg>(b2, NodeId{1}));
+  for (const auto& v : net_.votes()) EXPECT_NE(v.kind, VoteKind::kOptimistic);
+}
+
+TEST_F(NodeRulesExtraTest, PmFallbackVoteAllowedAfterEquivocatingOptVote) {
+  // Figure 3: a fallback vote is permitted even after an optimistic vote for
+  // an equivocating block (the TC proves the optimistic certificate cannot
+  // exist).
+  PipelinedMoonshotNode node(make_ctx(2));
+  node.start();
+  const auto b1 = child_of(Block::genesis(), 1);
+  const auto qc1 = qc_for(b1);
+  node.handle(0, make_message<ProposalMsg>(b1, QuorumCert::genesis_qc(), nullptr, NodeId{0}));
+  node.handle(0, make_message<CertMsg>(qc1, NodeId{0}));  // view 2, lock C_1
+  const auto b2a = child_of(b1, 2);
+  node.handle(1, make_message<OptProposalMsg>(b2a, NodeId{1}));  // opt vote for b2a
+  net_.clear();
+  // Fallback proposal for view 2?? No — fallback is for the *next* view.
+  // Drive: TC_2 moves us to view 3; the fallback proposal extends b1 with an
+  // equivocating lineage relative to b2a. The vote must still be cast.
+  const auto tc2 = tc_for(2, qc1);
+  node.handle(3, make_message<TcMsg>(tc2, NodeId{3}));
+  EXPECT_EQ(node.current_view(), 3u);
+  const auto b3 = child_of(b1, 3);
+  node.handle(2, make_message<FbProposalMsg>(b3, qc1, tc2, NodeId{2}));
+  bool fb_vote = false;
+  for (const auto& v : net_.votes())
+    if (v.kind == VoteKind::kFallback && v.block == b3->id()) fb_vote = true;
+  EXPECT_TRUE(fb_vote);
+}
+
+// --- HotStuff: preferred-round lock ----------------------------------------------
+
+TEST_F(NodeRulesExtraTest, HotStuffRejectsJustifyBelowPreferredRound) {
+  HotStuffNode node(make_ctx(3));
+  node.start();
+  // Build rounds 1..3 so the preferred round rises to 2 (grandparent rule:
+  // certifying b3 with parent b2 raises preferred to b2's round).
+  const auto b1 = child_of(Block::genesis(), 1);
+  const auto b2 = child_of(b1, 2);
+  const auto b3 = child_of(b2, 3);
+  node.handle(0, make_message<ProposalMsg>(b1, QuorumCert::genesis_qc(), nullptr, NodeId{0}));
+  node.handle(1, make_message<ProposalMsg>(b2, qc_for(b1), nullptr, NodeId{1}));
+  node.handle(2, make_message<ProposalMsg>(b3, qc_for(b2), nullptr, NodeId{2}));
+  node.handle(0, make_message<CertMsg>(qc_for(b3), NodeId{0}));  // round 4
+  EXPECT_EQ(node.preferred_round(), 2u);
+  net_.clear();
+  // A proposal justified by C_1 (round 1 < preferred 2), gap covered by a
+  // TC whose high-QC is also C_1: the TC form is valid, but the lock says no.
+  const auto qc1 = qc_for(b1);
+  const auto tc4 = tc_for(4, qc1);
+  node.handle(3, make_message<TcMsg>(tc4, NodeId{3}));  // round 5 (self is leader? no: L_5 = 0)
+  const auto bad = child_of(b1, 5);
+  node.handle(0, make_message<ProposalMsg>(bad, qc1, tc4, NodeId{0}));
+  EXPECT_TRUE(net_.votes().empty());
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,82 @@
+#include "consensus/leader_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace moonshot {
+namespace {
+
+std::vector<NodeId> byz_tail(std::size_t n, std::size_t f) {
+  std::vector<NodeId> out;
+  for (std::size_t i = n - f; i < n; ++i) out.push_back(static_cast<NodeId>(i));
+  return out;
+}
+
+bool is_fair(const LeaderSchedule& s, std::size_t n) {
+  std::set<NodeId> seen;
+  for (View v = 1; v <= n; ++v) seen.insert(s.leader(v));
+  return seen.size() == n;
+}
+
+TEST(Schedule, RoundRobin) {
+  RoundRobinSchedule s(4);
+  EXPECT_EQ(s.leader(1), 0u);
+  EXPECT_EQ(s.leader(4), 3u);
+  EXPECT_EQ(s.leader(5), 0u);  // wraps
+  EXPECT_TRUE(is_fair(s, 4));
+}
+
+TEST(Schedule, BHonestThenByzantine) {
+  const auto byz = byz_tail(10, 3);
+  const auto s = make_schedule_b(10, byz);
+  // First 7 views: honest; last 3: byzantine.
+  for (View v = 1; v <= 7; ++v) EXPECT_LT(s->leader(v), 7u) << v;
+  for (View v = 8; v <= 10; ++v) EXPECT_GE(s->leader(v), 7u) << v;
+  EXPECT_TRUE(is_fair(*s, 10));
+  // Repeats with period n.
+  EXPECT_EQ(s->leader(11), s->leader(1));
+}
+
+TEST(Schedule, WmAlternatesThenHonest) {
+  const auto byz = byz_tail(10, 3);
+  const auto s = make_schedule_wm(10, byz);
+  // (h, b) x 3 then 4 honest.
+  for (View v = 1; v <= 6; ++v) {
+    const bool expect_byz = (v % 2 == 0);
+    EXPECT_EQ(s->leader(v) >= 7u, expect_byz) << v;
+  }
+  for (View v = 7; v <= 10; ++v) EXPECT_LT(s->leader(v), 7u) << v;
+  EXPECT_TRUE(is_fair(*s, 10));
+}
+
+TEST(Schedule, WjTwoHonestThenByzantine) {
+  const auto byz = byz_tail(10, 3);
+  const auto s = make_schedule_wj(10, byz);
+  // (h, h, b) x 3 then 1 honest.
+  for (View v = 1; v <= 9; ++v) {
+    const bool expect_byz = (v % 3 == 0);
+    EXPECT_EQ(s->leader(v) >= 7u, expect_byz) << v;
+  }
+  EXPECT_LT(s->leader(10), 7u);
+  EXPECT_TRUE(is_fair(*s, 10));
+}
+
+TEST(Schedule, PaperConfiguration) {
+  // n=100, f'=33 — the paper's failure-evaluation setting must be valid.
+  const auto byz = byz_tail(100, 33);
+  EXPECT_TRUE(is_fair(*make_schedule_b(100, byz), 100));
+  EXPECT_TRUE(is_fair(*make_schedule_wm(100, byz), 100));
+  EXPECT_TRUE(is_fair(*make_schedule_wj(100, byz), 100));
+}
+
+TEST(Schedule, ListScheduleWraps) {
+  ListSchedule s({2, 0, 1});
+  EXPECT_EQ(s.leader(1), 2u);
+  EXPECT_EQ(s.leader(2), 0u);
+  EXPECT_EQ(s.leader(3), 1u);
+  EXPECT_EQ(s.leader(4), 2u);
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,132 @@
+// Block synchronisation (catch-up) and network-partition recovery, plus the
+// leader-speaks-once (LSO) variant's behaviour.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace moonshot {
+namespace {
+
+ExperimentConfig lan_config(ProtocolKind p, std::size_t n) {
+  ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.n = n;
+  cfg.delta = milliseconds(50);
+  cfg.duration = seconds(10);
+  cfg.seed = 17;
+  cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(5), 1);
+  cfg.net.regions_used = 1;
+  cfg.net.jitter = 0.0;
+  cfg.net.adversarial_before_gst = false;
+  cfg.verify_signatures = true;
+  return cfg;
+}
+
+class PartitionRecoveryTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(PartitionRecoveryTest, IsolatedNodeCatchesUpAfterHeal) {
+  // Node 3 of 4 is cut off for the first 4 seconds. The other three keep the
+  // quorum (2f+1 = 3) and keep committing. After the heal, node 3 must fetch
+  // the block bodies it missed and converge to the same chain.
+  auto cfg = lan_config(GetParam(), 4);
+  Experiment e(cfg);
+  auto& sched = e.scheduler();
+  const TimePoint heal{seconds(4).count()};
+  e.network().set_drop_filter([&sched, heal](NodeId from, NodeId to, const Message&) {
+    if (sched.now() >= heal) return false;
+    return from == 3 || to == 3;
+  });
+
+  const auto result = e.run();
+  EXPECT_TRUE(result.logs_consistent);
+  EXPECT_GT(result.summary.committed_blocks, 50u);
+
+  // The healed node's log must have caught up to (nearly) the others'.
+  const auto healthy = e.node(0).commit_log().size();
+  const auto healed = e.node(3).commit_log().size();
+  EXPECT_GT(healed, healthy * 8 / 10)
+      << protocol_name(GetParam()) << ": healed=" << healed << " healthy=" << healthy;
+  // And byte-for-byte identical over the shared prefix (checked by
+  // logs_consistent above; assert a strong lower bound explicitly too).
+  EXPECT_GT(healed, 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, PartitionRecoveryTest,
+                         ::testing::Values(ProtocolKind::kSimpleMoonshot,
+                                           ProtocolKind::kPipelinedMoonshot,
+                                           ProtocolKind::kCommitMoonshot,
+                                           ProtocolKind::kJolteon,
+                                           ProtocolKind::kHotStuff),
+                         [](const auto& info) { return std::string(protocol_tag(info.param)); });
+
+TEST(SyncProtocol, RequestsAreBounded) {
+  // A permanently partitioned node must not flood the network with fetches:
+  // retries are capped per block id.
+  auto cfg = lan_config(ProtocolKind::kPipelinedMoonshot, 4);
+  cfg.duration = seconds(8);
+  Experiment e(cfg);
+  // Node 3 receives certificates (small messages pass) but no blocks: drop
+  // only proposals and block responses towards it.
+  e.network().set_drop_filter([](NodeId /*from*/, NodeId to, const Message& m) {
+    if (to != 3) return false;
+    return std::holds_alternative<ProposalMsg>(m) || std::holds_alternative<OptProposalMsg>(m) ||
+           std::holds_alternative<FbProposalMsg>(m) ||
+           std::holds_alternative<BlockResponseMsg>(m);
+  });
+  const auto result = e.run();
+  EXPECT_TRUE(result.logs_consistent);
+  // Node 3 can form certificates from votes but never commits (no bodies).
+  EXPECT_EQ(e.node(3).commit_log().size(), 0u);
+  // The run must terminate with a bounded number of dropped fetch responses
+  // (cap is f+2 retries per id; views advance ~100x here).
+  EXPECT_LT(result.net_stats.messages_dropped, 20000u);
+}
+
+// --- Leader-speaks-once variant -----------------------------------------------
+
+TEST(LsoMode, HappyPathStillLive) {
+  auto cfg = lan_config(ProtocolKind::kPipelinedMoonshot, 4);
+  cfg.lso_mode = true;
+  const auto result = run_experiment(cfg);
+  // On the happy path the optimistic proposal always succeeds, so LSO
+  // behaves identically to LCO.
+  EXPECT_GT(result.summary.committed_blocks, 100u);
+  EXPECT_TRUE(result.logs_consistent);
+}
+
+TEST(LsoMode, LosesReorgResilienceWhenOptProposalFails) {
+  // The paper's §III-B scenario: the leader of view 3 votes for the view-2
+  // block and optimistically proposes on top of it, but view 2's
+  // certification fails (here: the adversary suppresses all view-2 votes,
+  // forcing entry into view 3 via TC_2). An LCO leader corrects itself with
+  // a fallback proposal; an LSO leader has already spoken, so view 3
+  // produces nothing.
+  auto mk = [&](bool lso) {
+    auto cfg = lan_config(ProtocolKind::kPipelinedMoonshot, 4);
+    cfg.duration = seconds(6);
+    cfg.lso_mode = lso;
+    Experiment e(cfg);
+    e.network().set_drop_filter([](NodeId, NodeId, const Message& m) {
+      const auto* v = std::get_if<VoteMsg>(&m);
+      return v && v->vote.view == 2 && v->vote.kind != VoteKind::kCommit;
+    });
+    e.run();
+    std::set<View> views;
+    for (const auto& b : e.node(0).commit_log().blocks()) views.insert(b->view());
+    return views;
+  };
+  const auto lco_views = mk(false);
+  const auto lso_views = mk(true);
+  // View 2 is uncertifiable for both (its votes are gone)…
+  EXPECT_FALSE(lco_views.count(2));
+  EXPECT_FALSE(lso_views.count(2));
+  // …but view 3's honest leader lands a block only under LCO.
+  EXPECT_TRUE(lco_views.count(3));
+  EXPECT_FALSE(lso_views.count(3));
+  // Both stay live afterwards.
+  EXPECT_TRUE(lco_views.count(5));
+  EXPECT_TRUE(lso_views.count(5));
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,115 @@
+// Ed25519 edge cases: identity handling, zero/huge scalars, encoding
+// boundaries — the inputs a Byzantine peer controls.
+#include <gtest/gtest.h>
+
+#include "crypto/ed25519_fe.hpp"
+#include "crypto/ed25519_group.hpp"
+#include "crypto/ed25519_scalar.hpp"
+
+namespace moonshot::crypto {
+namespace {
+
+TEST(Ed25519Edge, IdentityCompressesAndDecompresses) {
+  std::uint8_t enc[32];
+  ge_tobytes(enc, ge_identity());
+  EXPECT_EQ(enc[0], 1);  // y = 1
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(enc[i], 0);
+  const auto p = ge_frombytes(enc);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(ge_is_identity(*p));
+}
+
+TEST(Ed25519Edge, ZeroScalarGivesIdentity) {
+  std::uint8_t zero[32] = {0};
+  EXPECT_TRUE(ge_is_identity(ge_scalarmult_base(zero)));
+  EXPECT_TRUE(ge_is_identity(ge_scalarmult(zero, ge_basepoint())));
+}
+
+TEST(Ed25519Edge, GroupOrderAnnihilatesBasepoint) {
+  // L * B == identity (B generates the prime-order subgroup).
+  const std::uint8_t l[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                              0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                              0,    0,    0,    0,    0,    0,    0,    0,
+                              0,    0,    0,    0,    0,    0,    0,    0x10};
+  EXPECT_TRUE(ge_is_identity(ge_scalarmult(l, ge_basepoint())));
+}
+
+TEST(Ed25519Edge, LMinusOneIsNegation) {
+  // (L-1) * B == -B.
+  std::uint8_t lm1[32] = {0xec, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                          0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                          0,    0,    0,    0,    0,    0,    0,    0,
+                          0,    0,    0,    0,    0,    0,    0,    0x10};
+  const GePoint p = ge_scalarmult(lm1, ge_basepoint());
+  EXPECT_TRUE(ge_equal(p, ge_neg(ge_basepoint())));
+}
+
+TEST(Ed25519Edge, NegationRoundTrip) {
+  const GePoint& b = ge_basepoint();
+  EXPECT_TRUE(ge_equal(ge_neg(ge_neg(b)), b));
+  std::uint8_t enc[32], enc_neg[32];
+  ge_tobytes(enc, b);
+  ge_tobytes(enc_neg, ge_neg(b));
+  // Negation flips exactly the sign bit.
+  EXPECT_EQ(enc[31] ^ enc_neg[31], 0x80);
+  for (int i = 0; i < 31; ++i) EXPECT_EQ(enc[i], enc_neg[i]);
+}
+
+TEST(Ed25519Edge, ScalarReduceMaxInput) {
+  // All-ones 512-bit input must reduce to a canonical scalar.
+  std::uint8_t in[64];
+  std::memset(in, 0xff, 64);
+  std::uint8_t out[32];
+  sc_reduce512(out, in);
+  EXPECT_TRUE(sc_is_canonical(out));
+}
+
+TEST(Ed25519Edge, MulAddWrapsModL) {
+  // (L-1) * 1 + 1 ≡ 0 (mod L).
+  std::uint8_t lm1[32] = {0xec, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                          0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                          0,    0,    0,    0,    0,    0,    0,    0,
+                          0,    0,    0,    0,    0,    0,    0,    0x10};
+  std::uint8_t one[32] = {1};
+  std::uint8_t out[32];
+  sc_muladd(out, lm1, one, one);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], 0) << i;
+}
+
+TEST(Ed25519Edge, FieldTwoPlusPEncodesAsTwo) {
+  // Non-canonical field inputs (value + p) reduce on encode.
+  std::uint8_t in[32];
+  std::memset(in, 0xff, 32);
+  in[0] = 0xef;  // p + 2 (p ends in 0xed)
+  in[31] = 0x7f;
+  const Fe f = fe_frombytes(in);
+  std::uint8_t out[32];
+  fe_tobytes(out, f);
+  EXPECT_EQ(out[0], 2);
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(Ed25519Edge, AllByteValuesEitherDecodeOrReject) {
+  // Sweeping y = 0..255 in the low byte: each either decodes to a point that
+  // re-encodes consistently, or is rejected. No crashes, no corruption.
+  std::uint8_t enc[32] = {0};
+  int ok = 0, rejected = 0;
+  for (int y = 0; y < 256; ++y) {
+    enc[0] = static_cast<std::uint8_t>(y);
+    const auto p = ge_frombytes(enc);
+    if (!p) {
+      ++rejected;
+      continue;
+    }
+    ++ok;
+    std::uint8_t round[32];
+    ge_tobytes(round, *p);
+    // The y-coordinate must survive the round trip.
+    EXPECT_EQ(round[0], y & 0xff);
+  }
+  EXPECT_GT(ok, 50);        // about half of all y are on-curve
+  EXPECT_GT(rejected, 50);
+}
+
+}  // namespace
+}  // namespace moonshot::crypto

@@ -1,0 +1,267 @@
+#include "crypto/ed25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/ed25519_fe.hpp"
+#include "crypto/ed25519_group.hpp"
+#include "crypto/ed25519_scalar.hpp"
+#include "support/hex.hpp"
+#include "support/prng.hpp"
+
+namespace moonshot::crypto {
+namespace {
+
+Ed25519Seed seed_from_hex(const char* h) {
+  return Ed25519Seed::from_view(*from_hex(h));
+}
+
+// --- Field arithmetic --------------------------------------------------------
+
+TEST(Ed25519Field, AddSubIdentities) {
+  const Fe a = fe_from_u64(12345);
+  EXPECT_TRUE(fe_equal(fe_add(a, fe_zero()), a));
+  EXPECT_TRUE(fe_iszero(fe_sub(a, a)));
+  EXPECT_TRUE(fe_equal(fe_add(a, fe_neg(a)), fe_zero()));
+}
+
+TEST(Ed25519Field, MulCommutesAndDistributes) {
+  Prng prng(31);
+  for (int i = 0; i < 20; ++i) {
+    const Fe a = fe_from_u64(prng.next_u64() >> 14);
+    const Fe b = fe_from_u64(prng.next_u64() >> 14);
+    const Fe c = fe_from_u64(prng.next_u64() >> 14);
+    EXPECT_TRUE(fe_equal(fe_mul(a, b), fe_mul(b, a)));
+    EXPECT_TRUE(fe_equal(fe_mul(a, fe_add(b, c)), fe_add(fe_mul(a, b), fe_mul(a, c))));
+  }
+}
+
+TEST(Ed25519Field, InvertIsInverse) {
+  Prng prng(32);
+  for (int i = 0; i < 10; ++i) {
+    const Fe a = fe_from_u64((prng.next_u64() >> 14) | 1);
+    EXPECT_TRUE(fe_equal(fe_mul(a, fe_invert(a)), fe_one()));
+  }
+}
+
+TEST(Ed25519Field, SqrtM1Squared) {
+  // sqrt(-1)^2 == -1.
+  EXPECT_TRUE(fe_equal(fe_sq(fe_sqrtm1()), fe_neg(fe_one())));
+}
+
+TEST(Ed25519Field, ToFromBytesRoundTrip) {
+  Prng prng(33);
+  for (int i = 0; i < 20; ++i) {
+    std::uint8_t in[32];
+    for (auto& b : in) b = static_cast<std::uint8_t>(prng.next_u64());
+    in[31] &= 0x7f;  // stay below 2^255
+    const Fe f = fe_frombytes(in);
+    std::uint8_t out[32];
+    fe_tobytes(out, f);
+    // Values < p round-trip exactly; values in [p, 2^255) reduce, so only
+    // compare when clearly below p (top byte < 0x7f is sufficient).
+    if (in[31] < 0x7f) {
+      EXPECT_EQ(Bytes(in, in + 32), Bytes(out, out + 32));
+    }
+  }
+}
+
+TEST(Ed25519Field, CanonicalReductionOfP) {
+  // Encoding of p itself must be zero.
+  std::uint8_t p_bytes[32];
+  std::memset(p_bytes, 0xff, 32);
+  p_bytes[0] = 0xed;
+  p_bytes[31] = 0x7f;
+  const Fe f = fe_frombytes(p_bytes);
+  EXPECT_TRUE(fe_iszero(f));
+}
+
+// --- Group arithmetic --------------------------------------------------------
+
+TEST(Ed25519Group, BasepointOnCurve) {
+  // -x^2 + y^2 == 1 + d x^2 y^2 for the base point.
+  const GePoint& B = ge_basepoint();
+  const Fe zinv = fe_invert(B.Z);
+  const Fe x = fe_mul(B.X, zinv);
+  const Fe y = fe_mul(B.Y, zinv);
+  const Fe x2 = fe_sq(x), y2 = fe_sq(y);
+  const Fe lhs = fe_sub(y2, x2);
+  const Fe rhs = fe_add(fe_one(), fe_mul(ge_d(), fe_mul(x2, y2)));
+  EXPECT_TRUE(fe_equal(lhs, rhs));
+}
+
+TEST(Ed25519Group, DoubleMatchesAdd) {
+  const GePoint& B = ge_basepoint();
+  EXPECT_TRUE(ge_equal(ge_double(B), ge_add(B, B)));
+  const GePoint B2 = ge_double(B);
+  EXPECT_TRUE(ge_equal(ge_double(B2), ge_add(B2, B2)));
+}
+
+TEST(Ed25519Group, IdentityLaws) {
+  const GePoint& B = ge_basepoint();
+  EXPECT_TRUE(ge_equal(ge_add(B, ge_identity()), B));
+  EXPECT_TRUE(ge_is_identity(ge_add(B, ge_neg(B))));
+}
+
+TEST(Ed25519Group, ScalarMultDistributes) {
+  // (a+b)*B == a*B + b*B for small scalars.
+  std::uint8_t a[32] = {0}, b[32] = {0}, ab[32] = {0};
+  a[0] = 77;
+  b[0] = 55;
+  ab[0] = 132;
+  const GePoint lhs = ge_scalarmult_base(ab);
+  const GePoint rhs = ge_add(ge_scalarmult_base(a), ge_scalarmult_base(b));
+  EXPECT_TRUE(ge_equal(lhs, rhs));
+}
+
+TEST(Ed25519Group, CompressDecompressRoundTrip) {
+  std::uint8_t n[32] = {0};
+  for (std::uint8_t k : {1, 2, 3, 9, 200}) {
+    n[0] = k;
+    const GePoint p = ge_scalarmult_base(n);
+    std::uint8_t enc[32];
+    ge_tobytes(enc, p);
+    const auto q = ge_frombytes(enc);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_TRUE(ge_equal(p, *q));
+  }
+}
+
+TEST(Ed25519Group, RejectsNonCurvePoint) {
+  // y = 2 gives x^2 = (y^2-1)/(dy^2+1); brute-check this y is invalid.
+  std::uint8_t enc[32] = {0};
+  enc[0] = 0x06;  // small y unlikely on curve
+  int rejected = 0;
+  for (int i = 0; i < 8; ++i) {
+    enc[0] = static_cast<std::uint8_t>(4 + i);
+    if (!ge_frombytes(enc).has_value()) ++rejected;
+  }
+  EXPECT_GT(rejected, 0);  // at least some are off-curve (QR density ~1/2)
+}
+
+// --- Scalar arithmetic ---------------------------------------------------------
+
+TEST(Ed25519Scalar, ReduceSmallIsIdentity) {
+  std::uint8_t in[64] = {0};
+  in[0] = 42;
+  std::uint8_t out[32];
+  sc_reduce512(out, in);
+  EXPECT_EQ(out[0], 42);
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(Ed25519Scalar, ReduceLIsZero) {
+  // L reduces to 0.
+  std::uint8_t in[64] = {0};
+  const auto l = *from_hex("edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  std::memcpy(in, l.data(), 32);
+  std::uint8_t out[32];
+  sc_reduce512(out, in);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], 0) << i;
+}
+
+TEST(Ed25519Scalar, MulAddSmall) {
+  // 3*4+5 = 17 mod L.
+  std::uint8_t a[32] = {3}, b[32] = {4}, c[32] = {5}, out[32];
+  sc_muladd(out, a, b, c);
+  EXPECT_EQ(out[0], 17);
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(Ed25519Scalar, CanonicalCheck) {
+  std::uint8_t s[32] = {0};
+  EXPECT_TRUE(sc_is_canonical(s));  // zero < L
+  const auto l = *from_hex("edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  std::memcpy(s, l.data(), 32);
+  EXPECT_FALSE(sc_is_canonical(s));  // L itself is non-canonical
+  s[0] -= 1;                          // L - 1
+  EXPECT_TRUE(sc_is_canonical(s));
+}
+
+// --- RFC 8032 test vectors ------------------------------------------------------
+
+TEST(Ed25519, Rfc8032Test1) {
+  const auto seed =
+      seed_from_hex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(to_hex(pub.view()),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  const auto sig = ed25519_sign(seed, {});
+  EXPECT_EQ(to_hex(sig.view()),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(ed25519_verify(pub, {}, sig));
+}
+
+TEST(Ed25519, Rfc8032Test2) {
+  const auto seed =
+      seed_from_hex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(to_hex(pub.view()),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  const Bytes msg{0x72};
+  const auto sig = ed25519_sign(seed, msg);
+  EXPECT_EQ(to_hex(sig.view()),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(ed25519_verify(pub, msg, sig));
+}
+
+// --- Behavioural properties -------------------------------------------------------
+
+TEST(Ed25519, SignVerifyRoundTrip) {
+  Prng prng(77);
+  for (int i = 0; i < 5; ++i) {
+    Ed25519Seed seed;
+    Bytes sb(32);
+    prng.fill(sb);
+    seed = Ed25519Seed::from_view(sb);
+    Bytes msg(1 + prng.next_below(100));
+    prng.fill(msg);
+    const auto pub = ed25519_public_key(seed);
+    const auto sig = ed25519_sign(seed, msg);
+    EXPECT_TRUE(ed25519_verify(pub, msg, sig));
+  }
+}
+
+TEST(Ed25519, RejectsTamperedSignature) {
+  const auto seed =
+      seed_from_hex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto pub = ed25519_public_key(seed);
+  const Bytes msg = to_bytes("moonshot");
+  const auto sig = ed25519_sign(seed, msg);
+  for (std::size_t i : {0u, 31u, 32u, 63u}) {
+    auto bad = sig;
+    bad.data[i] ^= 0x01;
+    EXPECT_FALSE(ed25519_verify(pub, msg, bad)) << "byte " << i;
+  }
+}
+
+TEST(Ed25519, RejectsWrongMessage) {
+  const auto seed =
+      seed_from_hex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto pub = ed25519_public_key(seed);
+  const auto sig = ed25519_sign(seed, to_bytes("message-a"));
+  EXPECT_FALSE(ed25519_verify(pub, to_bytes("message-b"), sig));
+}
+
+TEST(Ed25519, RejectsWrongKey) {
+  const auto seed1 =
+      seed_from_hex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto seed2 =
+      seed_from_hex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const auto sig = ed25519_sign(seed1, to_bytes("msg"));
+  EXPECT_FALSE(ed25519_verify(ed25519_public_key(seed2), to_bytes("msg"), sig));
+}
+
+TEST(Ed25519, RejectsNonCanonicalS) {
+  const auto seed =
+      seed_from_hex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto pub = ed25519_public_key(seed);
+  auto sig = ed25519_sign(seed, {});
+  // Force S >= L by setting its top byte to 0xff.
+  sig.data[63] = 0xff;
+  EXPECT_FALSE(ed25519_verify(pub, {}, sig));
+}
+
+}  // namespace
+}  // namespace moonshot::crypto

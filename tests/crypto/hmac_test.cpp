@@ -1,0 +1,50 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/hex.hpp"
+
+namespace moonshot::crypto {
+namespace {
+
+// RFC 4231 test vectors.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, to_bytes("Hi There")).view()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?")).view()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231LargeKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(key,
+                               to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))
+                       .view()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, SimpleKeyMessage) {
+  EXPECT_EQ(to_hex(hmac_sha256(to_bytes("key"), to_bytes("message")).view()),
+            "6e9ef29b75fffc5b7abae527d58fdadb2fe42e7219011976917343065f58ed4a");
+}
+
+TEST(Hmac, KeyExactly64Bytes) {
+  const Bytes key(64, 0x6b);
+  const Bytes key65(65, 0x6b);
+  // Boundary behaviour: 64-byte keys are used directly; 65-byte keys hashed.
+  EXPECT_NE(hmac_sha256(key, to_bytes("m")), hmac_sha256(key65, to_bytes("m")));
+}
+
+TEST(Hmac, DistinctKeysDistinctMacs) {
+  EXPECT_NE(hmac_sha256(to_bytes("k1"), to_bytes("m")),
+            hmac_sha256(to_bytes("k2"), to_bytes("m")));
+  EXPECT_NE(hmac_sha256(to_bytes("k"), to_bytes("m1")),
+            hmac_sha256(to_bytes("k"), to_bytes("m2")));
+}
+
+}  // namespace
+}  // namespace moonshot::crypto

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "support/hex.hpp"
+
+namespace moonshot::crypto {
+namespace {
+
+// FIPS 180-4 / NIST CAVP vectors.
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(to_hex(sha256({}).view()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(sha256(to_bytes("abc")).view()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(sha256(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")).view()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  EXPECT_EQ(to_hex(sha256(to_bytes("The quick brown fox jumps over the lazy dog")).view()),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha512, KnownVectors) {
+  EXPECT_EQ(to_hex(sha512({}).view()),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+  EXPECT_EQ(to_hex(sha512(to_bytes("abc")).view()),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish().view()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha512, MillionA) {
+  Sha512 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish().view()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  // Every split point of a 200-byte message must give the same digest.
+  Bytes msg(200);
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  const auto expect = sha256(msg);
+  for (std::size_t split = 0; split <= msg.size(); split += 13) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), expect) << "split=" << split;
+  }
+}
+
+TEST(Sha512, StreamingMatchesOneShot) {
+  Bytes msg(300);
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<std::uint8_t>(i * 11 + 1);
+  const auto expect = sha512(msg);
+  for (std::size_t split = 0; split <= msg.size(); split += 17) {
+    Sha512 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), expect) << "split=" << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Message lengths straddling the 55/56/64-byte padding boundaries must all
+  // hash distinctly and deterministically.
+  std::vector<std::string> digests;
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x42);
+    digests.push_back(to_hex(sha256(msg).view()));
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i)
+    for (std::size_t j = i + 1; j < digests.size(); ++j)
+      EXPECT_NE(digests[i], digests[j]);
+}
+
+TEST(Sha256, ResetReuses) {
+  Sha256 h;
+  h.update(to_bytes("abc"));
+  const auto first = h.finish();
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(h.finish(), first);
+}
+
+}  // namespace
+}  // namespace moonshot::crypto

@@ -1,0 +1,72 @@
+#include "crypto/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot::crypto {
+namespace {
+
+class SignatureSchemeTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::shared_ptr<const SignatureScheme> scheme() const {
+    return std::string(GetParam()) == "ed25519" ? ed25519_scheme() : fast_scheme();
+  }
+};
+
+TEST_P(SignatureSchemeTest, DeterministicKeyDerivation) {
+  const auto s = scheme();
+  const auto kp1 = s->derive_keypair(7);
+  const auto kp2 = s->derive_keypair(7);
+  EXPECT_EQ(kp1.pub, kp2.pub);
+  EXPECT_EQ(kp1.priv, kp2.priv);
+  EXPECT_NE(kp1.pub, s->derive_keypair(8).pub);
+}
+
+TEST_P(SignatureSchemeTest, SignVerify) {
+  const auto s = scheme();
+  const auto kp = s->derive_keypair(1);
+  const Bytes msg = to_bytes("hello consensus");
+  const auto sig = s->sign(kp.priv, msg);
+  EXPECT_TRUE(s->verify(kp.pub, msg, sig));
+}
+
+TEST_P(SignatureSchemeTest, RejectsTamper) {
+  const auto s = scheme();
+  const auto kp = s->derive_keypair(2);
+  const Bytes msg = to_bytes("payload");
+  auto sig = s->sign(kp.priv, msg);
+  sig.data[10] ^= 0xff;
+  EXPECT_FALSE(s->verify(kp.pub, msg, sig));
+}
+
+TEST_P(SignatureSchemeTest, RejectsWrongSigner) {
+  const auto s = scheme();
+  const auto a = s->derive_keypair(3);
+  const auto b = s->derive_keypair(4);
+  const Bytes msg = to_bytes("payload");
+  const auto sig = s->sign(a.priv, msg);
+  EXPECT_FALSE(s->verify(b.pub, msg, sig));
+}
+
+TEST_P(SignatureSchemeTest, RejectsWrongMessage) {
+  const auto s = scheme();
+  const auto kp = s->derive_keypair(5);
+  const auto sig = s->sign(kp.priv, to_bytes("a"));
+  EXPECT_FALSE(s->verify(kp.pub, to_bytes("b"), sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SignatureSchemeTest,
+                         ::testing::Values("ed25519", "fast"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(FastScheme, SignatureSizesMatchEd25519) {
+  // The simulation scheme must be a drop-in replacement on the wire.
+  const auto fast = fast_scheme()->derive_keypair(1);
+  const auto real = ed25519_scheme()->derive_keypair(1);
+  EXPECT_EQ(fast.pub.size(), real.pub.size());
+  const auto sig_f = fast_scheme()->sign(fast.priv, to_bytes("m"));
+  const auto sig_r = ed25519_scheme()->sign(real.priv, to_bytes("m"));
+  EXPECT_EQ(sig_f.size(), sig_r.size());
+}
+
+}  // namespace
+}  // namespace moonshot::crypto

@@ -1,0 +1,102 @@
+// Conformance: honest nodes must emit only figure-sanctioned messages, under
+// every protocol, schedule and fault mix.
+#include <gtest/gtest.h>
+
+#include "harness/conformance.hpp"
+
+namespace moonshot {
+namespace {
+
+ExperimentConfig base_cfg(ProtocolKind p) {
+  ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.n = 4;
+  cfg.delta = milliseconds(50);
+  cfg.duration = seconds(5);
+  cfg.seed = 77;
+  cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(5), 1);
+  cfg.net.regions_used = 1;
+  cfg.verify_signatures = true;
+  return cfg;
+}
+
+class ConformanceTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ConformanceTest, HappyPathTraceConformant) {
+  const auto violations = run_conformance(base_cfg(GetParam()));
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_P(ConformanceTest, CrashFaultTraceConformant) {
+  auto cfg = base_cfg(GetParam());
+  cfg.n = 7;
+  cfg.crashed = 2;
+  cfg.schedule = ScheduleKind::kWM;
+  cfg.duration = seconds(8);
+  const auto violations = run_conformance(cfg);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_P(ConformanceTest, HonestNodesConformantDespiteEquivocator) {
+  // The Byzantine node breaks every rule (that is its job — and it is
+  // exempt); honest nodes must stay within budget, and no view may certify
+  // two blocks.
+  auto cfg = base_cfg(GetParam());
+  cfg.crashed = 1;
+  cfg.fault_kind = FaultKind::kEquivocate;
+  cfg.schedule = ScheduleKind::kWM;
+  const auto violations = run_conformance(cfg);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ConformanceTest,
+                         ::testing::Values(ProtocolKind::kSimpleMoonshot,
+                                           ProtocolKind::kPipelinedMoonshot,
+                                           ProtocolKind::kCommitMoonshot,
+                                           ProtocolKind::kJolteon,
+                                           ProtocolKind::kHotStuff),
+                         [](const auto& info) { return std::string(protocol_tag(info.param)); });
+
+// The checker itself must catch misbehaviour: feed it a forged double vote.
+TEST(ConformanceChecker, DetectsDoubleVote) {
+  const auto gen = ValidatorSet::generate(4, crypto::fast_scheme(), 1);
+  ConformanceChecker checker(ProtocolKind::kSimpleMoonshot, gen.set,
+                             std::make_shared<const RoundRobinSchedule>(4),
+                             std::vector<bool>(4, false));
+  const auto b1 = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(1, 1));
+  const auto b2 = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(2, 2));
+  checker.observe(0, Message{VoteMsg{Vote::make(VoteKind::kNormal, 1, b1->id(), 0,
+                                                gen.private_keys[0], gen.set->scheme())}});
+  checker.observe(0, Message{VoteMsg{Vote::make(VoteKind::kNormal, 1, b2->id(), 0,
+                                                gen.private_keys[0], gen.set->scheme())}});
+  const auto violations = checker.violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("more than one vote"), std::string::npos);
+}
+
+TEST(ConformanceChecker, DetectsNonLeaderProposal) {
+  const auto gen = ValidatorSet::generate(4, crypto::fast_scheme(), 1);
+  ConformanceChecker checker(ProtocolKind::kPipelinedMoonshot, gen.set,
+                             std::make_shared<const RoundRobinSchedule>(4),
+                             std::vector<bool>(4, false));
+  const auto b1 = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(1, 1));
+  // Node 2 proposes for view 1 (whose leader is node 0).
+  checker.observe(2, Message{ProposalMsg{b1, QuorumCert::genesis_qc(), nullptr, NodeId{2}}});
+  const auto violations = checker.violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("without being leader"), std::string::npos);
+}
+
+TEST(ConformanceChecker, ByzantineSendersExempt) {
+  const auto gen = ValidatorSet::generate(4, crypto::fast_scheme(), 1);
+  std::vector<bool> byz(4, false);
+  byz[3] = true;
+  ConformanceChecker checker(ProtocolKind::kPipelinedMoonshot, gen.set,
+                             std::make_shared<const RoundRobinSchedule>(4), byz);
+  const auto b1 = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(1, 1));
+  checker.observe(3, Message{ProposalMsg{b1, QuorumCert::genesis_qc(), nullptr, NodeId{3}}});
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,69 @@
+#include "harness/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot {
+namespace {
+
+BlockPtr make_block(View v, std::uint64_t payload) {
+  return Block::create(v, 1, Block::genesis()->id(), Payload::synthetic(payload, v));
+}
+
+TEST(Metrics, BlockCountsThresholdCommits) {
+  MetricsCollector m;
+  const auto b1 = make_block(1, 100);
+  const auto b2 = make_block(2, 100);
+  m.on_created(b1, TimePoint{0});
+  m.on_created(b2, TimePoint{0});
+  // b1 committed by 3 nodes, b2 by only 2.
+  for (NodeId i = 0; i < 3; ++i) m.on_committed(i, b1, TimePoint{1000});
+  for (NodeId i = 0; i < 2; ++i) m.on_committed(i, b2, TimePoint{1000});
+  const auto s = m.summarize(/*threshold=*/3, seconds(1));
+  EXPECT_EQ(s.committed_blocks, 1u);
+  EXPECT_EQ(s.committed_payload_bytes, 100u);
+  EXPECT_DOUBLE_EQ(s.blocks_per_sec, 1.0);
+}
+
+TEST(Metrics, LatencyIsKthCommit) {
+  MetricsCollector m;
+  const auto b = make_block(1, 0);
+  m.on_created(b, TimePoint{0});
+  m.on_committed(0, b, TimePoint{Duration(milliseconds(10)).count()});
+  m.on_committed(1, b, TimePoint{Duration(milliseconds(20)).count()});
+  m.on_committed(2, b, TimePoint{Duration(milliseconds(30)).count()});
+  m.on_committed(3, b, TimePoint{Duration(milliseconds(99)).count()});
+  // Threshold 3: the 3rd-fastest commit defines the latency.
+  const auto s = m.summarize(3, seconds(1));
+  EXPECT_DOUBLE_EQ(s.avg_latency_ms, 30.0);
+}
+
+TEST(Metrics, FirstCreationWins) {
+  MetricsCollector m;
+  const auto b = make_block(1, 0);
+  m.on_created(b, TimePoint{Duration(milliseconds(5)).count()});
+  m.on_created(b, TimePoint{Duration(milliseconds(50)).count()});  // opt + normal proposal
+  m.on_committed(0, b, TimePoint{Duration(milliseconds(105)).count()});
+  const auto s = m.summarize(1, seconds(1));
+  EXPECT_DOUBLE_EQ(s.avg_latency_ms, 100.0);
+}
+
+TEST(Metrics, TransferRate) {
+  MetricsCollector m;
+  for (View v = 1; v <= 4; ++v) {
+    const auto b = make_block(v, 1000);
+    m.on_created(b, TimePoint{0});
+    m.on_committed(0, b, TimePoint{100});
+  }
+  const auto s = m.summarize(1, seconds(2));
+  EXPECT_DOUBLE_EQ(s.transfer_rate_bps, 2000.0);  // 4000 bytes over 2 s
+}
+
+TEST(Metrics, EmptyRun) {
+  MetricsCollector m;
+  const auto s = m.summarize(3, seconds(1));
+  EXPECT_EQ(s.committed_blocks, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_latency_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace moonshot

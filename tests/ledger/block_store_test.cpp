@@ -1,0 +1,98 @@
+#include "ledger/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot {
+namespace {
+
+BlockPtr make_child(const BlockPtr& parent, View view) {
+  return Block::create(view, parent->height() + 1, parent->id(),
+                       Payload::synthetic(10, view));
+}
+
+TEST(BlockStore, ContainsGenesis) {
+  BlockStore s;
+  EXPECT_TRUE(s.contains(Block::genesis()->id()));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(BlockStore, AddIsIdempotent) {
+  BlockStore s;
+  const auto b = make_child(Block::genesis(), 1);
+  EXPECT_TRUE(s.add(b));
+  EXPECT_FALSE(s.add(b));
+  EXPECT_EQ(s.get(b->id()), b);
+}
+
+TEST(BlockStore, GetUnknownReturnsNull) {
+  BlockStore s;
+  BlockId random{};
+  random.data[0] = 0xaa;
+  EXPECT_EQ(s.get(random), nullptr);
+}
+
+TEST(BlockStore, ExtendsChain) {
+  BlockStore s;
+  const auto b1 = make_child(Block::genesis(), 1);
+  const auto b2 = make_child(b1, 2);
+  const auto b3 = make_child(b2, 3);
+  s.add(b1);
+  s.add(b2);
+  s.add(b3);
+  EXPECT_TRUE(s.extends(b3->id(), Block::genesis()->id()));
+  EXPECT_TRUE(s.extends(b3->id(), b1->id()));
+  EXPECT_TRUE(s.extends(b2->id(), b1->id()));
+  EXPECT_TRUE(s.extends(b1->id(), b1->id()));  // a block extends itself
+  EXPECT_FALSE(s.extends(b1->id(), b3->id()));  // not the other way
+}
+
+TEST(BlockStore, ExtendsAcrossForks) {
+  BlockStore s;
+  const auto b1 = make_child(Block::genesis(), 1);
+  const auto b2a = make_child(b1, 2);
+  const auto b2b = make_child(b1, 3);  // sibling fork
+  s.add(b1);
+  s.add(b2a);
+  s.add(b2b);
+  EXPECT_TRUE(s.extends(b2a->id(), b1->id()));
+  EXPECT_TRUE(s.extends(b2b->id(), b1->id()));
+  EXPECT_FALSE(s.extends(b2a->id(), b2b->id()));
+}
+
+TEST(BlockStore, ExtendsFalseWhenChainBroken) {
+  BlockStore s;
+  const auto b1 = make_child(Block::genesis(), 1);
+  const auto b2 = make_child(b1, 2);
+  const auto b3 = make_child(b2, 3);
+  s.add(b1);
+  s.add(b3);  // b2 missing
+  EXPECT_FALSE(s.extends(b3->id(), b1->id()));
+}
+
+TEST(BlockStore, OrphanLinkedLater) {
+  BlockStore s;
+  const auto b1 = make_child(Block::genesis(), 1);
+  const auto b2 = make_child(b1, 2);
+  s.add(b2);  // orphan first
+  EXPECT_FALSE(s.extends(b2->id(), Block::genesis()->id()));
+  s.add(b1);
+  EXPECT_TRUE(s.extends(b2->id(), Block::genesis()->id()));
+}
+
+TEST(BlockStore, PathReturnsOrderedSegment) {
+  BlockStore s;
+  const auto b1 = make_child(Block::genesis(), 1);
+  const auto b2 = make_child(b1, 2);
+  const auto b3 = make_child(b2, 3);
+  s.add(b1);
+  s.add(b2);
+  s.add(b3);
+  const auto path = s.path(Block::genesis()->id(), b3->id());
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0]->id(), b1->id());
+  EXPECT_EQ(path[2]->id(), b3->id());
+  EXPECT_TRUE(s.path(b3->id(), b1->id()).empty());  // inverted: empty
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,103 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint{30}, [&] { order.push_back(3); });
+  s.schedule_at(TimePoint{10}, [&] { order.push_back(1); });
+  s.schedule_at(TimePoint{20}, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now().ns, 30);
+}
+
+TEST(Scheduler, FifoAmongEqualTimes) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) s.schedule_at(TimePoint{100}, [&, i] { order.push_back(i); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterUsesNow) {
+  Scheduler s;
+  TimePoint fired{};
+  s.schedule_at(TimePoint{50}, [&] {
+    s.schedule_after(Duration(25), [&] { fired = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(fired.ns, 75);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const TaskId id = s.schedule_at(TimePoint{10}, [&] { ran = true; });
+  s.cancel(id);
+  s.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelUnknownIsNoop) {
+  Scheduler s;
+  s.cancel(9999);
+  bool ran = false;
+  s.schedule_at(TimePoint{5}, [&] { ran = true; });
+  s.run_all();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, RunUntilStopsAtLimit) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(TimePoint{10}, [&] { ++count; });
+  s.schedule_at(TimePoint{20}, [&] { ++count; });
+  s.schedule_at(TimePoint{30}, [&] { ++count; });
+  s.run_until(TimePoint{20});
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now().ns, 20);
+  s.run_all();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenIdle) {
+  Scheduler s;
+  s.run_until(TimePoint{500});
+  EXPECT_EQ(s.now().ns, 500);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) s.schedule_after(Duration(1), recurse);
+  };
+  s.schedule_at(TimePoint{0}, recurse);
+  s.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.events_executed(), 10u);
+}
+
+TEST(Scheduler, RunAllBounded) {
+  Scheduler s;
+  std::function<void()> forever = [&] { s.schedule_after(Duration(1), forever); };
+  s.schedule_at(TimePoint{0}, forever);
+  s.run_all(100);
+  EXPECT_EQ(s.events_executed(), 100u);
+}
+
+TEST(Scheduler, SchedulingIntoThePastAborts) {
+  Scheduler s;
+  s.schedule_at(TimePoint{100}, [] {});
+  s.run_all();
+  EXPECT_DEATH(s.schedule_at(TimePoint{50}, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace moonshot::sim

@@ -1,0 +1,112 @@
+#include "support/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/prng.hpp"
+
+namespace moonshot {
+namespace {
+
+TEST(Codec, RoundTripScalars) {
+  Writer w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.boolean(), true);
+  EXPECT_EQ(r.boolean(), false);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(Codec, BytesAndStrings) {
+  Writer w;
+  w.bytes(to_bytes("hello"));
+  w.str("world");
+  w.raw(to_bytes("raw"));
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.bytes(), to_bytes("hello"));
+  EXPECT_EQ(r.str(), "world");
+  EXPECT_EQ(r.raw(3), to_bytes("raw"));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, EmptyBytes) {
+  Writer w;
+  w.bytes({});
+  Reader r(w.buffer());
+  auto b = r.bytes();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->empty());
+}
+
+TEST(Codec, TruncationReturnsNullopt) {
+  Writer w;
+  w.u64(7);
+  Reader r(BytesView(w.buffer().data(), 3));
+  EXPECT_FALSE(r.u64().has_value());
+}
+
+TEST(Codec, TruncatedLengthPrefixedBytes) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  w.raw(to_bytes("short"));
+  Reader r(w.buffer());
+  EXPECT_FALSE(r.bytes().has_value());
+}
+
+TEST(Codec, InvalidBooleanRejected) {
+  Bytes b{2};
+  Reader r(b);
+  EXPECT_FALSE(r.boolean().has_value());
+}
+
+TEST(Codec, RemainingTracksPosition) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.u32();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, FuzzRoundTripRandomSequences) {
+  Prng prng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    Writer w;
+    std::vector<std::uint64_t> vals;
+    const int count = 1 + static_cast<int>(prng.next_below(20));
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t v = prng.next_u64();
+      vals.push_back(v);
+      w.u64(v);
+    }
+    Reader r(w.buffer());
+    for (std::uint64_t v : vals) EXPECT_EQ(r.u64(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+}  // namespace
+}  // namespace moonshot

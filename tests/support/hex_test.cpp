@@ -1,0 +1,53 @@
+#include "support/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot {
+namespace {
+
+TEST(Hex, Encode) {
+  EXPECT_EQ(to_hex(to_bytes("")), "");
+  EXPECT_EQ(to_hex(Bytes{0x00, 0xff, 0x10}), "00ff10");
+}
+
+TEST(Hex, DecodeValid) {
+  EXPECT_EQ(from_hex("00ff10"), (Bytes{0x00, 0xff, 0x10}));
+  EXPECT_EQ(from_hex("ABCDEF"), (Bytes{0xab, 0xcd, 0xef}));  // case-insensitive
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Hex, DecodeInvalid) {
+  EXPECT_FALSE(from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(from_hex("zz").has_value());    // bad char
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Hex, ShortHex) {
+  EXPECT_EQ(short_hex(Bytes{0xde, 0xad, 0xbe, 0xef, 0x01}), "deadbeef");
+  EXPECT_EQ(short_hex(Bytes{0x42}), "42");
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  EXPECT_TRUE(ct_equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, FixedBytesFromView) {
+  const auto f = FixedBytes<4>::from_view(Bytes{1, 2, 3, 4});
+  EXPECT_EQ(f.data[0], 1);
+  EXPECT_EQ(f.data[3], 4);
+  // Wrong-size input yields a zeroed value.
+  const auto z = FixedBytes<4>::from_view(Bytes{1, 2});
+  EXPECT_EQ(z, FixedBytes<4>{});
+}
+
+}  // namespace
+}  // namespace moonshot

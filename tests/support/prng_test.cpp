@@ -1,0 +1,75 @@
+#include "support/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace moonshot {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextBelowInRange) {
+  Prng p(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(p.next_below(17), 17u);
+    EXPECT_EQ(p.next_below(1), 0u);
+  }
+}
+
+TEST(Prng, NextRangeInclusive) {
+  Prng p(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = p.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng p(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = p.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // rough uniformity
+}
+
+TEST(Prng, ForkIndependentStreams) {
+  Prng parent(5);
+  Prng c1 = parent.fork(1);
+  Prng c2 = parent.fork(2);
+  Prng c1_again = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());  // fork is deterministic
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Prng, FillCoversBuffer) {
+  Prng p(11);
+  Bytes buf(33, 0);
+  p.fill(buf);
+  int nonzero = 0;
+  for (auto b : buf)
+    if (b != 0) ++nonzero;
+  EXPECT_GT(nonzero, 20);
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,109 @@
+// Aggregate (threshold-style) certificates: constant-size QCs.
+#include <gtest/gtest.h>
+
+#include "types/certs.hpp"
+
+namespace moonshot {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest() : gen_(ValidatorSet::generate(10, crypto::fast_scheme(), 1)) {
+    block_ = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(10, 1));
+  }
+  Vote vote_from(NodeId id) {
+    return Vote::make(VoteKind::kNormal, 1, block_->id(), id, gen_.private_keys[id],
+                      gen_.set->scheme());
+  }
+  std::vector<Vote> quorum_votes() {
+    std::vector<Vote> votes;
+    for (NodeId i = 0; i < gen_.set->quorum_size(); ++i) votes.push_back(vote_from(i));
+    return votes;
+  }
+  ValidatorSet::Generated gen_;
+  BlockPtr block_;
+};
+
+TEST_F(AggregateTest, SchemeSupport) {
+  EXPECT_TRUE(crypto::fast_scheme()->supports_aggregation());
+  EXPECT_FALSE(crypto::ed25519_scheme()->supports_aggregation());
+}
+
+TEST_F(AggregateTest, AggregateRoundTrip) {
+  const auto scheme = crypto::fast_scheme();
+  const Bytes msg = to_bytes("common message");
+  std::vector<crypto::Signature> sigs;
+  std::vector<crypto::PublicKey> pubs;
+  for (int i = 0; i < 5; ++i) {
+    const auto kp = scheme->derive_keypair(100 + i);
+    sigs.push_back(scheme->sign(kp.priv, msg));
+    pubs.push_back(kp.pub);
+  }
+  const auto agg = scheme->aggregate(msg, sigs);
+  EXPECT_TRUE(scheme->verify_aggregate(pubs, msg, agg));
+  // Wrong signer set rejected.
+  pubs[0] = scheme->derive_keypair(999).pub;
+  EXPECT_FALSE(scheme->verify_aggregate(pubs, msg, agg));
+}
+
+TEST_F(AggregateTest, AssembleAggregatedQc) {
+  const auto qc = QuorumCert::assemble(quorum_votes(), 1, *gen_.set, /*aggregate=*/true);
+  ASSERT_NE(qc, nullptr);
+  EXPECT_TRUE(qc->aggregated);
+  EXPECT_TRUE(qc->sigs.empty());
+  EXPECT_EQ(qc->voters.size(), gen_.set->quorum_size());
+  EXPECT_TRUE(qc->validate(*gen_.set, /*check_sigs=*/true));
+}
+
+TEST_F(AggregateTest, TamperedAggregateRejected) {
+  auto qc = *QuorumCert::assemble(quorum_votes(), 1, *gen_.set, true);
+  qc.agg_sig.data[3] ^= 0x01;
+  EXPECT_FALSE(qc.validate(*gen_.set, /*check_sigs=*/true));
+}
+
+TEST_F(AggregateTest, BitmapSerializationRoundTrip) {
+  const auto qc = QuorumCert::assemble(quorum_votes(), 1, *gen_.set, true);
+  Writer w;
+  qc->serialize(w);
+  Reader r(w.buffer());
+  const auto parsed = QuorumCert::deserialize(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->aggregated);
+  EXPECT_EQ(parsed->voters, qc->voters);
+  EXPECT_TRUE(parsed->validate(*gen_.set, /*check_sigs=*/true));
+}
+
+TEST_F(AggregateTest, ConstantWireSize) {
+  // An aggregated certificate's size is independent of the quorum (modulo
+  // the bitmap); the array form grows linearly.
+  const auto gen100 = ValidatorSet::generate(100, crypto::fast_scheme(), 2);
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < gen100.set->quorum_size(); ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block_->id(), i,
+                               gen100.private_keys[i], gen100.set->scheme()));
+  const auto array_qc = QuorumCert::assemble(votes, 1, *gen100.set, false);
+  const auto agg_qc = QuorumCert::assemble(votes, 1, *gen100.set, true);
+  Writer wa, wg;
+  array_qc->serialize(wa);
+  agg_qc->serialize(wg);
+  EXPECT_GT(wa.size(), 4000u);   // 67 signatures
+  EXPECT_LT(wg.size(), 150u);    // bitmap + one signature
+}
+
+TEST_F(AggregateTest, SparseBitmapRoundTrip) {
+  // Non-contiguous voter sets must survive the bitmap encoding.
+  std::vector<Vote> votes;
+  for (NodeId i : {0u, 2u, 3u, 5u, 7u, 8u, 9u}) votes.push_back(vote_from(i));
+  const auto qc = QuorumCert::assemble(votes, 1, *gen_.set, true);
+  ASSERT_NE(qc, nullptr);
+  Writer w;
+  qc->serialize(w);
+  Reader r(w.buffer());
+  const auto parsed = QuorumCert::deserialize(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->voters, (std::vector<NodeId>{0, 2, 3, 5, 7, 8, 9}));
+  EXPECT_TRUE(parsed->validate(*gen_.set, true));
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,84 @@
+#include "types/block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot {
+namespace {
+
+TEST(Block, GenesisProperties) {
+  const auto& g = Block::genesis();
+  EXPECT_TRUE(g->is_genesis());
+  EXPECT_EQ(g->view(), 0u);
+  EXPECT_EQ(g->height(), 0u);
+  EXPECT_EQ(g->parent(), BlockId{});
+  // Genesis is a singleton.
+  EXPECT_EQ(Block::genesis().get(), g.get());
+}
+
+TEST(Block, IdDeterminedByContent) {
+  const auto a = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(100, 7));
+  const auto b = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(100, 7));
+  EXPECT_EQ(a->id(), b->id());  // the paper's fixed-payload-per-view identity
+}
+
+TEST(Block, IdChangesWithAnyField) {
+  const auto base = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(100, 7));
+  EXPECT_NE(base->id(),
+            Block::create(2, 1, Block::genesis()->id(), Payload::synthetic(100, 7))->id());
+  EXPECT_NE(base->id(),
+            Block::create(1, 2, Block::genesis()->id(), Payload::synthetic(100, 7))->id());
+  EXPECT_NE(base->id(),
+            Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(101, 7))->id());
+  EXPECT_NE(base->id(),
+            Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(100, 8))->id());
+  EXPECT_NE(base->id(), Block::create(1, 1, base->id(), Payload::synthetic(100, 7))->id());
+}
+
+TEST(Block, SerializeRoundTrip) {
+  Payload p;
+  p.inline_data = to_bytes("tx1|tx2|tx3");
+  p.synthetic_size = 5000;
+  p.synthetic_seed = 99;
+  const auto block = Block::create(3, 2, Block::genesis()->id(), p);
+  Writer w;
+  block->serialize(w);
+  Reader r(w.buffer());
+  const auto parsed = Block::deserialize(r);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->id(), block->id());
+  EXPECT_EQ(parsed->view(), 3u);
+  EXPECT_EQ(parsed->height(), 2u);
+  EXPECT_EQ(parsed->payload().inline_data, p.inline_data);
+  EXPECT_EQ(parsed->payload().synthetic_size, 5000u);
+}
+
+TEST(Block, DeserializeTruncatedFails) {
+  const auto block = Block::create(1, 1, Block::genesis()->id(), Payload{});
+  Writer w;
+  block->serialize(w);
+  for (std::size_t cut : {0u, 5u, 20u}) {
+    Reader r(BytesView(w.buffer().data(), cut));
+    EXPECT_EQ(Block::deserialize(r), nullptr);
+  }
+}
+
+TEST(Block, WireSizeIncludesSyntheticPayload) {
+  const auto small = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(0, 1));
+  const auto big = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(1800000, 1));
+  EXPECT_GT(big->wire_size(), small->wire_size() + 1799000);
+  EXPECT_LT(small->wire_size(), 200u);  // header-only blocks are small
+}
+
+TEST(Payload, WireSize) {
+  Payload p;
+  p.inline_data = Bytes(50, 1);
+  p.synthetic_size = 1000;
+  EXPECT_EQ(p.wire_size(), 1050u);
+}
+
+TEST(Payload, ItemSizeMatchesPaper) {
+  EXPECT_EQ(kPayloadItemSize, 180u);
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,195 @@
+#include "types/certs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot {
+namespace {
+
+class CertsTest : public ::testing::Test {
+ protected:
+  CertsTest() : gen_(ValidatorSet::generate(4, crypto::fast_scheme(), 1)) {
+    block_ = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(10, 1));
+  }
+
+  Vote vote_from(NodeId id, VoteKind kind = VoteKind::kNormal, View view = 1) {
+    return Vote::make(kind, view, block_->id(), id, gen_.private_keys[id],
+                      gen_.set->scheme());
+  }
+  TimeoutMsg timeout_from(NodeId id, View view, QcPtr lock = nullptr) {
+    return TimeoutMsg::make(view, id, std::move(lock), gen_.private_keys[id],
+                            gen_.set->scheme());
+  }
+
+  ValidatorSet::Generated gen_;
+  BlockPtr block_;
+};
+
+TEST_F(CertsTest, GenesisQcValid) {
+  const auto g = QuorumCert::genesis_qc();
+  EXPECT_TRUE(g->is_genesis());
+  EXPECT_EQ(g->rank(), 0u);
+  EXPECT_TRUE(g->validate(*gen_.set));
+}
+
+TEST_F(CertsTest, AssembleQuorum) {
+  const auto qc = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  ASSERT_NE(qc, nullptr);
+  EXPECT_EQ(qc->view, 1u);
+  EXPECT_EQ(qc->block, block_->id());
+  EXPECT_EQ(qc->height, 1u);
+  EXPECT_EQ(qc->voters.size(), 3u);
+  EXPECT_TRUE(qc->validate(*gen_.set));
+}
+
+TEST_F(CertsTest, AssembleRejectsSubQuorum) {
+  EXPECT_EQ(QuorumCert::assemble({vote_from(0), vote_from(1)}, 1, *gen_.set), nullptr);
+}
+
+TEST_F(CertsTest, AssembleRejectsDuplicateVoter) {
+  EXPECT_EQ(QuorumCert::assemble({vote_from(0), vote_from(0), vote_from(1)}, 1, *gen_.set),
+            nullptr);
+}
+
+TEST_F(CertsTest, AssembleRejectsMixedKinds) {
+  EXPECT_EQ(QuorumCert::assemble(
+                {vote_from(0), vote_from(1), vote_from(2, VoteKind::kOptimistic)}, 1, *gen_.set),
+            nullptr);
+}
+
+TEST_F(CertsTest, ValidateRejectsForgedSignature) {
+  auto votes = std::vector<Vote>{vote_from(0), vote_from(1), vote_from(2)};
+  auto qc = QuorumCert::assemble(votes, 1, *gen_.set);
+  ASSERT_NE(qc, nullptr);
+  auto bad = *qc;
+  bad.sigs[1].data[5] ^= 0x01;
+  EXPECT_FALSE(bad.validate(*gen_.set, /*check_sigs=*/true));
+  // Structural-only validation does not catch signature tampering.
+  EXPECT_TRUE(bad.validate(*gen_.set, /*check_sigs=*/false));
+}
+
+TEST_F(CertsTest, ValidateRejectsUnsortedVoters) {
+  auto qc = *QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  std::swap(qc.voters[0], qc.voters[1]);
+  std::swap(qc.sigs[0], qc.sigs[1]);
+  EXPECT_FALSE(qc.validate(*gen_.set, /*check_sigs=*/false));
+}
+
+TEST_F(CertsTest, RankIsView) {
+  const auto qc1 = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  auto v5 = std::vector<Vote>{vote_from(0, VoteKind::kNormal, 5),
+                              vote_from(1, VoteKind::kNormal, 5),
+                              vote_from(2, VoteKind::kNormal, 5)};
+  const auto qc5 = QuorumCert::assemble(v5, 1, *gen_.set);
+  ASSERT_NE(qc1, nullptr);
+  ASSERT_NE(qc5, nullptr);
+  EXPECT_LT(qc1->rank(), qc5->rank());
+}
+
+TEST_F(CertsTest, QcSerializeRoundTrip) {
+  const auto qc = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  Writer w;
+  qc->serialize(w);
+  Reader r(w.buffer());
+  const auto parsed = QuorumCert::deserialize(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed == *qc, true);
+  EXPECT_TRUE(parsed->validate(*gen_.set));
+}
+
+// --- Timeouts -----------------------------------------------------------------
+
+TEST_F(CertsTest, TimeoutWithoutLock) {
+  const auto t = timeout_from(0, 3);
+  EXPECT_EQ(t.high_qc_view, 0u);
+  EXPECT_EQ(t.high_qc, nullptr);
+  EXPECT_TRUE(t.verify(*gen_.set));
+}
+
+TEST_F(CertsTest, TimeoutWithLock) {
+  const auto qc = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  const auto t = timeout_from(0, 3, qc);
+  EXPECT_EQ(t.high_qc_view, 1u);
+  EXPECT_TRUE(t.verify(*gen_.set));
+}
+
+TEST_F(CertsTest, TimeoutRejectsInconsistentClaim) {
+  const auto qc = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  auto t = timeout_from(0, 3, qc);
+  t.high_qc_view = 2;  // claims view 2 but attaches a view-1 certificate
+  EXPECT_FALSE(t.verify(*gen_.set));
+}
+
+TEST_F(CertsTest, TcAssembleAndValidate) {
+  const auto qc = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  const auto tc = TimeoutCert::assemble(
+      {timeout_from(0, 3, qc), timeout_from(1, 3), timeout_from(2, 3)}, *gen_.set);
+  ASSERT_NE(tc, nullptr);
+  EXPECT_EQ(tc->view, 3u);
+  EXPECT_EQ(tc->high_qc_view(), 1u);
+  ASSERT_NE(tc->high_qc, nullptr);
+  EXPECT_EQ(tc->high_qc->view, 1u);
+  EXPECT_TRUE(tc->validate(*gen_.set));
+}
+
+TEST_F(CertsTest, TcPicksHighestLock) {
+  const auto qc1 = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  auto v5 = std::vector<Vote>{vote_from(0, VoteKind::kNormal, 5),
+                              vote_from(1, VoteKind::kNormal, 5),
+                              vote_from(2, VoteKind::kNormal, 5)};
+  const auto qc5 = QuorumCert::assemble(v5, 1, *gen_.set);
+  const auto tc = TimeoutCert::assemble(
+      {timeout_from(0, 7, qc1), timeout_from(1, 7, qc5), timeout_from(2, 7, qc1)}, *gen_.set);
+  ASSERT_NE(tc, nullptr);
+  EXPECT_EQ(tc->high_qc_view(), 5u);
+  EXPECT_EQ(tc->high_qc->view, 5u);
+}
+
+TEST_F(CertsTest, TcRejectsSubQuorum) {
+  EXPECT_EQ(TimeoutCert::assemble({timeout_from(0, 3), timeout_from(1, 3)}, *gen_.set), nullptr);
+}
+
+TEST_F(CertsTest, TcRejectsMixedViews) {
+  EXPECT_EQ(TimeoutCert::assemble(
+                {timeout_from(0, 3), timeout_from(1, 3), timeout_from(2, 4)}, *gen_.set),
+            nullptr);
+}
+
+TEST_F(CertsTest, TcValidateRejectsMissingHighQc) {
+  const auto qc = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  auto tc = *TimeoutCert::assemble(
+      {timeout_from(0, 3, qc), timeout_from(1, 3), timeout_from(2, 3)}, *gen_.set);
+  tc.high_qc = nullptr;  // strip the proof of the claimed lock
+  EXPECT_FALSE(tc.validate(*gen_.set, /*check_sigs=*/false));
+}
+
+TEST_F(CertsTest, TcSerializeRoundTrip) {
+  const auto qc = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  const auto tc = TimeoutCert::assemble(
+      {timeout_from(0, 3, qc), timeout_from(1, 3, qc), timeout_from(2, 3)}, *gen_.set);
+  Writer w;
+  tc->serialize(w);
+  Reader r(w.buffer());
+  const auto parsed = TimeoutCert::deserialize(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->view, tc->view);
+  EXPECT_EQ(parsed->entries.size(), tc->entries.size());
+  EXPECT_TRUE(parsed->validate(*gen_.set));
+}
+
+TEST_F(CertsTest, TimeoutMsgSerializeRoundTrip) {
+  const auto qc = QuorumCert::assemble({vote_from(0), vote_from(1), vote_from(2)}, 1, *gen_.set);
+  for (const auto& t : {timeout_from(1, 4, qc), timeout_from(2, 4)}) {
+    Writer w;
+    t.serialize(w);
+    Reader r(w.buffer());
+    const auto parsed = TimeoutMsg::deserialize(r);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->view, t.view);
+    EXPECT_EQ(parsed->sender, t.sender);
+    EXPECT_EQ(parsed->high_qc_view, t.high_qc_view);
+    EXPECT_TRUE(parsed->verify(*gen_.set));
+  }
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,74 @@
+#include "types/validator_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot {
+namespace {
+
+TEST(ValidatorSet, QuorumArithmetic) {
+  // n = 3f+1 → quorum = 2f+1 (paper §II).
+  struct Case {
+    std::size_t n, f, quorum;
+  };
+  for (const auto& c : std::vector<Case>{{4, 1, 3},
+                                         {7, 2, 5},
+                                         {10, 3, 7},
+                                         {100, 33, 67},
+                                         // n=200 is not of the form 3f+1: f=66,
+                                         // and 2f+1=133 would let two quorums
+                                         // intersect in only 66 (all possibly
+                                         // Byzantine) nodes; ⌈(n+f+1)/2⌉ = 134.
+                                         {200, 66, 134},
+                                         {1, 0, 1},
+                                         {5, 1, 4},   // n != 3f+1 cases
+                                         {6, 1, 4}}) {
+    const auto g = ValidatorSet::generate(c.n, crypto::fast_scheme(), 1);
+    EXPECT_EQ(g.set->f(), c.f) << "n=" << c.n;
+    EXPECT_EQ(g.set->quorum_size(), c.quorum) << "n=" << c.n;
+    EXPECT_EQ(g.set->honest_evidence_size(), c.f + 1) << "n=" << c.n;
+  }
+}
+
+TEST(ValidatorSet, QuorumIntersectionContainsHonestNode) {
+  // Any two quorums intersect in at least f+1 nodes (one honest).
+  for (std::size_t n : {4u, 7u, 10u, 100u}) {
+    const auto g = ValidatorSet::generate(n, crypto::fast_scheme(), 1);
+    const std::size_t q = g.set->quorum_size();
+    const std::size_t f = g.set->f();
+    EXPECT_GE(2 * q, n + f + 1) << "n=" << n;
+  }
+}
+
+TEST(ValidatorSet, GenerateDeterministic) {
+  const auto a = ValidatorSet::generate(4, crypto::fast_scheme(), 7);
+  const auto b = ValidatorSet::generate(4, crypto::fast_scheme(), 7);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(a.set->key(i), b.set->key(i));
+  const auto c = ValidatorSet::generate(4, crypto::fast_scheme(), 8);
+  EXPECT_NE(a.set->key(0), c.set->key(0));
+}
+
+TEST(ValidatorSet, KeysAreDistinct) {
+  const auto g = ValidatorSet::generate(50, crypto::fast_scheme(), 3);
+  for (NodeId i = 0; i < 50; ++i)
+    for (NodeId j = i + 1; j < 50; ++j) EXPECT_NE(g.set->key(i), g.set->key(j));
+}
+
+TEST(ValidatorSet, Contains) {
+  const auto g = ValidatorSet::generate(4, crypto::fast_scheme(), 1);
+  EXPECT_TRUE(g.set->contains(0));
+  EXPECT_TRUE(g.set->contains(3));
+  EXPECT_FALSE(g.set->contains(4));
+  EXPECT_FALSE(g.set->contains(kNoNode));
+}
+
+TEST(ValidatorSet, PrivateKeysMatchPublic) {
+  const auto g = ValidatorSet::generate(4, crypto::fast_scheme(), 1);
+  const auto& scheme = g.set->scheme();
+  for (NodeId i = 0; i < 4; ++i) {
+    const auto sig = scheme.sign(g.private_keys[i], to_bytes("x"));
+    EXPECT_TRUE(scheme.verify(g.set->key(i), to_bytes("x"), sig));
+  }
+}
+
+}  // namespace
+}  // namespace moonshot

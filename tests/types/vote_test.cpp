@@ -1,0 +1,92 @@
+#include "types/vote.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot {
+namespace {
+
+class VoteTest : public ::testing::Test {
+ protected:
+  VoteTest() : gen_(ValidatorSet::generate(4, crypto::fast_scheme(), 1)) {}
+  ValidatorSet::Generated gen_;
+  BlockId block_ = Block::genesis()->id();
+};
+
+TEST_F(VoteTest, MakeAndVerify) {
+  const Vote v = Vote::make(VoteKind::kNormal, 3, block_, 1, gen_.private_keys[1],
+                            gen_.set->scheme());
+  EXPECT_EQ(v.view, 3u);
+  EXPECT_EQ(v.voter, 1u);
+  EXPECT_TRUE(v.verify(*gen_.set));
+}
+
+TEST_F(VoteTest, VerifyRejectsForgedVoter) {
+  Vote v = Vote::make(VoteKind::kNormal, 3, block_, 1, gen_.private_keys[1],
+                      gen_.set->scheme());
+  v.voter = 2;  // claims to be node 2 with node 1's signature
+  EXPECT_FALSE(v.verify(*gen_.set));
+}
+
+TEST_F(VoteTest, VerifyRejectsUnknownVoter) {
+  Vote v = Vote::make(VoteKind::kNormal, 3, block_, 1, gen_.private_keys[1],
+                      gen_.set->scheme());
+  v.voter = 99;
+  EXPECT_FALSE(v.verify(*gen_.set));
+}
+
+TEST_F(VoteTest, SigningDigestSeparatesKinds) {
+  // Vote kinds must not be aggregatable across kinds (paper §IV): the kind
+  // is part of the signed content.
+  EXPECT_NE(Vote::signing_digest(VoteKind::kNormal, 1, block_),
+            Vote::signing_digest(VoteKind::kOptimistic, 1, block_));
+  EXPECT_NE(Vote::signing_digest(VoteKind::kNormal, 1, block_),
+            Vote::signing_digest(VoteKind::kFallback, 1, block_));
+  EXPECT_NE(Vote::signing_digest(VoteKind::kNormal, 1, block_),
+            Vote::signing_digest(VoteKind::kCommit, 1, block_));
+  EXPECT_NE(Vote::signing_digest(VoteKind::kNormal, 1, block_),
+            Vote::signing_digest(VoteKind::kNormal, 2, block_));
+}
+
+TEST_F(VoteTest, CrossKindSignatureRejected) {
+  // A normal vote's signature must not verify as an optimistic vote.
+  Vote v = Vote::make(VoteKind::kNormal, 3, block_, 1, gen_.private_keys[1],
+                      gen_.set->scheme());
+  v.kind = VoteKind::kOptimistic;
+  EXPECT_FALSE(v.verify(*gen_.set));
+}
+
+TEST_F(VoteTest, SerializeRoundTrip) {
+  const Vote v = Vote::make(VoteKind::kFallback, 7, block_, 2, gen_.private_keys[2],
+                            gen_.set->scheme());
+  Writer w;
+  v.serialize(w);
+  Reader r(w.buffer());
+  const auto parsed = Vote::deserialize(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, VoteKind::kFallback);
+  EXPECT_EQ(parsed->view, 7u);
+  EXPECT_EQ(parsed->block, block_);
+  EXPECT_EQ(parsed->voter, 2u);
+  EXPECT_TRUE(parsed->verify(*gen_.set));
+}
+
+TEST_F(VoteTest, DeserializeRejectsBadKind) {
+  Vote v = Vote::make(VoteKind::kNormal, 1, block_, 0, gen_.private_keys[0],
+                      gen_.set->scheme());
+  Writer w;
+  v.serialize(w);
+  Bytes buf = w.buffer();
+  buf[0] = 9;  // invalid kind tag
+  Reader r(buf);
+  EXPECT_FALSE(Vote::deserialize(r).has_value());
+}
+
+TEST(VoteKindName, Names) {
+  EXPECT_STREQ(vote_kind_name(VoteKind::kNormal), "vote");
+  EXPECT_STREQ(vote_kind_name(VoteKind::kOptimistic), "opt-vote");
+  EXPECT_STREQ(vote_kind_name(VoteKind::kFallback), "fb-vote");
+  EXPECT_STREQ(vote_kind_name(VoteKind::kCommit), "commit");
+}
+
+}  // namespace
+}  // namespace moonshot
