@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/moonshot_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/moonshot_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/moonshot_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/moonshot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/moonshot_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/moonshot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/moonshot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/moonshot_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_state_machine.dir/kv_state_machine.cpp.o"
+  "CMakeFiles/kv_state_machine.dir/kv_state_machine.cpp.o.d"
+  "kv_state_machine"
+  "kv_state_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_state_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

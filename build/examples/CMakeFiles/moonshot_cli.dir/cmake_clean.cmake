@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moonshot_cli.dir/moonshot_cli.cpp.o"
+  "CMakeFiles/moonshot_cli.dir/moonshot_cli.cpp.o.d"
+  "moonshot_cli"
+  "moonshot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moonshot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

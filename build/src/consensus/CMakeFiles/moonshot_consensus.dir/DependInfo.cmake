@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/accumulators.cpp" "src/consensus/CMakeFiles/moonshot_consensus.dir/accumulators.cpp.o" "gcc" "src/consensus/CMakeFiles/moonshot_consensus.dir/accumulators.cpp.o.d"
+  "/root/repo/src/consensus/base_node.cpp" "src/consensus/CMakeFiles/moonshot_consensus.dir/base_node.cpp.o" "gcc" "src/consensus/CMakeFiles/moonshot_consensus.dir/base_node.cpp.o.d"
+  "/root/repo/src/consensus/byzantine.cpp" "src/consensus/CMakeFiles/moonshot_consensus.dir/byzantine.cpp.o" "gcc" "src/consensus/CMakeFiles/moonshot_consensus.dir/byzantine.cpp.o.d"
+  "/root/repo/src/consensus/hotstuff/hotstuff.cpp" "src/consensus/CMakeFiles/moonshot_consensus.dir/hotstuff/hotstuff.cpp.o" "gcc" "src/consensus/CMakeFiles/moonshot_consensus.dir/hotstuff/hotstuff.cpp.o.d"
+  "/root/repo/src/consensus/jolteon/jolteon.cpp" "src/consensus/CMakeFiles/moonshot_consensus.dir/jolteon/jolteon.cpp.o" "gcc" "src/consensus/CMakeFiles/moonshot_consensus.dir/jolteon/jolteon.cpp.o.d"
+  "/root/repo/src/consensus/leader_schedule.cpp" "src/consensus/CMakeFiles/moonshot_consensus.dir/leader_schedule.cpp.o" "gcc" "src/consensus/CMakeFiles/moonshot_consensus.dir/leader_schedule.cpp.o.d"
+  "/root/repo/src/consensus/moonshot/commit_moonshot.cpp" "src/consensus/CMakeFiles/moonshot_consensus.dir/moonshot/commit_moonshot.cpp.o" "gcc" "src/consensus/CMakeFiles/moonshot_consensus.dir/moonshot/commit_moonshot.cpp.o.d"
+  "/root/repo/src/consensus/moonshot/pipelined_moonshot.cpp" "src/consensus/CMakeFiles/moonshot_consensus.dir/moonshot/pipelined_moonshot.cpp.o" "gcc" "src/consensus/CMakeFiles/moonshot_consensus.dir/moonshot/pipelined_moonshot.cpp.o.d"
+  "/root/repo/src/consensus/moonshot/simple_moonshot.cpp" "src/consensus/CMakeFiles/moonshot_consensus.dir/moonshot/simple_moonshot.cpp.o" "gcc" "src/consensus/CMakeFiles/moonshot_consensus.dir/moonshot/simple_moonshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/moonshot_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/moonshot_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/moonshot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/moonshot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/moonshot_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/moonshot_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moonshot_consensus.dir/accumulators.cpp.o"
+  "CMakeFiles/moonshot_consensus.dir/accumulators.cpp.o.d"
+  "CMakeFiles/moonshot_consensus.dir/base_node.cpp.o"
+  "CMakeFiles/moonshot_consensus.dir/base_node.cpp.o.d"
+  "CMakeFiles/moonshot_consensus.dir/byzantine.cpp.o"
+  "CMakeFiles/moonshot_consensus.dir/byzantine.cpp.o.d"
+  "CMakeFiles/moonshot_consensus.dir/hotstuff/hotstuff.cpp.o"
+  "CMakeFiles/moonshot_consensus.dir/hotstuff/hotstuff.cpp.o.d"
+  "CMakeFiles/moonshot_consensus.dir/jolteon/jolteon.cpp.o"
+  "CMakeFiles/moonshot_consensus.dir/jolteon/jolteon.cpp.o.d"
+  "CMakeFiles/moonshot_consensus.dir/leader_schedule.cpp.o"
+  "CMakeFiles/moonshot_consensus.dir/leader_schedule.cpp.o.d"
+  "CMakeFiles/moonshot_consensus.dir/moonshot/commit_moonshot.cpp.o"
+  "CMakeFiles/moonshot_consensus.dir/moonshot/commit_moonshot.cpp.o.d"
+  "CMakeFiles/moonshot_consensus.dir/moonshot/pipelined_moonshot.cpp.o"
+  "CMakeFiles/moonshot_consensus.dir/moonshot/pipelined_moonshot.cpp.o.d"
+  "CMakeFiles/moonshot_consensus.dir/moonshot/simple_moonshot.cpp.o"
+  "CMakeFiles/moonshot_consensus.dir/moonshot/simple_moonshot.cpp.o.d"
+  "libmoonshot_consensus.a"
+  "libmoonshot_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moonshot_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

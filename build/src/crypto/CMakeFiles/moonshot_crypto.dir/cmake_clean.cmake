@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moonshot_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/moonshot_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/moonshot_crypto.dir/ed25519_fe.cpp.o"
+  "CMakeFiles/moonshot_crypto.dir/ed25519_fe.cpp.o.d"
+  "CMakeFiles/moonshot_crypto.dir/ed25519_group.cpp.o"
+  "CMakeFiles/moonshot_crypto.dir/ed25519_group.cpp.o.d"
+  "CMakeFiles/moonshot_crypto.dir/ed25519_scalar.cpp.o"
+  "CMakeFiles/moonshot_crypto.dir/ed25519_scalar.cpp.o.d"
+  "CMakeFiles/moonshot_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/moonshot_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/moonshot_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/moonshot_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/moonshot_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/moonshot_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/moonshot_crypto.dir/signature.cpp.o"
+  "CMakeFiles/moonshot_crypto.dir/signature.cpp.o.d"
+  "libmoonshot_crypto.a"
+  "libmoonshot_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moonshot_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

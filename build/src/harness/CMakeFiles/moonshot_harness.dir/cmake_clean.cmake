@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moonshot_harness.dir/conformance.cpp.o"
+  "CMakeFiles/moonshot_harness.dir/conformance.cpp.o.d"
+  "CMakeFiles/moonshot_harness.dir/experiment.cpp.o"
+  "CMakeFiles/moonshot_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/moonshot_harness.dir/metrics.cpp.o"
+  "CMakeFiles/moonshot_harness.dir/metrics.cpp.o.d"
+  "CMakeFiles/moonshot_harness.dir/tcp_cluster.cpp.o"
+  "CMakeFiles/moonshot_harness.dir/tcp_cluster.cpp.o.d"
+  "CMakeFiles/moonshot_harness.dir/tx_tracker.cpp.o"
+  "CMakeFiles/moonshot_harness.dir/tx_tracker.cpp.o.d"
+  "libmoonshot_harness.a"
+  "libmoonshot_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moonshot_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/block_store.cpp" "src/ledger/CMakeFiles/moonshot_ledger.dir/block_store.cpp.o" "gcc" "src/ledger/CMakeFiles/moonshot_ledger.dir/block_store.cpp.o.d"
+  "/root/repo/src/ledger/commit_log.cpp" "src/ledger/CMakeFiles/moonshot_ledger.dir/commit_log.cpp.o" "gcc" "src/ledger/CMakeFiles/moonshot_ledger.dir/commit_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/moonshot_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/moonshot_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/moonshot_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

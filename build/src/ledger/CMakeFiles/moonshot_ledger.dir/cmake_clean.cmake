@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moonshot_ledger.dir/block_store.cpp.o"
+  "CMakeFiles/moonshot_ledger.dir/block_store.cpp.o.d"
+  "CMakeFiles/moonshot_ledger.dir/commit_log.cpp.o"
+  "CMakeFiles/moonshot_ledger.dir/commit_log.cpp.o.d"
+  "libmoonshot_ledger.a"
+  "libmoonshot_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moonshot_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

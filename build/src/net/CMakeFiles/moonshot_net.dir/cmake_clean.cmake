@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moonshot_net.dir/network.cpp.o"
+  "CMakeFiles/moonshot_net.dir/network.cpp.o.d"
+  "CMakeFiles/moonshot_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/moonshot_net.dir/tcp_transport.cpp.o.d"
+  "CMakeFiles/moonshot_net.dir/topology.cpp.o"
+  "CMakeFiles/moonshot_net.dir/topology.cpp.o.d"
+  "libmoonshot_net.a"
+  "libmoonshot_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moonshot_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moonshot_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/moonshot_sim.dir/scheduler.cpp.o.d"
+  "libmoonshot_sim.a"
+  "libmoonshot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moonshot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

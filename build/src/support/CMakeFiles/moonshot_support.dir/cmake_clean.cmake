@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moonshot_support.dir/codec.cpp.o"
+  "CMakeFiles/moonshot_support.dir/codec.cpp.o.d"
+  "CMakeFiles/moonshot_support.dir/hex.cpp.o"
+  "CMakeFiles/moonshot_support.dir/hex.cpp.o.d"
+  "CMakeFiles/moonshot_support.dir/log.cpp.o"
+  "CMakeFiles/moonshot_support.dir/log.cpp.o.d"
+  "CMakeFiles/moonshot_support.dir/prng.cpp.o"
+  "CMakeFiles/moonshot_support.dir/prng.cpp.o.d"
+  "libmoonshot_support.a"
+  "libmoonshot_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moonshot_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/block.cpp" "src/types/CMakeFiles/moonshot_types.dir/block.cpp.o" "gcc" "src/types/CMakeFiles/moonshot_types.dir/block.cpp.o.d"
+  "/root/repo/src/types/certs.cpp" "src/types/CMakeFiles/moonshot_types.dir/certs.cpp.o" "gcc" "src/types/CMakeFiles/moonshot_types.dir/certs.cpp.o.d"
+  "/root/repo/src/types/messages.cpp" "src/types/CMakeFiles/moonshot_types.dir/messages.cpp.o" "gcc" "src/types/CMakeFiles/moonshot_types.dir/messages.cpp.o.d"
+  "/root/repo/src/types/payload.cpp" "src/types/CMakeFiles/moonshot_types.dir/payload.cpp.o" "gcc" "src/types/CMakeFiles/moonshot_types.dir/payload.cpp.o.d"
+  "/root/repo/src/types/validator_set.cpp" "src/types/CMakeFiles/moonshot_types.dir/validator_set.cpp.o" "gcc" "src/types/CMakeFiles/moonshot_types.dir/validator_set.cpp.o.d"
+  "/root/repo/src/types/vote.cpp" "src/types/CMakeFiles/moonshot_types.dir/vote.cpp.o" "gcc" "src/types/CMakeFiles/moonshot_types.dir/vote.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/moonshot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/moonshot_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moonshot_types.dir/block.cpp.o"
+  "CMakeFiles/moonshot_types.dir/block.cpp.o.d"
+  "CMakeFiles/moonshot_types.dir/certs.cpp.o"
+  "CMakeFiles/moonshot_types.dir/certs.cpp.o.d"
+  "CMakeFiles/moonshot_types.dir/messages.cpp.o"
+  "CMakeFiles/moonshot_types.dir/messages.cpp.o.d"
+  "CMakeFiles/moonshot_types.dir/payload.cpp.o"
+  "CMakeFiles/moonshot_types.dir/payload.cpp.o.d"
+  "CMakeFiles/moonshot_types.dir/validator_set.cpp.o"
+  "CMakeFiles/moonshot_types.dir/validator_set.cpp.o.d"
+  "CMakeFiles/moonshot_types.dir/vote.cpp.o"
+  "CMakeFiles/moonshot_types.dir/vote.cpp.o.d"
+  "libmoonshot_types.a"
+  "libmoonshot_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moonshot_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

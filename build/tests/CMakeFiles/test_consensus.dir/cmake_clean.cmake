@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus.dir/consensus/accumulators_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/accumulators_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/byzantine_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/byzantine_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/determinism_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/determinism_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/failure_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/failure_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/happy_path_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/happy_path_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/hotstuff_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/hotstuff_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/leader_fetch_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/leader_fetch_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/modes_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/modes_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/node_rules_extra_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/node_rules_extra_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/node_rules_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/node_rules_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/property_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/property_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/reorder_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/reorder_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/schedule_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/schedule_test.cpp.o.d"
+  "CMakeFiles/test_consensus.dir/consensus/sync_test.cpp.o"
+  "CMakeFiles/test_consensus.dir/consensus/sync_test.cpp.o.d"
+  "test_consensus"
+  "test_consensus.pdb"
+  "test_consensus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

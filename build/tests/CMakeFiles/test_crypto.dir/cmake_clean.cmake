@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/ed25519_edge_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/ed25519_edge_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/ed25519_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/ed25519_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/signature_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/signature_test.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

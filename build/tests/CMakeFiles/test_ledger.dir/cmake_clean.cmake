@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ledger.dir/ledger/block_store_test.cpp.o"
+  "CMakeFiles/test_ledger.dir/ledger/block_store_test.cpp.o.d"
+  "CMakeFiles/test_ledger.dir/ledger/commit_log_test.cpp.o"
+  "CMakeFiles/test_ledger.dir/ledger/commit_log_test.cpp.o.d"
+  "test_ledger"
+  "test_ledger.pdb"
+  "test_ledger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_types.dir/types/aggregate_test.cpp.o"
+  "CMakeFiles/test_types.dir/types/aggregate_test.cpp.o.d"
+  "CMakeFiles/test_types.dir/types/block_test.cpp.o"
+  "CMakeFiles/test_types.dir/types/block_test.cpp.o.d"
+  "CMakeFiles/test_types.dir/types/certs_test.cpp.o"
+  "CMakeFiles/test_types.dir/types/certs_test.cpp.o.d"
+  "CMakeFiles/test_types.dir/types/fuzz_test.cpp.o"
+  "CMakeFiles/test_types.dir/types/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_types.dir/types/messages_test.cpp.o"
+  "CMakeFiles/test_types.dir/types/messages_test.cpp.o.d"
+  "CMakeFiles/test_types.dir/types/validator_set_test.cpp.o"
+  "CMakeFiles/test_types.dir/types/validator_set_test.cpp.o.d"
+  "CMakeFiles/test_types.dir/types/vote_test.cpp.o"
+  "CMakeFiles/test_types.dir/types/vote_test.cpp.o.d"
+  "test_types"
+  "test_types.pdb"
+  "test_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
