@@ -1,0 +1,222 @@
+// chaos_fuzz — randomized fault-schedule fuzzing with replay and shrinking.
+//
+// Modes:
+//   chaos_fuzz                          fuzz loop (default 20 runs, protocol pm)
+//   chaos_fuzz --runs 100 --seed 7      more runs, different base seed
+//   chaos_fuzz --protocol j             fuzz Jolteon instead
+//   chaos_fuzz --schedule "crash(200-1500;n=0)" --seed 7
+//                                       replay one exact scenario, print digest
+//   chaos_fuzz --smoke                  CI smoke: every protocol, one seeded
+//                                       schedule each, double-run determinism
+//   chaos_fuzz --inject-bug             treat partition-overlapping-crash as a
+//                                       safety bug (exercises the shrinker)
+//
+// On a failing run the schedule is shrunk to a locally minimal reproducer and
+// printed as a replayable command line; the exit code is non-zero.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/engine.hpp"
+#include "chaos/generate.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/shrink.hpp"
+
+namespace {
+
+using namespace moonshot;
+using namespace moonshot::chaos;
+
+struct Options {
+  ProtocolKind protocol = ProtocolKind::kPipelinedMoonshot;
+  std::uint64_t seed = 1;
+  std::size_t runs = 20;
+  std::size_t n = 4;
+  std::int64_t duration_ms = 10'000;
+  std::int64_t delta_ms = 500;
+  std::size_t max_events = 6;
+  std::string schedule;  // replay mode when non-empty
+  bool smoke = false;
+  bool inject_bug = false;
+};
+
+[[noreturn]] void usage_error(const char* what) {
+  std::fprintf(stderr, "chaos_fuzz: %s\n", what);
+  std::fprintf(stderr,
+               "usage: chaos_fuzz [--protocol sm|pm|cm|j|hs] [--seed N] [--runs N]\n"
+               "                  [--n N] [--duration-ms N] [--delta-ms N]\n"
+               "                  [--max-events N] [--schedule STR] [--smoke]\n"
+               "                  [--inject-bug]\n");
+  std::exit(2);
+}
+
+bool parse_protocol(const std::string& tag, ProtocolKind& out) {
+  if (tag == "sm") out = ProtocolKind::kSimpleMoonshot;
+  else if (tag == "pm") out = ProtocolKind::kPipelinedMoonshot;
+  else if (tag == "cm") out = ProtocolKind::kCommitMoonshot;
+  else if (tag == "j") out = ProtocolKind::kJolteon;
+  else if (tag == "hs") out = ProtocolKind::kHotStuff;
+  else return false;
+  return true;
+}
+
+const char* cli_tag(ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::kSimpleMoonshot: return "sm";
+    case ProtocolKind::kPipelinedMoonshot: return "pm";
+    case ProtocolKind::kCommitMoonshot: return "cm";
+    case ProtocolKind::kJolteon: return "j";
+    case ProtocolKind::kHotStuff: return "hs";
+  }
+  return "?";
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      if (!parse_protocol(value(), opt.protocol)) usage_error("unknown protocol tag");
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--runs") {
+      opt.runs = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--n") {
+      opt.n = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--duration-ms") {
+      opt.duration_ms = std::strtoll(value().c_str(), nullptr, 10);
+    } else if (arg == "--delta-ms") {
+      opt.delta_ms = std::strtoll(value().c_str(), nullptr, 10);
+    } else if (arg == "--max-events") {
+      opt.max_events = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--schedule") {
+      opt.schedule = value();
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--inject-bug") {
+      opt.inject_bug = true;
+    } else {
+      usage_error(("unknown argument: " + arg).c_str());
+    }
+  }
+  return opt;
+}
+
+ChaosRunConfig make_run_config(const Options& opt, std::uint64_t seed,
+                               FaultSchedule schedule) {
+  ChaosRunConfig cfg;
+  cfg.protocol = opt.protocol;
+  cfg.n = opt.n;
+  cfg.delta = milliseconds(opt.delta_ms);
+  cfg.duration = milliseconds(opt.duration_ms);
+  cfg.seed = seed;
+  cfg.schedule = std::move(schedule);
+  cfg.inject_bug = opt.inject_bug;
+  return cfg;
+}
+
+GenerateOptions make_gen_options(const Options& opt) {
+  GenerateOptions gen;
+  gen.n = opt.n;
+  gen.crash_pool = (opt.n - 1) / 3;
+  gen.duration = milliseconds(opt.duration_ms);
+  gen.stable_tail = milliseconds(std::min<std::int64_t>(opt.duration_ms / 2, 4000));
+  gen.max_events = opt.max_events;
+  return gen;
+}
+
+void print_reproducer(const Options& opt, std::uint64_t seed, const FaultSchedule& schedule) {
+  std::printf("  chaos_fuzz --protocol %s --seed %llu --n %zu --duration-ms %lld"
+              " --delta-ms %lld%s --schedule \"%s\"\n",
+              cli_tag(opt.protocol), static_cast<unsigned long long>(seed), opt.n,
+              static_cast<long long>(opt.duration_ms), static_cast<long long>(opt.delta_ms),
+              opt.inject_bug ? " --inject-bug" : "", schedule.to_string().c_str());
+}
+
+int replay(const Options& opt) {
+  auto parsed = FaultSchedule::parse(opt.schedule);
+  if (!parsed) usage_error("unparseable --schedule");
+  const ChaosReport report = run_chaos(make_run_config(opt, opt.seed, *parsed));
+  std::printf("protocol=%s seed=%llu schedule=%s\n", cli_tag(opt.protocol),
+              static_cast<unsigned long long>(opt.seed), parsed->to_string().c_str());
+  std::printf("digest=%016llx committed=%llu max_view=%llu verdict=%s\n",
+              static_cast<unsigned long long>(report.digest),
+              static_cast<unsigned long long>(report.committed_blocks),
+              static_cast<unsigned long long>(report.max_view),
+              report.ok() ? "OK" : report.failure().c_str());
+  return report.ok() ? 0 : 1;
+}
+
+/// One fuzz iteration; returns true when it passed.
+bool fuzz_one(const Options& opt, std::uint64_t seed) {
+  const FaultSchedule schedule = generate_schedule(make_gen_options(opt), seed);
+  const ChaosReport report = run_chaos(make_run_config(opt, seed, schedule));
+  if (report.ok()) {
+    std::printf("  seed %llu: ok (%llu blocks, %zu fault events)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(report.committed_blocks),
+                schedule.events.size());
+    return true;
+  }
+  std::printf("  seed %llu: FAIL %s\n", static_cast<unsigned long long>(seed),
+              report.failure().c_str());
+  std::printf("  shrinking %zu-event schedule...\n", schedule.events.size());
+  const ShrinkOracle oracle = [&](const FaultSchedule& candidate) {
+    return !run_chaos(make_run_config(opt, seed, candidate)).ok();
+  };
+  const ShrinkResult shrunk = shrink_schedule(schedule, oracle);
+  std::printf("  minimal reproducer (%zu events, %zu oracle calls):\n",
+              shrunk.schedule.events.size(), shrunk.oracle_calls);
+  print_reproducer(opt, seed, shrunk.schedule);
+  return false;
+}
+
+int fuzz(const Options& opt) {
+  std::printf("fuzzing %s: %zu runs from seed %llu (n=%zu, %lldms runs)\n",
+              cli_tag(opt.protocol), opt.runs, static_cast<unsigned long long>(opt.seed),
+              opt.n, static_cast<long long>(opt.duration_ms));
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < opt.runs; ++i) {
+    if (!fuzz_one(opt, opt.seed + i)) ++failures;
+  }
+  std::printf("%zu/%zu runs ok\n", opt.runs - failures, opt.runs);
+  return failures == 0 ? 0 : 1;
+}
+
+int smoke(Options opt) {
+  const ProtocolKind protocols[] = {
+      ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
+      ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon};
+  opt.duration_ms = 6'000;
+  bool ok = true;
+  for (const ProtocolKind p : protocols) {
+    opt.protocol = p;
+    const FaultSchedule schedule = generate_schedule(make_gen_options(opt), opt.seed);
+    const ChaosReport first = run_chaos(make_run_config(opt, opt.seed, schedule));
+    const ChaosReport second = run_chaos(make_run_config(opt, opt.seed, schedule));
+    const bool deterministic = first.digest == second.digest;
+    std::printf("  %s: %s digest=%016llx replay=%s\n", cli_tag(p),
+                first.ok() ? "ok" : first.failure().c_str(),
+                static_cast<unsigned long long>(first.digest),
+                deterministic ? "identical" : "DIVERGED");
+    if (!first.ok() || !deterministic) {
+      ok = false;
+      print_reproducer(opt, opt.seed, schedule);
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  if (!opt.schedule.empty()) return replay(opt);
+  if (opt.smoke) return smoke(opt);
+  return fuzz(opt);
+}

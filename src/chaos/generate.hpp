@@ -1,0 +1,37 @@
+// Seeded random fault-schedule generation for the fuzz driver.
+//
+// Constraints baked into generated schedules (so the invariant suite's
+// expectations are sound):
+//  * every fault heals before `duration - stable_tail` — the run always ends
+//    with a fault-free window in which liveness must return;
+//  * crash-recovery targets are drawn from a fixed pool of at most
+//    `crash_pool` low node ids, and crash_pool + statically-faulty <= f —
+//    a recovered node may re-send votes (volatile state is not persisted),
+//    so it is budgeted against the adversary like any other faulty node;
+//  * partitions/drops/delays are unconstrained: they may only hurt liveness
+//    while active, never safety.
+#pragma once
+
+#include "chaos/schedule.hpp"
+
+namespace moonshot::chaos {
+
+struct GenerateOptions {
+  std::size_t n = 4;
+  /// Nodes the adversary already controls statically (Experiment cfg.crashed).
+  std::size_t static_faulty = 0;
+  /// Crash-recovery pool size; crash events target ids [0, crash_pool).
+  /// Keep crash_pool + static_faulty <= (n-1)/3.
+  std::size_t crash_pool = 1;
+  Duration duration = seconds(10);
+  /// Fault-free window at the end of the run (liveness must return here).
+  Duration stable_tail = seconds(4);
+  std::size_t min_events = 1;
+  std::size_t max_events = 6;
+  /// Largest delay spike / burst, ms granularity.
+  Duration max_delay = milliseconds(400);
+};
+
+FaultSchedule generate_schedule(const GenerateOptions& opt, std::uint64_t seed);
+
+}  // namespace moonshot::chaos

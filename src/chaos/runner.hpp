@@ -1,0 +1,61 @@
+// Runs one (protocol, seed, schedule) chaos scenario and checks the full
+// invariant suite:
+//  * safety — cross-node commit-log consistency, checked both at the heal
+//    point and at the end of the run;
+//  * conformance — behavioural rules over the message trace (crash-recovery
+//    targets exempt: volatile vote state is not persisted, so they may
+//    legitimately re-send);
+//  * liveness after heal — every honest node's commit log must grow during
+//    the fault-free tail;
+//  * chain shape — committed heights are dense (no gaps).
+//
+// The report carries a determinism digest folding the commit logs, metrics
+// and the scheduler's execution fingerprint: two runs of the same
+// (protocol, seed, schedule) must produce identical digests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "harness/experiment.hpp"
+
+namespace moonshot::chaos {
+
+struct ChaosRunConfig {
+  ProtocolKind protocol = ProtocolKind::kPipelinedMoonshot;
+  std::size_t n = 4;
+  Duration delta = milliseconds(500);
+  Duration duration = seconds(10);
+  std::uint64_t seed = 1;
+  FaultSchedule schedule;
+  /// Require commit-log growth on every honest node after the last heal.
+  /// Needs a reasonable fault-free tail; disable for schedules that run
+  /// faults to the end.
+  bool check_liveness = true;
+  /// Testing hook for the shrinker: treat a partition window overlapping a
+  /// crash window as a fake safety violation. Lets tests exercise
+  /// shrink-to-minimal-reproducer without a real consensus bug.
+  bool inject_bug = false;
+};
+
+struct ChaosReport {
+  bool safety_ok = true;
+  bool liveness_ok = true;
+  bool conformance_ok = true;
+  bool chain_shape_ok = true;
+  std::vector<std::string> violations;  // human-readable failure details
+  /// Determinism digest: commit logs + metrics + scheduler fingerprint.
+  std::uint64_t digest = 0;
+  std::uint64_t committed_blocks = 0;  // 2f+1-threshold commits
+  View max_view = 0;
+
+  bool ok() const { return safety_ok && liveness_ok && conformance_ok && chain_shape_ok; }
+  /// One-line failure summary ("" when ok()).
+  std::string failure() const;
+};
+
+ChaosReport run_chaos(const ChaosRunConfig& cfg);
+
+}  // namespace moonshot::chaos

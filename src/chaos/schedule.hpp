@@ -1,0 +1,72 @@
+// Declarative, replayable fault schedules.
+//
+// A FaultSchedule is a list of timed fault events driven against a running
+// Experiment by the ChaosEngine. Schedules round-trip through a compact
+// textual form so a failing fuzz run can be replayed from a command line:
+//
+//   part(100-600;0,1|2,3)            symmetric partition into groups
+//   cut(100-600;0>1,2>0)             asymmetric partition (directed links)
+//   drop(0-2000;p=50;links=0>1)      probabilistic per-link drop
+//   dup(0-2000;p=20)                 probabilistic duplication (all links)
+//   delay(0-2000;d=200;p=100)        per-link delay spike of d ms
+//   crash(200-1500;n=2)              crash node 2 at 200ms, rebuild at 1500ms
+//   burst(0-1000;d=300)              adversarial delay burst on all traffic
+//
+// Times are milliseconds from simulation start; events are ';'-separated.
+// Probabilities are integer percents and delays integer milliseconds so the
+// textual form round-trips exactly (schedules are generated at millisecond
+// granularity).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "support/time.hpp"
+#include "types/ids.hpp"
+
+namespace moonshot::chaos {
+
+enum class FaultType {
+  kPartition,  // symmetric split into groups
+  kLinkCut,    // directed link cut (asymmetric partition)
+  kDrop,       // probabilistic per-link drop
+  kDuplicate,  // probabilistic per-link duplication
+  kDelay,      // per-link delay spike
+  kCrash,      // crash-stop at start, rebuild from persisted state at end
+  kBurst,      // adversarial delay burst on every link
+};
+const char* fault_type_tag(FaultType t);
+
+struct FaultEvent {
+  FaultType type = FaultType::kPartition;
+  /// Active window [start, end): the fault arms at `start` and heals at
+  /// `end` (for kCrash, `end` is the rebuild time).
+  TimePoint start = TimePoint::zero();
+  TimePoint end = TimePoint::zero();
+  std::vector<std::vector<NodeId>> groups;  // kPartition
+  std::vector<net::Link> links;             // link faults; empty = every link
+  std::vector<NodeId> nodes;                // kCrash
+  int percent = 100;                        // trigger probability, 0..100
+  Duration delay = Duration(0);             // kDelay / kBurst spike size
+
+  std::string to_string() const;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  /// Latest heal time over all events (zero when empty): after this point
+  /// the network is fault-free and liveness must return.
+  TimePoint last_heal() const;
+  /// Node ids named by crash events (recovery-exempt for conformance).
+  std::vector<NodeId> crash_targets() const;
+
+  std::string to_string() const;
+  static std::optional<FaultSchedule> parse(std::string_view text);
+};
+
+}  // namespace moonshot::chaos

@@ -1,0 +1,132 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+
+namespace moonshot::chaos {
+
+namespace {
+
+constexpr std::int64_t kMsNs = 1'000'000;
+
+class Shrinker {
+ public:
+  Shrinker(FaultSchedule failing, const ShrinkOracle& oracle, std::size_t budget)
+      : best_(std::move(failing)), oracle_(oracle), budget_(budget) {}
+
+  ShrinkResult run() {
+    bool progress = true;
+    while (progress && calls_ < budget_) {
+      progress = false;
+      progress |= drop_events();
+      progress |= narrow_windows();
+      progress |= shrink_details();
+    }
+    return ShrinkResult{std::move(best_), calls_, calls_ >= budget_};
+  }
+
+ private:
+  /// Oracle wrapper: adopts `candidate` as the new best when it still fails.
+  bool try_candidate(FaultSchedule candidate) {
+    if (calls_ >= budget_) return false;
+    ++calls_;
+    if (!oracle_(candidate)) return false;
+    best_ = std::move(candidate);
+    return true;
+  }
+
+  /// ddmin-style removal: chunks of half the events, then quarters, … down
+  /// to single events; restart at the coarsest size after any success.
+  bool drop_events() {
+    bool progressed = false;
+    for (std::size_t chunk = std::max<std::size_t>(best_.events.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      bool removed = true;
+      while (removed && best_.events.size() > 1) {
+        removed = false;
+        for (std::size_t at = 0; at + chunk <= best_.events.size(); ++at) {
+          FaultSchedule candidate = best_;
+          candidate.events.erase(candidate.events.begin() + static_cast<std::ptrdiff_t>(at),
+                                 candidate.events.begin() + static_cast<std::ptrdiff_t>(at + chunk));
+          if (try_candidate(std::move(candidate))) {
+            removed = true;
+            progressed = true;
+            break;  // indices shifted; rescan
+          }
+          if (calls_ >= budget_) return progressed;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return progressed;
+  }
+
+  /// Bisects each window: first try ending at the midpoint, then starting at
+  /// it. Repeats while the window is > 1ms and the failure persists.
+  bool narrow_windows() {
+    bool progressed = false;
+    for (std::size_t i = 0; i < best_.events.size(); ++i) {
+      for (bool shrunk = true; shrunk;) {
+        shrunk = false;
+        const FaultEvent& ev = best_.events[i];
+        const std::int64_t span_ms = (ev.end.ns - ev.start.ns) / kMsNs;
+        if (span_ms <= 1) break;
+        const TimePoint mid{ev.start.ns + (span_ms / 2) * kMsNs};
+
+        FaultSchedule earlier_end = best_;
+        earlier_end.events[i].end = mid;
+        if (try_candidate(std::move(earlier_end))) {
+          progressed = shrunk = true;
+          continue;
+        }
+        FaultSchedule later_start = best_;
+        later_start.events[i].start = mid;
+        if (try_candidate(std::move(later_start))) progressed = shrunk = true;
+        if (calls_ >= budget_) return progressed;
+      }
+    }
+    return progressed;
+  }
+
+  /// Drops individual crash targets and cut links (keeping at least one).
+  bool shrink_details() {
+    bool progressed = false;
+    for (std::size_t i = 0; i < best_.events.size(); ++i) {
+      for (bool shrunk = true; shrunk;) {
+        shrunk = false;
+        const FaultEvent& ev = best_.events[i];
+        const std::size_t entries =
+            ev.type == FaultType::kCrash ? ev.nodes.size()
+            : ev.type == FaultType::kLinkCut ? ev.links.size()
+                                             : 0;
+        for (std::size_t j = 0; entries > 1 && j < entries; ++j) {
+          FaultSchedule candidate = best_;
+          FaultEvent& cev = candidate.events[i];
+          if (cev.type == FaultType::kCrash)
+            cev.nodes.erase(cev.nodes.begin() + static_cast<std::ptrdiff_t>(j));
+          else
+            cev.links.erase(cev.links.begin() + static_cast<std::ptrdiff_t>(j));
+          if (try_candidate(std::move(candidate))) {
+            progressed = shrunk = true;
+            break;
+          }
+          if (calls_ >= budget_) return progressed;
+        }
+      }
+    }
+    return progressed;
+  }
+
+  FaultSchedule best_;
+  const ShrinkOracle& oracle_;
+  std::size_t budget_;
+  std::size_t calls_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink_schedule(FaultSchedule failing, const ShrinkOracle& oracle,
+                             std::size_t max_oracle_calls) {
+  return Shrinker(std::move(failing), oracle, max_oracle_calls).run();
+}
+
+}  // namespace moonshot::chaos

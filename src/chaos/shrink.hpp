@@ -1,0 +1,35 @@
+// Automatic schedule shrinking (delta debugging).
+//
+// Given a failing fault schedule and an oracle ("does this schedule still
+// fail?"), produces a locally minimal reproducer:
+//  1. event removal — chunked ddmin down to single events, to fixpoint;
+//  2. window narrowing — bisects each event's active window (later start,
+//     earlier end) while the failure persists;
+//  3. detail shrinking — drops individual crash targets and cut links.
+//
+// Every candidate stays at millisecond granularity so the result round-trips
+// through FaultSchedule::to_string() exactly. The oracle-call budget bounds
+// total work; shrinking stops early when it is exhausted.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "chaos/schedule.hpp"
+
+namespace moonshot::chaos {
+
+/// Returns true when `candidate` still reproduces the original failure.
+using ShrinkOracle = std::function<bool(const FaultSchedule&)>;
+
+struct ShrinkResult {
+  FaultSchedule schedule;
+  std::size_t oracle_calls = 0;
+  bool budget_exhausted = false;
+};
+
+/// `failing` must satisfy the oracle (the caller observed the failure).
+ShrinkResult shrink_schedule(FaultSchedule failing, const ShrinkOracle& oracle,
+                             std::size_t max_oracle_calls = 200);
+
+}  // namespace moonshot::chaos

@@ -15,6 +15,24 @@ BaseNode::BaseNode(NodeContext ctx)
                      "node context incomplete");
 }
 
+void BaseNode::halt() {
+  halted_ = true;
+  cancel_view_timer();
+  // Kill block-fetch retries: the Retry callback exits when its entry is gone.
+  outstanding_fetches_.clear();
+}
+
+void BaseNode::restore(const BlockStore& store, const std::vector<BlockPtr>& committed,
+                       View resume_view) {
+  MOONSHOT_INVARIANT(view_ == 0, "restore must precede start()");
+  for (const BlockPtr& b : store.all_blocks()) store_.add(b);
+  // Replay the committed prefix. No commit callbacks are registered yet on a
+  // freshly rebuilt node, so metrics are not double-counted.
+  const TimePoint now = ctx_.sched->now();
+  for (const BlockPtr& b : committed) commit_log_.commit(b, now);
+  if (resume_view > 0) view_ = resume_view;
+}
+
 Vote BaseNode::make_vote(VoteKind kind, View view, const BlockId& block) const {
   return Vote::make(kind, view, block, ctx_.id, ctx_.priv, ctx_.validators->scheme());
 }
@@ -135,6 +153,7 @@ bool BaseNode::store_block(const BlockPtr& block) {
 
 void BaseNode::arm_view_timer(Duration d) {
   cancel_view_timer();
+  if (halted_) return;
   const std::uint64_t generation = ++timer_generation_;
   view_timer_ = ctx_.sched->schedule_after(d, [this, generation] {
     if (generation != timer_generation_) return;  // superseded
@@ -151,7 +170,7 @@ void BaseNode::cancel_view_timer() {
 }
 
 void BaseNode::request_block(const BlockId& id) {
-  if (store_.contains(id)) return;
+  if (halted_ || store_.contains(id)) return;
   auto [it, inserted] = outstanding_fetches_.emplace(id, 0);
   if (!inserted) return;  // a fetch (with retries) is already in flight
   const std::size_t n = ctx_.validators->size();
@@ -189,8 +208,20 @@ void BaseNode::request_block(const BlockId& id) {
 
 bool BaseNode::handle_sync(NodeId from, const Message& m) {
   if (const auto* req = std::get_if<BlockRequestMsg>(&m)) {
-    if (const BlockPtr block = store_.get(req->id)) {
+    if (BlockPtr block = store_.get(req->id)) {
       unicast(from, make_message<BlockResponseMsg>(block, ctx_.id));
+      // Ancestor batching: a requester fetching an old body is usually
+      // walking a commit gap backwards (post-partition catch-up), and the
+      // hash chain reveals only one missing parent per round trip. Ship a
+      // bounded batch of ancestors proactively — the requester's store
+      // dedupes ones it already has — turning the serial walk into chunks.
+      std::uint64_t payload_budget = 64 * 1024;
+      for (int extra = 0; extra < 8 && block->height() > 1; ++extra) {
+        block = store_.get(block->parent());
+        if (!block || block->is_genesis() || block->wire_size() > payload_budget) break;
+        payload_budget -= block->wire_size();
+        unicast(from, make_message<BlockResponseMsg>(block, ctx_.id));
+      }
     }
     return true;
   }

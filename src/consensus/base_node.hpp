@@ -30,6 +30,14 @@ class BaseNode : public IConsensusNode {
   CommitLog& commit_log_mutable() override { return commit_log_; }
   const BlockStore& block_store() const override { return store_; }
 
+  /// Crash-stop: mutes all sends and disarms timers/retries. Safe to call on
+  /// a node whose scheduled callbacks are still queued.
+  void halt() override;
+
+  /// Rebuilds ledger state from persisted storage; must precede start().
+  void restore(const BlockStore& store, const std::vector<BlockPtr>& committed,
+               View resume_view) override;
+
   NodeId id() const { return ctx_.id; }
 
  protected:
@@ -40,12 +48,38 @@ class BaseNode : public IConsensusNode {
   const ValidatorSet& validators() const { return *ctx_.validators; }
 
   // --- sending ---------------------------------------------------------------
-  void multicast(MessagePtr m) { ctx_.network->multicast(ctx_.id, std::move(m)); }
-  void unicast(NodeId to, MessagePtr m) { ctx_.network->unicast(ctx_.id, to, std::move(m)); }
+  void multicast(MessagePtr m) {
+    if (halted_) return;
+    ctx_.network->multicast(ctx_.id, std::move(m));
+  }
+  void unicast(NodeId to, MessagePtr m) {
+    if (halted_) return;
+    ctx_.network->unicast(ctx_.id, to, std::move(m));
+  }
+  bool halted() const { return halted_; }
 
   /// Creates, records (for the accumulator) and multicasts a vote.
   Vote make_vote(VoteKind kind, View view, const BlockId& block) const;
   TimeoutMsg make_timeout(View view, QcPtr lock) const;
+
+  /// Remembers the leader's own proposal multicast for `view` so the
+  /// pacemaker can retransmit it if the view stalls: the original may have
+  /// been lost, and leaders otherwise speak at most once per view, turning
+  /// one lost multicast into two full timeout rounds.
+  void remember_proposal(View view, const MessagePtr& m) {
+    last_proposal_view_ = view;
+    last_proposal_ = m;
+  }
+  /// Re-multicasts the remembered proposal if it targets `view` — at most
+  /// once per view: under a bandwidth-limited link, retransmitting a large
+  /// block on every backed-off expiry would saturate the very link the
+  /// pacemaker is waiting on.
+  void retransmit_proposal(View view) {
+    if (!last_proposal_ || last_proposal_view_ != view) return;
+    if (retransmitted_view_ >= view) return;
+    retransmitted_view_ = view;
+    multicast(last_proposal_);
+  }
 
   // --- block creation ---------------------------------------------------------
   /// Creates the unique block for `view` extending `parent`, adds it to the
@@ -133,10 +167,14 @@ class BaseNode : public IConsensusNode {
   std::unordered_set<BlockId> pending_commit_targets_;
   // Outstanding block fetches: id -> retry count.
   std::unordered_map<BlockId, int> outstanding_fetches_;
+  View last_proposal_view_ = 0;
+  View retransmitted_view_ = 0;
+  MessagePtr last_proposal_;
   sim::TaskId view_timer_ = 0;
   std::uint64_t timer_generation_ = 0;
   int backoff_exponent_ = 0;
   int progress_streak_ = 0;
+  bool halted_ = false;
 };
 
 }  // namespace moonshot

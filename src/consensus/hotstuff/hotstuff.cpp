@@ -11,9 +11,12 @@ HotStuffNode::HotStuffNode(NodeContext ctx) : BaseNode(std::move(ctx)) {
 }
 
 void HotStuffNode::start() {
-  view_ = 1;
+  // Cold start enters view 1; a crash-recovered node (restore() set view_)
+  // resumes in its restored view and catches up via incoming certificates.
+  const bool cold_start = view_ == 0;
+  if (cold_start) view_ = 1;
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
-  if (i_am_leader(1)) propose();
+  if (cold_start && i_am_leader(1)) propose();
   try_vote();
 }
 
@@ -49,6 +52,15 @@ void HotStuffNode::handle(NodeId from, const MessagePtr& m) {
           if (msg.timeout.sender != from) return;
           if (msg.timeout.view < 1) return;
           if (msg.timeout.high_qc) handle_qc(msg.timeout.high_qc, /*already_validated=*/false);
+          if (msg.timeout.view < view_) {
+            // Stale timeout: help the stuck sender catch up (see simple
+            // moonshot) so timeout quorums re-converge on a single round.
+            if (high_qc_->view >= msg.timeout.view) {
+              unicast(from, make_message<CertMsg>(high_qc_, ctx_.id));
+            } else if (entry_tc_ && entry_tc_->view >= msg.timeout.view) {
+              unicast(from, make_message<TcMsg>(entry_tc_, ctx_.id));
+            }
+          }
           const auto result = timeout_acc_.add(msg.timeout);
           if (result.reached_f_plus_1 && msg.timeout.view >= view_)
             send_timeout(msg.timeout.view);
@@ -125,9 +137,10 @@ void HotStuffNode::propose() {
   }
   proposed_in_round_ = true;
   const BlockPtr block = create_block(view_, parent);
-  multicast(make_message<ProposalMsg>(block, high_qc_,
-                                      high_qc_->view + 1 == view_ ? nullptr : entry_tc_,
-                                      ctx_.id));
+  const MessagePtr msg = make_message<ProposalMsg>(
+      block, high_qc_, high_qc_->view + 1 == view_ ? nullptr : entry_tc_, ctx_.id);
+  remember_proposal(view_, msg);
+  multicast(msg);
 }
 
 void HotStuffNode::try_vote() {
@@ -159,14 +172,23 @@ void HotStuffNode::send_timeout(View round) {
 }
 
 void HotStuffNode::on_view_timer_expired() {
-  note_timeout();
-  send_timeout(view_);
+  if (timeout_round_ < view_) {
+    note_timeout();
+    send_timeout(view_);
+  } else {
+    // Retransmit a possibly-lost timeout and stay armed (see pipelined).
+    multicast(make_message<TimeoutMsgWrap>(make_timeout(view_, high_qc_)));
+  }
+  retransmit_proposal(view_);  // our own proposal may be the lost message
+  arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
 }
 
 void HotStuffNode::on_block_stored(const BlockPtr& block) {
+  // Leader retry first: after a TC-driven entry the high-QC block can be
+  // many views old, so it must not be filtered by the staleness guard below.
+  if (i_am_leader(view_) && !proposed_in_round_ && high_qc_->block == block->id()) propose();
   if (block->view() + 1 < view_) return;
   try_vote();
-  if (i_am_leader(view_) && !proposed_in_round_ && high_qc_->block == block->id()) propose();
 }
 
 bool HotStuffNode::link_valid(const BlockPtr& block) const {

@@ -9,9 +9,12 @@ constexpr int kTimerDeltas = 3;  // view timer = 3Δ (Figure 3)
 PipelinedMoonshotNode::PipelinedMoonshotNode(NodeContext ctx) : BaseNode(std::move(ctx)) {}
 
 void PipelinedMoonshotNode::start() {
-  view_ = 1;
+  // Cold start enters view 1; a crash-recovered node (restore() set view_)
+  // resumes in its restored view and catches up via incoming certificates.
+  const bool cold_start = view_ == 0;
+  if (cold_start) view_ = 1;
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
-  if (i_am_leader(1)) propose_normal(QuorumCert::genesis_qc());
+  if (cold_start && i_am_leader(1)) propose_normal(QuorumCert::genesis_qc());
   try_vote();
 }
 
@@ -69,6 +72,14 @@ void PipelinedMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           if (msg.timeout.view < 1) return;
           // Timeouts carry the sender's lock — a certificate in its own right.
           if (msg.timeout.high_qc) handle_qc(msg.timeout.high_qc, /*already_validated=*/false);
+          if (msg.timeout.view < view_) {
+            // Stale timeout: help the stuck sender catch up (see simple).
+            if (lock_->view >= msg.timeout.view) {
+              unicast(from, make_message<CertMsg>(lock_, ctx_.id));
+            } else if (entry_tc_ && entry_tc_->view >= msg.timeout.view) {
+              unicast(from, make_message<TcMsg>(entry_tc_, ctx_.id));
+            }
+          }
           const auto result = timeout_acc_.add(msg.timeout);
           // Bracha amplification: f+1 timeouts for any view ≥ ours → join.
           if (result.reached_f_plus_1 && msg.timeout.view >= view_)
@@ -131,6 +142,7 @@ void PipelinedMoonshotNode::advance_to(View new_view, const QcPtr& via_qc, const
   }
 
   view_ = new_view;
+  entry_tc_ = via_tc;
   proposed_in_view_ = false;
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
 
@@ -163,7 +175,9 @@ void PipelinedMoonshotNode::propose_normal(const QcPtr& justify) {
   }
   proposed_in_view_ = true;
   const BlockPtr block = create_block(view_, parent);
-  multicast(make_message<ProposalMsg>(block, justify, nullptr, ctx_.id));
+  const MessagePtr msg = make_message<ProposalMsg>(block, justify, nullptr, ctx_.id);
+  remember_proposal(view_, msg);
+  multicast(msg);
 }
 
 void PipelinedMoonshotNode::propose_fallback(const TcPtr& tc) {
@@ -176,7 +190,9 @@ void PipelinedMoonshotNode::propose_fallback(const TcPtr& tc) {
   }
   proposed_in_view_ = true;
   const BlockPtr block = create_block(view_, parent);
-  multicast(make_message<FbProposalMsg>(block, lock_, tc, ctx_.id));
+  const MessagePtr msg = make_message<FbProposalMsg>(block, lock_, tc, ctx_.id);
+  remember_proposal(view_, msg);
+  multicast(msg);
 }
 
 void PipelinedMoonshotNode::try_vote() {
@@ -247,7 +263,9 @@ void PipelinedMoonshotNode::after_vote(const BlockPtr& block) {
   if (i_am_leader(block->view() + 1) && opt_proposed_view_ < block->view() + 1) {
     opt_proposed_view_ = block->view() + 1;
     const BlockPtr child = create_block(block->view() + 1, block);
-    multicast(make_message<OptProposalMsg>(child, ctx_.id));
+    const MessagePtr msg = make_message<OptProposalMsg>(child, ctx_.id);
+    remember_proposal(child->view(), msg);
+    multicast(msg);
   }
 }
 
@@ -259,8 +277,21 @@ void PipelinedMoonshotNode::send_timeout(View view) {
 }
 
 void PipelinedMoonshotNode::on_view_timer_expired() {
-  note_timeout();
-  send_timeout(view_);
+  if (timeout_view_ < view_) {
+    note_timeout();
+    send_timeout(view_);
+  } else {
+    // The first ⟨timeout⟩ for this view may have been lost (lossy links; a
+    // real transport retransmits). Re-multicast with the current — possibly
+    // fresher — lock; a single lost timeout must not stall the view forever.
+    multicast(make_message<TimeoutMsgWrap>(make_timeout(view_, lock_)));
+  }
+  // If we led this view, our proposal may be the lost message: leaders speak
+  // once per view, so without a re-send one lost proposal costs the whole
+  // system two timeout rounds instead of one.
+  retransmit_proposal(view_);
+  // Keep the timer armed until the view advances, so retransmission repeats.
+  arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
 }
 
 void PipelinedMoonshotNode::on_block_stored(const BlockPtr& block) {

@@ -68,6 +68,7 @@ class PipelinedMoonshotNode : public BaseNode {
   bool link_valid(const BlockPtr& block) const;
 
   QcPtr lock_ = QuorumCert::genesis_qc();
+  TcPtr entry_tc_;  // TC that drove the latest view entry (null if QC-driven)
   View opt_voted_view_ = 0;    // highest view with an optimistic vote sent
   BlockId opt_voted_block_{};  // block of that optimistic vote
   View main_voted_view_ = 0;   // highest view with a normal/fallback vote

@@ -12,10 +12,24 @@ SimpleMoonshotNode::SimpleMoonshotNode(NodeContext ctx) : BaseNode(std::move(ctx
 void SimpleMoonshotNode::start() {
   // All nodes know the genesis certificate C_0, so everyone enters view 1
   // immediately. The certificate multicast is skipped (everyone has C_0).
-  view_ = 1;
+  // A crash-recovered node (restore() set view_ > 0) resumes in its restored
+  // view instead: it arms the timer and catches up via incoming certificates
+  // rather than replaying view-1 actions.
+  const bool cold_start = view_ == 0;
+  if (cold_start) view_ = 1;
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
-  if (i_am_leader(1)) propose_normal(QuorumCert::genesis_qc());
+  if (cold_start && i_am_leader(1)) propose_normal(QuorumCert::genesis_qc());
   try_vote();
+}
+
+void SimpleMoonshotNode::halt() {
+  BaseNode::halt();
+  // Invalidate any scheduled 2Δ fallback proposal.
+  ++propose_generation_;
+  if (propose_deadline_task_ != 0) {
+    ctx_.sched->cancel(propose_deadline_task_);
+    propose_deadline_task_ = 0;
+  }
 }
 
 void SimpleMoonshotNode::handle(NodeId from, const MessagePtr& m) {
@@ -50,6 +64,17 @@ void SimpleMoonshotNode::handle(NodeId from, const MessagePtr& m) {
         } else if constexpr (std::is_same_v<T, TimeoutMsgWrap>) {
           if (msg.timeout.sender != from) return;
           if (msg.timeout.view < 1) return;
+          if (msg.timeout.view < view_) {
+            // Stale timeout: the sender is stuck in an older view (e.g. the
+            // certificate that advanced us was lost on its link). Re-send the
+            // evidence justifying our view so the pacemakers re-converge on
+            // one view — otherwise timeouts can split below quorum forever.
+            if (highest_qc_->view >= msg.timeout.view) {
+              unicast(from, make_message<CertMsg>(highest_qc_, ctx_.id));
+            } else if (entry_tc_ && entry_tc_->view >= msg.timeout.view) {
+              unicast(from, make_message<TcMsg>(entry_tc_, ctx_.id));
+            }
+          }
           const auto result = timeout_acc_.add(msg.timeout);
           // Figure 1 rule 4: f+1 timeouts for the *current* view make us
           // stop voting and join the timeout.
@@ -122,6 +147,7 @@ void SimpleMoonshotNode::advance_to(View new_view, const QcPtr& via_qc, const Tc
 
   // (iv) Enter the view; (v) reset the 5Δ timer.
   view_ = new_view;
+  entry_tc_ = via_tc;
   proposed_in_view_ = false;
   ++propose_generation_;  // invalidates any scheduled 2Δ proposal
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
@@ -164,7 +190,9 @@ void SimpleMoonshotNode::propose_normal(const QcPtr& justify) {
   proposed_in_view_ = true;
   ++propose_generation_;
   const BlockPtr block = create_block(view_, parent);
-  multicast(make_message<ProposalMsg>(block, justify, nullptr, ctx_.id));
+  const MessagePtr msg = make_message<ProposalMsg>(block, justify, nullptr, ctx_.id);
+  remember_proposal(view_, msg);
+  multicast(msg);
 }
 
 void SimpleMoonshotNode::try_vote() {
@@ -200,7 +228,9 @@ void SimpleMoonshotNode::do_vote(const BlockPtr& block) {
   if (i_am_leader(view_ + 1) && opt_proposed_view_ < view_ + 1) {
     opt_proposed_view_ = view_ + 1;
     const BlockPtr child = create_block(view_ + 1, block);
-    multicast(make_message<OptProposalMsg>(child, ctx_.id));
+    const MessagePtr msg = make_message<OptProposalMsg>(child, ctx_.id);
+    remember_proposal(child->view(), msg);
+    multicast(msg);
   }
 }
 
@@ -212,8 +242,15 @@ void SimpleMoonshotNode::send_timeout(View view) {
 }
 
 void SimpleMoonshotNode::on_view_timer_expired() {
-  note_timeout();
-  send_timeout(view_);
+  if (timeout_sent_view_ < view_) {
+    note_timeout();
+    send_timeout(view_);
+  } else {
+    // Retransmit a possibly-lost timeout and stay armed (see pipelined).
+    multicast(make_message<TimeoutMsgWrap>(make_timeout(view_, nullptr)));
+  }
+  retransmit_proposal(view_);  // our own proposal may be the lost message
+  arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
 }
 
 void SimpleMoonshotNode::on_block_stored(const BlockPtr& block) {

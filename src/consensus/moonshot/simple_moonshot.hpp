@@ -33,6 +33,7 @@ class SimpleMoonshotNode : public BaseNode {
 
   void start() override;
   void handle(NodeId from, const MessagePtr& m) override;
+  void halt() override;
   std::string protocol_name() const override { return "simple-moonshot"; }
 
   /// The node's current lock (exposed for tests).
@@ -67,6 +68,7 @@ class SimpleMoonshotNode : public BaseNode {
 
   QcPtr lock_ = QuorumCert::genesis_qc();
   QcPtr highest_qc_ = QuorumCert::genesis_qc();
+  TcPtr entry_tc_;  // TC that drove the latest view entry (null if QC-driven)
   View voted_view_ = 0;         // highest view this node voted in
   View timeout_sent_view_ = 0;  // highest view this node sent ⟨timeout⟩ for
   View opt_proposed_view_ = 0;  // highest view this node opt-proposed for

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "ledger/block_store.hpp"
 #include "ledger/commit_log.hpp"
@@ -14,7 +15,27 @@ class IConsensusNode {
   virtual ~IConsensusNode() = default;
 
   /// Enters view 1 and begins participating (leader of view 1 proposes).
+  /// After restore() the node instead resumes at its restored view without
+  /// replaying view-1 actions.
   virtual void start() = 0;
+
+  /// Crash-stop: the node must emit nothing further; pending timers and
+  /// retry callbacks become no-ops. The chaos engine halts a node before
+  /// rebuilding its replacement from persisted state, so the halted husk can
+  /// outlive its scheduled callbacks safely.
+  virtual void halt() {}
+
+  /// Crash recovery, called before start(): re-adds every block from the
+  /// persisted `store`, replays the `committed` prefix into the commit log,
+  /// and resumes at `resume_view` (0 = cold start). Per-view volatile voting
+  /// state is deliberately *not* persisted — a recovered node may re-send
+  /// votes/timeouts, which honest accumulators dedupe by voter.
+  virtual void restore(const BlockStore& store, const std::vector<BlockPtr>& committed,
+                       View resume_view) {
+    (void)store;
+    (void)committed;
+    (void)resume_view;
+  }
 
   /// Delivers a message from `from` (authenticated channel: `from` is the
   /// true sender).

@@ -1,5 +1,6 @@
 #include "harness/conformance.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace moonshot {
@@ -38,7 +39,12 @@ void ConformanceChecker::observe(NodeId from, const Message& m) {
         if constexpr (std::is_same_v<T, VoteMsg>) {
           observe_vote(from, msg.vote);
         } else if constexpr (std::is_same_v<T, TimeoutMsgWrap>) {
-          ++by_sender_view_[{from, msg.timeout.view}].timeouts;
+          auto& sv = by_sender_view_[{from, msg.timeout.view}];
+          if (sv.timeouts > 0 && msg.timeout.high_qc_view < sv.last_timeout_qc_view)
+            sv.timeout_lock_regressed = true;
+          sv.last_timeout_qc_view =
+              std::max(sv.last_timeout_qc_view, msg.timeout.high_qc_view);
+          ++sv.timeouts;
         } else if constexpr (std::is_same_v<T, ProposalMsg> ||
                              std::is_same_v<T, OptProposalMsg> ||
                              std::is_same_v<T, FbProposalMsg>) {
@@ -81,8 +87,10 @@ std::vector<std::string> ConformanceChecker::violations() const {
       fail(who, view, "unexpected commit vote");
     if (sv.commit_votes > 1) fail(who, view, "more than one commit vote");
 
-    // Timeouts.
-    if (sv.timeouts > 1) fail(who, view, "more than one timeout");
+    // Timeouts. The pacemaker retransmits while a view is stuck (lossy
+    // links), so repeats are legitimate — but successive timeouts must carry
+    // a non-decreasing lock: a regression means inconsistent state.
+    if (sv.timeout_lock_regressed) fail(who, view, "timeout retransmitted with regressed lock");
 
     // Proposals. Up to two distinct blocks are legitimate (an optimistic
     // proposal plus the corrective normal/fallback one), but only with
@@ -114,31 +122,24 @@ std::vector<std::string> ConformanceChecker::violations() const {
   return out;
 }
 
+ConformanceChecker make_conformance_checker(const Experiment& e,
+                                            const std::vector<NodeId>& extra_exempt) {
+  const std::size_t n = e.node_count();
+  std::vector<bool> exempt(n, false);
+  for (NodeId id = 0; id < n; ++id) exempt[id] = e.is_faulty(id);
+  for (const NodeId id : extra_exempt) {
+    if (id < n) exempt[id] = true;
+  }
+  return ConformanceChecker(e.config().protocol, e.validators(), e.leaders(), exempt);
+}
+
 std::vector<std::string> run_conformance(ExperimentConfig cfg) {
   Experiment e(cfg);
-  std::vector<bool> byz(cfg.n, false);
-  for (NodeId id = 0; id < cfg.n; ++id) byz[id] = e.is_faulty(id);
-  // The checker needs the validator set and schedule the experiment built;
-  // reconstruct them identically (both are deterministic from cfg).
-  auto generated = ValidatorSet::generate(
-      cfg.n, cfg.use_ed25519 ? crypto::ed25519_scheme() : crypto::fast_scheme(), cfg.seed);
-  std::vector<NodeId> byz_ids;
-  for (NodeId id = 0; id < cfg.n; ++id)
-    if (byz[id]) byz_ids.push_back(id);
-  LeaderSchedulePtr leaders;
-  switch (cfg.schedule) {
-    case ScheduleKind::kRoundRobin:
-      leaders = std::make_shared<const RoundRobinSchedule>(cfg.n);
-      break;
-    case ScheduleKind::kB: leaders = make_schedule_b(cfg.n, byz_ids); break;
-    case ScheduleKind::kWM: leaders = make_schedule_wm(cfg.n, byz_ids); break;
-    case ScheduleKind::kWJ: leaders = make_schedule_wj(cfg.n, byz_ids); break;
-  }
-  ConformanceChecker real_checker(cfg.protocol, generated.set, leaders, byz);
+  ConformanceChecker checker = make_conformance_checker(e);
   e.network().set_tap(
-      [&real_checker](NodeId from, const Message& m) { real_checker.observe(from, m); });
+      [&checker](NodeId from, const Message& m) { checker.observe(from, m); });
   e.run();
-  return real_checker.violations();
+  return checker.violations();
 }
 
 }  // namespace moonshot

@@ -12,7 +12,9 @@
 //  * proposal provenance — block proposals only from the view's leader, at
 //    most one distinct block per (leader, view) in normal operation
 //    (LCO: the optimistic and normal proposals must carry the same block);
-//  * timeout monotonicity — at most one timeout per (sender, view);
+//  * timeout monotonicity — a sender may retransmit its timeout for a view
+//    (the pacemaker re-sends while stuck, since links may lose the first
+//    copy), but successive timeouts must carry a non-decreasing lock;
 //  * certified-view uniqueness — across the whole trace, at most one block
 //    gathers a quorum of same-kind votes per view (the structural heart of
 //    safety).
@@ -55,6 +57,8 @@ class ConformanceChecker {
     int main_votes = 0;  // normal + fallback (+ the single SM/J/HS vote)
     int commit_votes = 0;
     int timeouts = 0;
+    View last_timeout_qc_view = 0;       // highest lock rank carried so far
+    bool timeout_lock_regressed = false; // a later timeout carried a lower lock
     std::set<BlockId> voted_blocks;  // blocks named by opt/main votes
     /// Proposed blocks with their parents. An honest leader may propose two
     /// *distinct* blocks in a view only when correcting a failed optimistic
@@ -68,6 +72,14 @@ class ConformanceChecker {
   // (view, kind) -> block -> distinct voters; for certified-view uniqueness.
   std::map<std::pair<View, VoteKind>, std::map<BlockId, std::set<NodeId>>> votes_;
 };
+
+/// Builds a checker wired to `e`'s protocol, validator set and leader
+/// schedule. Statically faulty nodes — plus any `extra_exempt` ones (e.g.
+/// chaos crash-recovery targets, which may re-send votes because volatile
+/// per-view state is not persisted) — are exempt from the per-sender
+/// behavioural rules but still feed certified-view uniqueness.
+ConformanceChecker make_conformance_checker(const Experiment& e,
+                                            const std::vector<NodeId>& extra_exempt = {});
 
 /// Convenience: runs an Experiment with a conformance tap installed and
 /// returns the violations after `duration`.

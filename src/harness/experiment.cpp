@@ -62,12 +62,15 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   MOONSHOT_INVARIANT(cfg_.crashed <= (cfg_.n - 1) / 3,
                      "crashed nodes must not exceed f");
 
+  down_.assign(cfg_.n, 0);
+  recovered_once_.assign(cfg_.n, 0);
+
   // Network.
   cfg_.net.seed = cfg_.seed;
   cfg_.net.delta = cfg_.delta;
   network_ = std::make_unique<net::SimNetwork>(
       sched_, cfg_.n, cfg_.net, [this](NodeId to, NodeId from, const MessagePtr& m) {
-        if (is_crashed(to)) return;
+        if (is_crashed(to) || down_[to]) return;
         nodes_[to]->handle(from, m);
       });
 
@@ -75,6 +78,7 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   auto scheme = cfg_.use_ed25519 ? crypto::ed25519_scheme() : crypto::fast_scheme();
   auto generated = ValidatorSet::generate(cfg_.n, std::move(scheme), cfg_.seed);
   validators_ = generated.set;
+  private_keys_ = std::move(generated.private_keys);
 
   if (cfg_.tx_rate > 0) {
     tx_tracker_ = std::make_unique<TxTracker>(cfg_.tx_rate, validators_->quorum_size(),
@@ -85,67 +89,24 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   std::vector<NodeId> byzantine;
   for (std::size_t i = cfg_.n - cfg_.crashed; i < cfg_.n; ++i)
     byzantine.push_back(static_cast<NodeId>(i));
-  const LeaderSchedulePtr leaders = build_schedule(cfg_, byzantine);
+  leaders_ = build_schedule(cfg_, byzantine);
 
   // Deterministic per-view payloads (fixed per view; see types/payload.hpp).
-  PayloadSource payloads = cfg_.payload_source;
-  if (!payloads) {
+  payloads_ = cfg_.payload_source;
+  if (!payloads_) {
     const std::uint64_t payload_size = cfg_.payload_size;
     const std::uint64_t seed = cfg_.seed;
-    payloads = [payload_size, seed](View v) {
+    payloads_ = [payload_size, seed](View v) {
       return Payload::synthetic(payload_size, seed * 0x100000000ull + v);
     };
   }
 
   nodes_.reserve(cfg_.n);
   for (NodeId id = 0; id < cfg_.n; ++id) {
-    NodeContext ctx;
-    ctx.id = id;
-    ctx.validators = validators_;
-    ctx.priv = generated.private_keys[id];
-    ctx.network = network_.get();
-    ctx.sched = &sched_;
-    ctx.leaders = leaders;
-    ctx.delta = cfg_.delta;
-    ctx.payload_for_view = payloads;
-    ctx.on_block_created = [this](const BlockPtr& b, TimePoint t) {
-      metrics_.on_created(b, t);
-      if (tx_tracker_) tx_tracker_->on_block_created(b, t);
-    };
-    ctx.verify_signatures = cfg_.verify_signatures;
-    ctx.enable_opt_proposal = cfg_.enable_opt_proposal;
-    ctx.multicast_votes = cfg_.multicast_votes;
-    ctx.timeout_backoff = cfg_.timeout_backoff;
-    ctx.aggregate_certificates =
-        cfg_.aggregate_certificates && validators_->scheme().supports_aggregation();
-    ctx.lso_mode = cfg_.lso_mode;
-
-    std::unique_ptr<IConsensusNode> node;
-    if (is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate) {
-      nodes_.push_back(std::make_unique<EquivocatorNode>(std::move(ctx)));
-      continue;
+    auto node = make_node(id);
+    if (!(is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate)) {
+      attach_commit_hook(*node, id);
     }
-    switch (cfg_.protocol) {
-      case ProtocolKind::kSimpleMoonshot:
-        node = std::make_unique<SimpleMoonshotNode>(std::move(ctx));
-        break;
-      case ProtocolKind::kPipelinedMoonshot:
-        node = std::make_unique<PipelinedMoonshotNode>(std::move(ctx));
-        break;
-      case ProtocolKind::kCommitMoonshot:
-        node = std::make_unique<CommitMoonshotNode>(std::move(ctx));
-        break;
-      case ProtocolKind::kJolteon:
-        node = std::make_unique<JolteonNode>(std::move(ctx));
-        break;
-      case ProtocolKind::kHotStuff:
-        node = std::make_unique<HotStuffNode>(std::move(ctx));
-        break;
-    }
-    node->commit_log_mutable().add_callback([this, id](const BlockPtr& b, TimePoint t) {
-      metrics_.on_committed(id, b, t);
-      if (tx_tracker_) tx_tracker_->on_block_committed(id, b, t);
-    });
     nodes_.push_back(std::move(node));
   }
 
@@ -154,15 +115,93 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   }
 }
 
+std::unique_ptr<IConsensusNode> Experiment::make_node(NodeId id) {
+  NodeContext ctx;
+  ctx.id = id;
+  ctx.validators = validators_;
+  ctx.priv = private_keys_[id];
+  ctx.network = network_.get();
+  ctx.sched = &sched_;
+  ctx.leaders = leaders_;
+  ctx.delta = cfg_.delta;
+  ctx.payload_for_view = payloads_;
+  ctx.on_block_created = [this](const BlockPtr& b, TimePoint t) {
+    metrics_.on_created(b, t);
+    if (tx_tracker_) tx_tracker_->on_block_created(b, t);
+  };
+  ctx.verify_signatures = cfg_.verify_signatures;
+  ctx.enable_opt_proposal = cfg_.enable_opt_proposal;
+  ctx.multicast_votes = cfg_.multicast_votes;
+  ctx.timeout_backoff = cfg_.timeout_backoff;
+  ctx.aggregate_certificates =
+      cfg_.aggregate_certificates && validators_->scheme().supports_aggregation();
+  ctx.lso_mode = cfg_.lso_mode;
+
+  if (is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate) {
+    return std::make_unique<EquivocatorNode>(std::move(ctx));
+  }
+  switch (cfg_.protocol) {
+    case ProtocolKind::kSimpleMoonshot:
+      return std::make_unique<SimpleMoonshotNode>(std::move(ctx));
+    case ProtocolKind::kPipelinedMoonshot:
+      return std::make_unique<PipelinedMoonshotNode>(std::move(ctx));
+    case ProtocolKind::kCommitMoonshot:
+      return std::make_unique<CommitMoonshotNode>(std::move(ctx));
+    case ProtocolKind::kJolteon:
+      return std::make_unique<JolteonNode>(std::move(ctx));
+    case ProtocolKind::kHotStuff:
+      return std::make_unique<HotStuffNode>(std::move(ctx));
+  }
+  return nullptr;
+}
+
+void Experiment::attach_commit_hook(IConsensusNode& node, NodeId id) {
+  node.commit_log_mutable().add_callback([this, id](const BlockPtr& b, TimePoint t) {
+    metrics_.on_committed(id, b, t);
+    if (tx_tracker_) tx_tracker_->on_block_committed(id, b, t);
+  });
+}
+
+void Experiment::crash_node(NodeId id) {
+  MOONSHOT_INVARIANT(id < cfg_.n, "crash of unknown node");
+  if (is_faulty(id) || down_[id]) return;  // statically faulty or already down
+  down_[id] = 1;
+  network_->silence(id);
+  nodes_[id]->halt();
+}
+
+void Experiment::recover_node(NodeId id) {
+  MOONSHOT_INVARIANT(id < cfg_.n, "recovery of unknown node");
+  if (!down_[id]) return;
+  IConsensusNode& dead = *nodes_[id];
+
+  // Rebuild from "persisted" state: the block store, the committed prefix
+  // and the current view survive a crash; volatile per-view voting state
+  // does not (see IConsensusNode::restore).
+  auto fresh = make_node(id);
+  fresh->restore(dead.block_store(), dead.commit_log().blocks(), dead.current_view());
+  attach_commit_hook(*fresh, id);
+
+  retired_.push_back(std::move(nodes_[id]));
+  nodes_[id] = std::move(fresh);
+  down_[id] = 0;
+  recovered_once_[id] = 1;
+  network_->unsilence(id);
+  if (started_) nodes_[id]->start();
+}
+
 Experiment::~Experiment() = default;
 
-ExperimentResult Experiment::run() {
-  if (!started_) {
-    started_ = true;
-    for (NodeId id = 0; id < cfg_.n; ++id) {
-      if (!is_crashed(id)) nodes_[id]->start();  // equivocators start too
-    }
+void Experiment::start() {
+  if (started_) return;
+  started_ = true;
+  for (NodeId id = 0; id < cfg_.n; ++id) {
+    if (!is_crashed(id) && !down_[id]) nodes_[id]->start();  // equivocators start too
   }
+}
+
+ExperimentResult Experiment::run() {
+  start();
   sched_.run_for(cfg_.duration);
   return result();
 }

@@ -99,11 +99,30 @@ class Experiment {
   explicit Experiment(ExperimentConfig cfg);
   ~Experiment();
 
+  /// Starts all live nodes (idempotent). Called implicitly by run(); call it
+  /// directly when driving the scheduler manually in phases.
+  void start();
+
   /// Runs for cfg.duration of simulated time.
   ExperimentResult run();
 
   /// Collects the result without running (for manual driving in tests).
   ExperimentResult result();
+
+  // --- chaos hooks: dynamic crash & rebuild-from-storage recovery -------------
+  /// Crash-stops an honest node mid-run: halts it, silences its traffic and
+  /// discards inbound deliveries. No-op on statically faulty or already-down
+  /// nodes.
+  void crash_node(NodeId id);
+  /// Rebuilds a previously crash_node()ed node from its persisted state
+  /// (BlockStore + CommitLog + current view), reconnects it and restarts it.
+  /// The husk of the old instance is retired, its pending callbacks inert.
+  void recover_node(NodeId id);
+  bool is_down(NodeId id) const { return down_.at(id); }
+  /// True if the node crash-recovered at least once during the run. Such
+  /// nodes may re-send votes/timeouts (volatile per-view state is not
+  /// persisted), so behavioural conformance rules exempt them.
+  bool ever_recovered(NodeId id) const { return recovered_once_.at(id); }
 
   sim::Scheduler& scheduler() { return sched_; }
   net::SimNetwork& network() { return *network_; }
@@ -115,13 +134,26 @@ class Experiment {
   }
   const ExperimentConfig& config() const { return cfg_; }
   MetricsCollector& metrics() { return metrics_; }
+  const ValidatorSetPtr& validators() const { return validators_; }
+  const LeaderSchedulePtr& leaders() const { return leaders_; }
 
  private:
+  std::unique_ptr<IConsensusNode> make_node(NodeId id);
+  void attach_commit_hook(IConsensusNode& node, NodeId id);
+
   ExperimentConfig cfg_;
   sim::Scheduler sched_;
   std::unique_ptr<net::SimNetwork> network_;
   ValidatorSetPtr validators_;
+  std::vector<crypto::PrivateKey> private_keys_;
+  LeaderSchedulePtr leaders_;
+  PayloadSource payloads_;
   std::vector<std::unique_ptr<IConsensusNode>> nodes_;
+  /// Halted pre-crash instances, kept alive until teardown so scheduler
+  /// callbacks that still reference them stay safe.
+  std::vector<std::unique_ptr<IConsensusNode>> retired_;
+  std::vector<char> down_;
+  std::vector<char> recovered_once_;
   MetricsCollector metrics_;
   std::unique_ptr<TxTracker> tx_tracker_;
   bool started_ = false;

@@ -28,6 +28,17 @@ bool BlockStore::extends(const BlockId& descendant, const BlockId& ancestor) con
   return false;  // chain broken (missing block)
 }
 
+std::vector<BlockPtr> BlockStore::all_blocks() const {
+  std::vector<BlockPtr> out;
+  out.reserve(blocks_.size());
+  for (const auto& [id, block] : blocks_) out.push_back(block);
+  std::sort(out.begin(), out.end(), [](const BlockPtr& a, const BlockPtr& b) {
+    if (a->height() != b->height()) return a->height() < b->height();
+    return a->id() < b->id();
+  });
+  return out;
+}
+
 std::vector<BlockPtr> BlockStore::path(const BlockId& ancestor, const BlockId& descendant) const {
   std::vector<BlockPtr> out;
   BlockPtr cur = get(descendant);

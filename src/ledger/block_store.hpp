@@ -37,6 +37,10 @@ class BlockStore {
 
   std::size_t size() const { return blocks_.size(); }
 
+  /// Every stored block (including genesis) in deterministic height-then-id
+  /// order. Used to rebuild a crash-recovered node from persisted state.
+  std::vector<BlockPtr> all_blocks() const;
+
  private:
   std::unordered_map<BlockId, BlockPtr> blocks_;
 };

@@ -1,0 +1,95 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace moonshot::net {
+
+void FaultChain::add(LinkFaultPtr f) {
+  MOONSHOT_INVARIANT(f != nullptr, "null link fault");
+  faults_.push_back(std::move(f));
+}
+
+bool FaultChain::remove(const ILinkFault* f) {
+  const auto it = std::find_if(faults_.begin(), faults_.end(),
+                               [f](const LinkFaultPtr& p) { return p.get() == f; });
+  if (it == faults_.end()) return false;
+  faults_.erase(it);
+  return true;
+}
+
+FaultVerdict FaultChain::apply(NodeId from, NodeId to, const Message& m,
+                               TimePoint now) const {
+  FaultVerdict v;
+  for (const LinkFaultPtr& f : faults_) f->apply(from, to, m, now, v);
+  return v;
+}
+
+PartitionFault::PartitionFault(std::size_t n, const std::vector<std::vector<NodeId>>& groups)
+    : group_of_(n, -1) {
+  int g = 0;
+  for (const auto& group : groups) {
+    for (const NodeId id : group) {
+      if (id < n) group_of_[id] = g;
+    }
+    ++g;
+  }
+  // Unlisted nodes form one implicit trailing group.
+  for (auto& assigned : group_of_) {
+    if (assigned < 0) assigned = g;
+  }
+}
+
+void PartitionFault::apply(NodeId from, NodeId to, const Message& /*m*/,
+                           TimePoint /*now*/, FaultVerdict& v) {
+  if (from >= group_of_.size() || to >= group_of_.size()) return;
+  if (group_of_[from] != group_of_[to]) v.drop = true;
+}
+
+void LinkCutFault::apply(NodeId from, NodeId to, const Message& /*m*/, TimePoint /*now*/,
+                         FaultVerdict& v) {
+  for (const Link& l : links_) {
+    if (l.from == from && l.to == to) {
+      v.drop = true;
+      return;
+    }
+  }
+}
+
+LinkChaosFault::LinkChaosFault(Kind kind, double probability, Duration delay,
+                               std::vector<Link> links, std::uint64_t seed)
+    : kind_(kind),
+      probability_(probability),
+      delay_(delay),
+      links_(std::move(links)),
+      prng_(seed ^ 0x63686173ull) {}
+
+bool LinkChaosFault::matches(NodeId from, NodeId to) const {
+  if (links_.empty()) return true;
+  for (const Link& l : links_) {
+    if (l.from == from && l.to == to) return true;
+  }
+  return false;
+}
+
+void LinkChaosFault::apply(NodeId from, NodeId to, const Message& /*m*/, TimePoint /*now*/,
+                           FaultVerdict& v) {
+  if (!matches(from, to)) return;
+  // Draw even when the verdict is already a drop: PRNG consumption must not
+  // depend on what the faults ahead of us decided.
+  const bool hit = prng_.next_double() < probability_;
+  if (!hit) return;
+  switch (kind_) {
+    case Kind::kDrop: v.drop = true; break;
+    case Kind::kDuplicate: ++v.duplicates; break;
+    case Kind::kDelay: v.extra_delay = v.extra_delay + delay_; break;
+  }
+}
+
+void PredicateFault::apply(NodeId from, NodeId to, const Message& m, TimePoint /*now*/,
+                           FaultVerdict& v) {
+  if (predicate_ && predicate_(from, to, m)) v.drop = true;
+}
+
+}  // namespace moonshot::net

@@ -76,22 +76,51 @@ void SimNetwork::unicast(NodeId from, NodeId to, MessagePtr m) {
   send_one(from, to, m, wire, egress);
 }
 
+void SimNetwork::set_drop_filter(DropFilter f) {
+  if (predicate_fault_) {
+    faults_.remove(predicate_fault_);
+    predicate_fault_ = nullptr;
+  }
+  if (f) {
+    auto fault = std::make_shared<PredicateFault>(std::move(f));
+    predicate_fault_ = fault.get();
+    faults_.add(std::move(fault));
+  }
+}
+
 void SimNetwork::send_one(NodeId from, NodeId to, const MessagePtr& m, std::uint64_t wire,
                           TimePoint egress_done) {
   stats_.messages_sent++;
   stats_.bytes_sent += wire;
 
-  if (silenced_.at(to) || (drop_filter_ && drop_filter_(from, to, *m))) {
+  if (silenced_.at(to)) {
     stats_.messages_dropped++;
     return;
   }
 
+  FaultVerdict verdict;
+  if (!faults_.empty()) verdict = faults_.apply(from, to, *m, sched_.now());
+  if (verdict.drop) {
+    stats_.messages_dropped++;
+    return;
+  }
+
+  deliver_copy(from, to, m, wire, egress_done, verdict.extra_delay);
+  for (int dup = 0; dup < verdict.duplicates; ++dup) {
+    stats_.messages_duplicated++;
+    deliver_copy(from, to, m, wire, egress_done, verdict.extra_delay);
+  }
+}
+
+void SimNetwork::deliver_copy(NodeId from, NodeId to, const MessagePtr& m,
+                              std::uint64_t wire, TimePoint egress_done,
+                              Duration extra_delay) {
   // Propagation with jitter.
   const Duration base =
       cfg_.matrix.one_way(regions_.region_of(from), regions_.region_of(to));
   const double j = 1.0 + cfg_.jitter * (2.0 * prng_.next_double() - 1.0);
-  TimePoint arrival =
-      egress_done + Duration(static_cast<std::int64_t>(static_cast<double>(base.count()) * j));
+  TimePoint arrival = egress_done + extra_delay +
+      Duration(static_cast<std::int64_t>(static_cast<double>(base.count()) * j));
 
   // TCP windowing: a single stream sustains at most window/RTT, so a message
   // takes an extra size/(window/RTT) beyond propagation — negligible for

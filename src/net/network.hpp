@@ -11,14 +11,17 @@
 //  * Partial synchrony: before GST an adversary may additionally delay
 //    honest messages, but every message sent before GST is delivered by
 //    GST + Δ (Dwork et al.); after GST only the natural model applies.
-//  * Faults: crashed nodes can be silenced (drop egress+ingress); an
-//    arbitrary drop filter supports partitions in tests.
+//  * Faults: crashed nodes can be silenced (drop egress+ingress); an ordered
+//    chain of composable link faults (net/fault.hpp) injects partitions,
+//    per-link drops, duplication and delay spikes — the substrate the chaos
+//    engine (src/chaos/) drives.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/topology.hpp"
 #include "sim/scheduler.hpp"
 #include "support/prng.hpp"
@@ -85,6 +88,7 @@ struct NetworkStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;  // extra copies injected by faults
 };
 
 class SimNetwork final : public INetwork {
@@ -98,13 +102,22 @@ class SimNetwork final : public INetwork {
   void unicast(NodeId from, NodeId to, MessagePtr m) override;
 
   /// Crashed/Byzantine-silent nodes: all their traffic (both directions) is
-  /// dropped from `when` on.
+  /// dropped from `when` on. unsilence() restores connectivity (crash
+  /// recovery).
   void silence(NodeId node) { silenced_.at(node) = true; }
+  void unsilence(NodeId node) { silenced_.at(node) = false; }
   bool is_silenced(NodeId node) const { return silenced_.at(node); }
 
-  /// Optional drop filter for partition tests: return true to drop.
+  /// The composable link-fault chain (partitions, drops, duplication, delay
+  /// spikes). Faults added here apply to every subsequent point-to-point
+  /// copy until removed.
+  FaultChain& faults() { return faults_; }
+  const FaultChain& faults() const { return faults_; }
+
+  /// Legacy single drop filter: installs (or, with nullptr, removes) one
+  /// PredicateFault in the chain. Kept for tests that predate the chain.
   using DropFilter = std::function<bool(NodeId from, NodeId to, const Message&)>;
-  void set_drop_filter(DropFilter f) { drop_filter_ = std::move(f); }
+  void set_drop_filter(DropFilter f);
 
   /// Optional tap observing every send (multicast counted once), for trace
   /// analysis such as the conformance checker.
@@ -118,6 +131,8 @@ class SimNetwork final : public INetwork {
  private:
   void send_one(NodeId from, NodeId to, const MessagePtr& m, std::uint64_t wire_size,
                 TimePoint egress_done);
+  void deliver_copy(NodeId from, NodeId to, const MessagePtr& m, std::uint64_t wire_size,
+                    TimePoint egress_done, Duration extra_delay);
   Duration proc_cost(const Message& m, std::uint64_t wire_size) const;
 
   sim::Scheduler& sched_;
@@ -128,7 +143,8 @@ class SimNetwork final : public INetwork {
   std::vector<TimePoint> egress_free_;   // per-node NIC egress availability
   std::vector<TimePoint> ingress_free_;  // per-node receive-pipeline availability
   std::vector<bool> silenced_;
-  DropFilter drop_filter_;
+  FaultChain faults_;
+  ILinkFault* predicate_fault_ = nullptr;  // the set_drop_filter() chain entry
   Tap tap_;
   NetworkStats stats_;
 };

@@ -4,10 +4,20 @@
 
 namespace moonshot::sim {
 
+namespace {
+inline void fnv1a_fold(std::uint64_t& acc, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    acc ^= (v >> (8 * i)) & 0xff;
+    acc *= 0x100000001b3ull;
+  }
+}
+}  // namespace
+
 TaskId Scheduler::schedule_at(TimePoint t, Callback cb) {
   MOONSHOT_INVARIANT(t >= now_, "cannot schedule into the past");
   const TaskId id = next_id_++;
   queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  queued_.insert(id);
   return id;
 }
 
@@ -15,7 +25,12 @@ TaskId Scheduler::schedule_after(Duration d, Callback cb) {
   return schedule_at(now_ + d, std::move(cb));
 }
 
-void Scheduler::cancel(TaskId id) { cancelled_.insert(id); }
+void Scheduler::cancel(TaskId id) {
+  // Only ids still in the queue are recorded: cancelling an already-run or
+  // unknown id (a timer racing its own expiry) must not leave a stale entry
+  // that would distort pending().
+  if (queued_.count(id)) cancelled_.insert(id);
+}
 
 bool Scheduler::run_next() {
   while (!queue_.empty()) {
@@ -23,12 +38,15 @@ bool Scheduler::run_next() {
     // callback out. Events are small (shared_ptr captures).
     Event ev = queue_.top();
     queue_.pop();
+    queued_.erase(ev.id);
     if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;
     }
     now_ = ev.t;
     ++executed_;
+    fnv1a_fold(fingerprint_, static_cast<std::uint64_t>(ev.t.ns));
+    fnv1a_fold(fingerprint_, ev.seq);
     ev.cb();
     return true;
   }
@@ -40,6 +58,7 @@ void Scheduler::run_until(TimePoint limit) {
     const Event& top = queue_.top();
     if (cancelled_.count(top.id)) {
       cancelled_.erase(top.id);
+      queued_.erase(top.id);
       queue_.pop();
       continue;
     }

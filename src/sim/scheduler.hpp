@@ -51,6 +51,12 @@ class Scheduler {
   std::size_t pending() const { return queue_.size() - cancelled_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Order-sensitive digest of the execution so far: folds the (time, seq) of
+  /// every executed event into an FNV-1a accumulator. Two runs of the same
+  /// seeded simulation must end with identical fingerprints; the chaos
+  /// replay machinery uses this to assert bit-identical re-runs.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   struct Event {
     TimePoint t;
@@ -67,10 +73,12 @@ class Scheduler {
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<TaskId> cancelled_;
+  std::unordered_set<TaskId> queued_;  // ids still in queue_; bounds cancelled_
   TimePoint now_ = TimePoint::zero();
   std::uint64_t next_seq_ = 0;
   TaskId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t fingerprint_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
 };
 
 }  // namespace moonshot::sim

@@ -6,8 +6,12 @@
 //  * Reorg resilience (Moonshots) — every honest-leader view after GST whose
 //                    leader is honest contributes a block to the chain.
 //  * Chain shape   — heights increase by 1, views strictly increase.
+//  * Conformance   — every honest sender obeys the per-sender behavioural
+//                    rules (vote/propose/timeout discipline), not just the
+//                    end-state invariants.
 #include <gtest/gtest.h>
 
+#include "harness/conformance.hpp"
 #include "harness/experiment.hpp"
 #include "support/prng.hpp"
 
@@ -62,7 +66,14 @@ class PropertyTest : public ::testing::TestWithParam<PropertyCase> {};
 TEST_P(PropertyTest, InvariantsHold) {
   const auto cfg = random_config(GetParam());
   Experiment e(cfg);
+  ConformanceChecker checker = make_conformance_checker(e);
+  e.network().set_tap([&checker](NodeId from, const Message& m) { checker.observe(from, m); });
   const auto result = e.run();
+
+  // Conformance: per-sender behavioural rules hold for every honest node.
+  const auto conf = checker.violations();
+  EXPECT_TRUE(conf.empty()) << protocol_name(cfg.protocol) << " n=" << cfg.n
+                            << ": " << (conf.empty() ? "" : conf.front());
 
   // Safety.
   EXPECT_TRUE(result.logs_consistent)

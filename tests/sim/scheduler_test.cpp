@@ -92,6 +92,95 @@ TEST(Scheduler, RunAllBounded) {
   EXPECT_EQ(s.events_executed(), 100u);
 }
 
+// --- cancel racing its own expiry ---------------------------------------------
+
+TEST(Scheduler, CancelFromInsideOwnCallbackIsNoop) {
+  // A timer handler cancelling its own (already firing) id — the classic
+  // re-arm race — must neither crash nor distort pending().
+  Scheduler s;
+  int runs = 0;
+  TaskId self = 0;
+  self = s.schedule_at(TimePoint{10}, [&] {
+    ++runs;
+    s.cancel(self);
+  });
+  s.run_all();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelAfterExpiryDoesNotPoisonLaterTasks) {
+  // Cancelling an id that already ran must not leave a stale tombstone that
+  // could suppress a future task or skew the pending() count.
+  Scheduler s;
+  const TaskId first = s.schedule_at(TimePoint{10}, [] {});
+  s.run_all();
+  s.cancel(first);  // raced: the expiry already happened
+  bool ran = false;
+  s.schedule_at(TimePoint{20}, [&] { ran = true; });
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelledHeadIsSkippedByRunUntil) {
+  // run_until must lazily discard a cancelled event sitting at the queue
+  // head without executing it or counting it as progress.
+  Scheduler s;
+  bool cancelled_ran = false;
+  int live_runs = 0;
+  const TaskId doomed = s.schedule_at(TimePoint{10}, [&] { cancelled_ran = true; });
+  s.schedule_at(TimePoint{20}, [&] { ++live_runs; });
+  s.cancel(doomed);
+  s.run_until(TimePoint{50});
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_EQ(live_runs, 1);
+  EXPECT_EQ(s.events_executed(), 1u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+// --- run_until clock semantics ------------------------------------------------
+
+TEST(Scheduler, RunUntilClockNeverPassesLimit) {
+  // With work queued beyond the limit, the clock parks exactly at the limit
+  // (not at the next event's time) so phased runs compose.
+  Scheduler s;
+  s.schedule_at(TimePoint{10}, [] {});
+  s.schedule_at(TimePoint{500}, [] {});
+  s.run_until(TimePoint{100});
+  EXPECT_EQ(s.now().ns, 100);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, RunUntilExecutesEventAtExactLimit) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_at(TimePoint{100}, [&] { ran = true; });
+  s.run_until(TimePoint{100});
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now().ns, 100);
+}
+
+TEST(Scheduler, RunUntilWithEarlierLimitKeepsClock) {
+  // A limit already in the past is a no-op: the clock is monotone.
+  Scheduler s;
+  s.run_until(TimePoint{100});
+  s.run_until(TimePoint{40});
+  EXPECT_EQ(s.now().ns, 100);
+}
+
+TEST(Scheduler, RunUntilTracksLastEventThenLimit) {
+  // Mid-run the clock follows event times; at return it is exactly
+  // min(limit, +inf) = limit, even if the last event fired earlier.
+  Scheduler s;
+  std::int64_t at_event = -1;
+  s.schedule_at(TimePoint{30}, [&] { at_event = s.now().ns; });
+  s.run_until(TimePoint{200});
+  EXPECT_EQ(at_event, 30);
+  EXPECT_EQ(s.now().ns, 200);
+}
+
 TEST(Scheduler, SchedulingIntoThePastAborts) {
   Scheduler s;
   s.schedule_at(TimePoint{100}, [] {});
