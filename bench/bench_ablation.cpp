@@ -18,10 +18,17 @@ namespace {
 using namespace moonshot;
 using namespace moonshot::bench;
 
-void run_row(const char* label, const ExperimentConfig& cfg) {
+void run_row(JsonReport& report, const char* section, const char* label,
+             const ExperimentConfig& cfg) {
   const auto r = run_experiment(cfg);
   std::printf("%-34s %8.2f blk/s %10.1f ms %8s\n", label, r.summary.blocks_per_sec,
               r.summary.avg_latency_ms, r.logs_consistent ? "safe" : "UNSAFE");
+  report.row()
+      .add("section", section)
+      .add("variant", label)
+      .add("blocks_per_sec", r.summary.blocks_per_sec)
+      .add("latency_ms", r.summary.avg_latency_ms)
+      .add("consistent", r.logs_consistent);
 }
 
 }  // namespace
@@ -30,6 +37,7 @@ int main(int argc, char** argv) {
   using namespace moonshot;
   using namespace moonshot::bench;
   const auto opt = Options::parse(argc, argv);
+  JsonReport report("ablation", opt);
 
   std::printf("=== Ablations (Pipelined Moonshot, WAN, n=100) ===\n\n");
 
@@ -37,18 +45,18 @@ int main(int argc, char** argv) {
   std::printf("--- optimistic proposal (f'=0) ---\n");
   {
     auto cfg = wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt);
-    run_row("opt-proposal ON  (omega = d)", cfg);
+    run_row(report, "opt_proposal", "opt-proposal ON  (omega = d)", cfg);
     cfg.enable_opt_proposal = false;
-    run_row("opt-proposal OFF (omega = 2d)", cfg);
+    run_row(report, "opt_proposal", "opt-proposal OFF (omega = 2d)", cfg);
   }
 
   // 2. Vote dissemination, happy path.
   std::printf("\n--- vote dissemination (f'=0) ---\n");
   {
     auto cfg = wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt);
-    run_row("votes MULTICAST", cfg);
+    run_row(report, "vote_dissemination", "votes MULTICAST", cfg);
     cfg.multicast_votes = false;
-    run_row("votes to AGGREGATOR", cfg);
+    run_row(report, "vote_dissemination", "votes to AGGREGATOR", cfg);
   }
 
   // 2b. Vote dissemination under failures: reorg resilience.
@@ -67,6 +75,12 @@ int main(int argc, char** argv) {
     std::printf("%-34s %8.2f blk/s %10.1f ms  honest-led blocks kept: %s\n",
                 multicast ? "votes MULTICAST" : "votes to AGGREGATOR",
                 r.summary.blocks_per_sec, r.summary.avg_latency_ms, kept ? "yes" : "NO");
+    report.row()
+        .add("section", "vote_dissemination_wm")
+        .add("variant", multicast ? "votes MULTICAST" : "votes to AGGREGATOR")
+        .add("blocks_per_sec", r.summary.blocks_per_sec)
+        .add("latency_ms", r.summary.avg_latency_ms)
+        .add("honest_blocks_kept", kept);
   }
 
   // 2c. LCO vs LSO: the paper keeps the normal proposal even after an
@@ -76,9 +90,9 @@ int main(int argc, char** argv) {
   std::printf("\n--- LCO (propose twice) vs LSO (speak once), f'=0 ---\n");
   {
     auto cfg = wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt);
-    run_row("LCO (paper default)", cfg);
+    run_row(report, "lco_vs_lso", "LCO (paper default)", cfg);
     cfg.lso_mode = true;
-    run_row("LSO variant", cfg);
+    run_row(report, "lco_vs_lso", "LSO variant", cfg);
   }
 
   // 3. Pipelining vs explicit commit across payloads (WAN).
@@ -92,6 +106,11 @@ int main(int argc, char** argv) {
     std::printf("%-10s %10.1f %10.1f %9.2fx\n", payload_label(payload).c_str(),
                 pm.summary.avg_latency_ms, cm.summary.avg_latency_ms,
                 cm.summary.avg_latency_ms / pm.summary.avg_latency_ms);
+    report.row()
+        .add("section", "pm_vs_cm_payload")
+        .add("payload_bytes", static_cast<double>(payload))
+        .add("pm_latency_ms", pm.summary.avg_latency_ms)
+        .add("cm_latency_ms", cm.summary.avg_latency_ms);
   }
 
   // 3b. The §V effect isolated: a bandwidth-dominated network where block
@@ -113,7 +132,8 @@ int main(int argc, char** argv) {
     cfg.net.tcp_window_bytes = 0;
     cfg.net.proc_base = cfg.net.proc_sig = cfg.net.proc_cert = cfg.net.proc_per_kb =
         Duration(0);
-    run_row(p == ProtocolKind::kCommitMoonshot ? "CM (beta+2rho)" : "PM (2beta+rho)", cfg);
+    run_row(report, "beta_dominant",
+            p == ProtocolKind::kCommitMoonshot ? "CM (beta+2rho)" : "PM (2beta+rho)", cfg);
   }
 
   // 4. Partition resilience across protocols: an f-sized partition for the
@@ -143,10 +163,17 @@ int main(int argc, char** argv) {
     const auto part = e.result();
     std::printf("%-22s %12.2f %12.2f %8s\n", protocol_name(p), clean.summary.blocks_per_sec,
                 part.summary.blocks_per_sec, part.logs_consistent ? "safe" : "UNSAFE");
+    report.row()
+        .add("section", "partition")
+        .add("variant", protocol_name(p))
+        .add("clean_blocks_per_sec", clean.summary.blocks_per_sec)
+        .add("partitioned_blocks_per_sec", part.summary.blocks_per_sec)
+        .add("consistent", part.logs_consistent);
   }
 
   std::printf("\nExpected: near-parity on the WAN (pipelined child proposals overlap the\n");
   std::printf("commit-vote round there), and a clear CM win once beta dominates rho —\n");
   std::printf("the paper's Section V argument. See EXPERIMENTS.md for the analysis.\n");
+  report.write();
   return 0;
 }

@@ -35,7 +35,8 @@ Usage measure(ProtocolKind p, std::size_t n, bool aggregate) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)Options::parse(argc, argv);
+  const auto opt = Options::parse(argc, argv);
+  JsonReport report("comm", opt);
   const std::vector<std::size_t> sizes = {10, 20, 40, 80};
 
   std::printf("=== Communication complexity per view (Table I, empirical) ===\n\n");
@@ -49,7 +50,15 @@ int main(int argc, char** argv) {
     std::vector<Usage> usage;
     for (std::size_t n : sizes) usage.push_back(measure(p, n, false));
     std::printf("%-20s", protocol_name(p));
-    for (const auto& u : usage) std::printf("  %9.0f msg", u.msgs_per_view);
+    for (std::size_t i = 0; i < usage.size(); ++i) {
+      std::printf("  %9.0f msg", usage[i].msgs_per_view);
+      report.row()
+          .add("section", "per_view_usage")
+          .add("protocol", protocol_tag(p))
+          .add("n", static_cast<double>(sizes[i]))
+          .add("msgs_per_view", usage[i].msgs_per_view)
+          .add("bytes_per_view", usage[i].bytes_per_view);
+    }
     const double growth = usage.back().msgs_per_view / usage[usage.size() - 2].msgs_per_view;
     std::printf("  %13.1fx\n", growth);
   }
@@ -64,9 +73,15 @@ int main(int argc, char** argv) {
     const auto agg = measure(ProtocolKind::kPipelinedMoonshot, n, true);
     std::printf("%-8zu %22.0f %22.0f %7.2fx\n", n, arrays.bytes_per_view,
                 agg.bytes_per_view, arrays.bytes_per_view / agg.bytes_per_view);
+    report.row()
+        .add("section", "certificate_bytes")
+        .add("n", static_cast<double>(n))
+        .add("bytes_per_view_arrays", arrays.bytes_per_view)
+        .add("bytes_per_view_threshold", agg.bytes_per_view);
   }
   std::printf("\nThreshold certificates shrink the O(n)-sized QCs that every node\n"
               "re-multicasts on view entry, cutting total bytes substantially while\n"
               "message counts (and hence the complexity class) stay O(n^2).\n");
+  report.write();
   return 0;
 }

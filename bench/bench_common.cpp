@@ -9,8 +9,95 @@ Options Options::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) opt.mode = Mode::kFull;
     if (std::strcmp(argv[i], "--quick") == 0) opt.mode = Mode::kQuick;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) opt.json_path = argv[++i];
   }
   return opt;
+}
+
+const char* mode_name(Options::Mode mode) {
+  switch (mode) {
+    case Options::Mode::kQuick: return "quick";
+    case Options::Mode::kDefault: return "default";
+    case Options::Mode::kFull: return "full";
+  }
+  return "?";
+}
+
+namespace {
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+JsonReport::JsonReport(std::string bench, const Options& opt)
+    : bench_(std::move(bench)), mode_(mode_name(opt.mode)), path_(opt.json_path) {}
+
+JsonReport& JsonReport::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+void JsonReport::append(const char* key, const std::string& encoded) {
+  if (rows_.empty()) rows_.emplace_back();
+  std::string& r = rows_.back();
+  if (!r.empty()) r += ", ";
+  r += '"';
+  r += json_escape(key);
+  r += "\": ";
+  r += encoded;
+}
+
+JsonReport& JsonReport::add(const char* key, double v) {
+  char buf[40];
+  if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
+    std::snprintf(buf, sizeof buf, "null");  // JSON has no NaN/Inf
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  append(key, buf);
+  return *this;
+}
+
+JsonReport& JsonReport::add(const char* key, const char* v) {
+  append(key, "\"" + json_escape(v) + "\"");
+  return *this;
+}
+
+JsonReport& JsonReport::add(const char* key, bool v) {
+  append(key, v ? "true" : "false");
+  return *this;
+}
+
+bool JsonReport::write() const {
+  if (path_.empty()) return true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "[json] cannot open %s for writing\n", path_.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"bench\": \"%s\", \"mode\": \"%s\", \"rows\": [\n",
+               json_escape(bench_.c_str()).c_str(), mode_.c_str());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    std::fprintf(f, "  {%s}%s\n", rows_[i].c_str(), i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[json] wrote %zu row(s) to %s\n", rows_.size(), path_.c_str());
+  return true;
 }
 
 Duration duration_for(std::size_t n, const Options& opt) {

@@ -17,6 +17,7 @@ namespace moonshot::bench {
 struct Options {
   enum class Mode { kQuick, kDefault, kFull };
   Mode mode = Mode::kDefault;
+  std::string json_path;  // --json <path>: machine-readable results (empty = off)
   static Options parse(int argc, char** argv);
   int seeds() const { return mode == Mode::kFull ? 3 : 1; }
   double duration_scale() const {
@@ -27,6 +28,43 @@ struct Options {
     }
     return 1.0;
   }
+};
+
+const char* mode_name(Options::Mode mode);
+
+/// Machine-readable results, one schema for every bench binary:
+///
+///   {"bench": "<name>", "mode": "quick|default|full",
+///    "rows": [{"<key>": <number|string|bool>, ...}, ...]}
+///
+/// Rows carry the same values the human-readable tables print, with stable
+/// snake_case keys. Each binary builds rows alongside its printf output and
+/// calls write() once at the end; write() is a no-op unless `--json <path>`
+/// was given, so the JSON plumbing costs nothing on normal runs.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const Options& opt);
+
+  /// Starts a new row; subsequent add() calls attach to it.
+  JsonReport& row();
+  JsonReport& add(const char* key, double v);
+  JsonReport& add(const char* key, const char* v);
+  JsonReport& add(const char* key, const std::string& v) { return add(key, v.c_str()); }
+  JsonReport& add(const char* key, bool v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Writes the document to the --json path (no-op when none was given).
+  /// Returns false if the file could not be written.
+  bool write() const;
+
+ private:
+  void append(const char* key, const std::string& encoded);
+
+  std::string bench_;
+  std::string mode_;
+  std::string path_;
+  std::vector<std::string> rows_;  // encoded JSON object bodies
 };
 
 /// All four protocols in the paper's presentation order.

@@ -23,6 +23,19 @@ int main(int argc, char** argv) {
 
   const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt);
 
+  JsonReport report("fig6", opt);
+  for (const auto& c : grid) {
+    report.row()
+        .add("protocol", protocol_tag(c.protocol))
+        .add("n", static_cast<double>(c.n))
+        .add("payload_bytes", static_cast<double>(c.payload))
+        .add("blocks_per_sec", c.blocks_per_sec)
+        .add("latency_ms", c.latency_ms)
+        .add("transfer_bps", c.transfer_bps)
+        .add("consistent", c.consistent);
+  }
+  report.write();
+
   for (const std::size_t n : paper_sizes()) {
     std::printf("--- n = %zu ---\n", n);
     std::printf("%-10s", "payload");

@@ -7,6 +7,7 @@ int main(int argc, char** argv) {
   using namespace moonshot;
   using namespace moonshot::bench;
   const auto opt = Options::parse(argc, argv);
+  JsonReport report("fig7", opt);
 
   std::printf("=== Figure 7: performance vs Jolteon per configuration (f'=0) ===\n\n");
 
@@ -29,12 +30,21 @@ int main(int argc, char** argv) {
         const GridCell* j = find_cell(grid, ProtocolKind::kJolteon, n, payload);
         const double thr = j->blocks_per_sec > 0 ? m->blocks_per_sec / j->blocks_per_sec : 0;
         const double lat = j->latency_ms > 0 ? m->latency_ms / j->latency_ms : 0;
-        if (thr > 2.5 || (lat > 0 && lat < 0.3)) outlier = true;
+        const bool cell_outlier = thr > 2.5 || (lat > 0 && lat < 0.3);
+        if (cell_outlier) outlier = true;
         std::printf("  %12.2f %12.2f", thr, lat);
+        report.row()
+            .add("protocol", protocol_tag(p))
+            .add("n", static_cast<double>(n))
+            .add("payload_bytes", static_cast<double>(payload))
+            .add("throughput_ratio", thr)
+            .add("latency_ratio", lat)
+            .add("outlier", cell_outlier);
       }
       std::printf("  %s\n", outlier ? "OUTLIER (excluded in Table III)" : "");
     }
   }
   std::printf("\n>1 throughput and <1 latency mean Moonshot wins.\n");
+  report.write();
   return 0;
 }

@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace moonshot;
   using namespace moonshot::bench;
   const auto opt = Options::parse(argc, argv);
+  JsonReport report("fig8", opt);
 
   std::printf("=== Figure 8: throughput vs latency (n=200, f'=0, p <= 9MB) ===\n\n");
 
@@ -50,10 +51,19 @@ int main(int argc, char** argv) {
       std::printf("%-10s %16.2f %14.1f\n", payload_label(payload).c_str(),
                   c->transfer_bps / 1e6, c->latency_ms);
       best = std::max(best, c->transfer_bps / 1e6);
+      report.row()
+          .add("protocol", protocol_tag(p))
+          .add("n", 200.0)
+          .add("payload_bytes", static_cast<double>(payload))
+          .add("transfer_mbps", c->transfer_bps / 1e6)
+          .add("latency_ms", c->latency_ms)
+          .add("blocks_per_sec", c->blocks_per_sec)
+          .add("consistent", c->consistent);
     }
     std::printf("max transfer rate: %.2f MB/s\n\n", best);
   }
   std::printf("Expected shape: Moonshots reach higher max transfer at lower latency;\n");
   std::printf("Commit Moonshot best (explicit commits avoid pipelining's extra beta).\n");
+  report.write();
   return 0;
 }

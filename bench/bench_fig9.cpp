@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   using namespace moonshot;
   using namespace moonshot::bench;
   const auto opt = Options::parse(argc, argv);
+  JsonReport report("fig9", opt);
 
   std::printf("=== Figure 9: performance under failures (n=100, f'=33, p=0, Delta=500ms) ===\n\n");
 
@@ -57,6 +58,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "  [fig9] %-2s schedule=%-2s  %6.2f blk/s  %9.1f ms%s\n",
                    protocol_tag(p), schedule_name(s), cell.blocks_per_sec, cell.latency_ms,
                    cell.consistent ? "" : "  *** INCONSISTENT ***");
+      report.row()
+          .add("schedule", schedule_name(s))
+          .add("protocol", protocol_tag(p))
+          .add("blocks_per_sec", cell.blocks_per_sec)
+          .add("latency_ms", cell.latency_ms)
+          .add("consistent", cell.consistent);
       cells[{si, pi}] = cell;
       ++pi;
     }
@@ -93,5 +100,6 @@ int main(int argc, char** argv) {
                 "(paper: ~7x, ~50x)\n",
                 j_b.blocks_per_sec / j_wj.blocks_per_sec, j_wj.latency_ms / j_b.latency_ms);
   }
+  report.write();
   return 0;
 }

@@ -62,7 +62,8 @@ bool measure_reorg_resilience(ProtocolKind p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)Options::parse(argc, argv);
+  const auto opt = Options::parse(argc, argv);
+  JsonReport report("table1", opt);
   std::printf("=== Table I (empirical): protocol characteristics ===\n");
   std::printf("Idealized network: uniform one-way delta = %.0f ms, f' = 0 for lambda/omega;\n",
               to_ms(kDelta));
@@ -97,7 +98,17 @@ int main(int argc, char** argv) {
     std::snprintf(om, sizeof(om), "%.2fd (%s)", r.omega, r.omega_paper);
     std::printf("%-20s %14s %14s %10s %8s %10s\n", r.name, lam, om, r.tau,
                 r.reorg_resilient ? "yes" : "no", r.pipelined);
+    report.row()
+        .add("protocol", r.name)
+        .add("lambda_delta", r.lambda)
+        .add("omega_delta", r.omega)
+        .add("lambda_paper", r.lambda_paper)
+        .add("omega_paper", r.omega_paper)
+        .add("tau", r.tau)
+        .add("reorg_resilient", r.reorg_resilient)
+        .add("pipelined", r.pipelined);
   }
+  report.write();
   std::printf("\nExpected: Moonshots at 3d commit / 1d period with reorg resilience;\n"
               "Jolteon at 5d / 2d without it.\n");
   return 0;

@@ -8,7 +8,8 @@
 int main(int argc, char** argv) {
   using namespace moonshot;
   using namespace moonshot::bench;
-  (void)Options::parse(argc, argv);
+  const auto opt = Options::parse(argc, argv);
+  JsonReport report("table2", opt);
 
   const auto& m = net::LatencyMatrix::aws5();
   std::printf("=== Table II: observed latencies (ms, round trip) between AWS regions ===\n\n");
@@ -62,10 +63,16 @@ int main(int argc, char** argv) {
         std::printf(" %14s", "-");
       } else {
         std::printf(" %14.2f", sums[a][b] / counts[a][b]);
+        report.row()
+            .add("src", m.name(a))
+            .add("dst", m.name(b))
+            .add("rtt_ms", m.rtt_ms(a, b))
+            .add("measured_one_way_ms", sums[a][b] / counts[a][b]);
       }
     }
     std::printf("\n");
   }
   std::printf("\nExpected: measured one-way = RTT/2 within the 5%% jitter band.\n");
+  report.write();
   return 0;
 }

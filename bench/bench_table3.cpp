@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace moonshot;
   using namespace moonshot::bench;
   const auto opt = Options::parse(argc, argv);
+  JsonReport report("table3", opt);
 
   std::printf("=== Table III: performance vs Jolteon (f'=0, outliers removed) ===\n\n");
 
@@ -52,6 +53,13 @@ int main(int argc, char** argv) {
       }
       if (count > 0) {
         std::printf("  %12.2f %12.2f", thr_sum / count, lat_sum / count);
+        report.row()
+            .add("scope", "per_n")
+            .add("n", static_cast<double>(n))
+            .add("protocol", protocol_tag(p))
+            .add("throughput_ratio", thr_sum / count)
+            .add("latency_ratio", lat_sum / count)
+            .add("cells", static_cast<double>(count));
         grand_thr[mi] += thr_sum;
         grand_lat[mi] += lat_sum;
         grand_cnt[mi] += count;
@@ -66,8 +74,15 @@ int main(int argc, char** argv) {
   for (int mi = 0; mi < 3; ++mi) {
     std::printf("  %12.2f %12.2f", grand_thr[mi] / grand_cnt[mi],
                 grand_lat[mi] / grand_cnt[mi]);
+    report.row()
+        .add("scope", "overall")
+        .add("protocol", protocol_tag(moonshots[static_cast<std::size_t>(mi)]))
+        .add("throughput_ratio", grand_thr[mi] / grand_cnt[mi])
+        .add("latency_ratio", grand_lat[mi] / grand_cnt[mi])
+        .add("cells", static_cast<double>(grand_cnt[mi]));
   }
   std::printf("\n\n%d outlier cell(s) removed (reported on stderr).\n", outliers);
   std::printf("Paper: ~1.5x throughput, ~0.5x latency on average.\n");
+  report.write();
   return 0;
 }

@@ -39,6 +39,10 @@ net::LinkFaultPtr ChaosEngine::build_filter(const FaultEvent& ev, std::size_t in
 
 void ChaosEngine::activate(std::size_t index) {
   const FaultEvent& ev = schedule_.events[index];
+  if (obs::Tracer* t = exp_.config().tracer) {
+    t->record(kNoNode, obs::EventKind::kFaultInjected, 0, index,
+              static_cast<std::uint64_t>(ev.type));
+  }
   if (ev.type == FaultType::kCrash) {
     for (const NodeId id : ev.nodes) exp_.crash_node(id);
     return;
@@ -51,6 +55,10 @@ void ChaosEngine::activate(std::size_t index) {
 
 void ChaosEngine::heal(std::size_t index) {
   const FaultEvent& ev = schedule_.events[index];
+  if (obs::Tracer* t = exp_.config().tracer) {
+    t->record(kNoNode, obs::EventKind::kFaultHealed, 0, index,
+              static_cast<std::uint64_t>(ev.type));
+  }
   if (ev.type == FaultType::kCrash) {
     for (const NodeId id : ev.nodes) exp_.recover_node(id);
     return;

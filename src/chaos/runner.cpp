@@ -74,6 +74,7 @@ ChaosReport run_chaos(const ChaosRunConfig& cfg) {
   ecfg.delta = cfg.delta;
   ecfg.duration = cfg.duration;
   ecfg.seed = cfg.seed;
+  ecfg.tracer = cfg.tracer;
 
   Experiment e(ecfg);
   ConformanceChecker checker = make_conformance_checker(e, cfg.schedule.crash_targets());
@@ -117,6 +118,14 @@ ChaosReport run_chaos(const ChaosRunConfig& cfg) {
   report.committed_blocks = r.summary.committed_blocks;
   report.max_view = r.max_view;
   report.digest = run_digest(e, r);
+  if (cfg.tracer) {
+    // Extend determinism coverage over the trace stream: any event recorded
+    // in a different order or with different contents diverges the digest.
+    std::uint64_t h = report.digest;
+    fold(h, cfg.tracer->digest());
+    fold(h, cfg.tracer->total_recorded());
+    report.digest = h;
+  }
 
   if (!r.logs_consistent) {
     report.safety_ok = false;

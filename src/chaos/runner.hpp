@@ -38,6 +38,10 @@ struct ChaosRunConfig {
   /// crash window as a fake safety violation. Lets tests exercise
   /// shrink-to-minimal-reproducer without a real consensus bug.
   bool inject_bug = false;
+  /// Optional structured tracer (src/obs/). When set, the run is traced and
+  /// the tracer's event digest is folded into the report digest, so replay
+  /// verification covers the trace stream too.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ChaosReport {

@@ -34,6 +34,10 @@ void BaseNode::restore(const BlockStore& store, const std::vector<BlockPtr>& com
 }
 
 Vote BaseNode::make_vote(VoteKind kind, View view, const BlockId& block) const {
+  // Every vote this replica casts flows through here (all five protocols),
+  // making it the one natural kVoteCast hook point.
+  trace(obs::EventKind::kVoteCast, view, static_cast<std::uint64_t>(kind),
+        obs::id_prefix(block));
   return Vote::make(kind, view, block, ctx_.id, ctx_.priv, ctx_.validators->scheme());
 }
 
@@ -54,6 +58,10 @@ BlockPtr BaseNode::create_block(View view, const BlockPtr& parent) {
 void BaseNode::record_qc_and_try_commit(const QcPtr& qc) {
   MOONSHOT_INVARIANT(qc != nullptr, "null certificate");
   auto [it, inserted] = qc_by_view_.emplace(qc->view, qc);
+  if (inserted) {
+    trace(obs::EventKind::kQcFormed, qc->view, obs::id_prefix(qc->block),
+          static_cast<std::uint64_t>(qc->kind));
+  }
   if (!inserted) {
     if (it->second->block != qc->block) {
       // Two certified blocks in one view implies > f Byzantine voters.
@@ -125,7 +133,11 @@ void BaseNode::commit_chain_by_id(const BlockId& target_id) {
     cur = parent;
   }
   const TimePoint now = ctx_.sched->now();
-  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) commit_log_.commit(*rit, now);
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    commit_log_.commit(*rit, now);
+    trace(obs::EventKind::kCommit, (*rit)->view(), (*rit)->height(),
+          (*rit)->payload().wire_size());
+  }
 }
 
 bool BaseNode::store_block(const BlockPtr& block) {
@@ -196,6 +208,8 @@ void BaseNode::request_block(const BlockId& id) {
       const NodeId peer = static_cast<NodeId>(
           (fnv1a(id.view()) + static_cast<std::size_t>(it->second) + 1 + self->ctx_.id) % n);
       if (peer != self->ctx_.id) {
+        self->trace(obs::EventKind::kSyncRequest, self->view_, obs::id_prefix(id),
+                    static_cast<std::uint64_t>(it->second), peer);
         self->unicast(peer, make_message<BlockRequestMsg>(id, self->ctx_.id));
       }
       ++it->second;
@@ -209,6 +223,7 @@ void BaseNode::request_block(const BlockId& id) {
 bool BaseNode::handle_sync(NodeId from, const Message& m) {
   if (const auto* req = std::get_if<BlockRequestMsg>(&m)) {
     if (BlockPtr block = store_.get(req->id)) {
+      trace(obs::EventKind::kSyncResponse, block->view(), obs::id_prefix(req->id), from);
       unicast(from, make_message<BlockResponseMsg>(block, ctx_.id));
       // Ancestor batching: a requester fetching an old body is usually
       // walking a commit gap backwards (post-partition catch-up), and the

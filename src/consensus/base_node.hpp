@@ -17,6 +17,7 @@
 #include "consensus/accumulators.hpp"
 #include "consensus/context.hpp"
 #include "consensus/node.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace moonshot {
@@ -57,6 +58,14 @@ class BaseNode : public IConsensusNode {
     ctx_.network->unicast(ctx_.id, to, std::move(m));
   }
   bool halted() const { return halted_; }
+
+  // --- tracing ---------------------------------------------------------------
+  /// Emits a structured trace event when a tracer is attached. One pointer
+  /// test when tracing is off — safe on any hot path.
+  void trace(obs::EventKind kind, View view, std::uint64_t a = 0, std::uint64_t b = 0,
+             std::uint64_t c = 0) const {
+    if (ctx_.tracer) ctx_.tracer->record(ctx_.id, kind, view, a, b, c);
+  }
 
   /// Creates, records (for the accumulator) and multicasts a vote.
   Vote make_vote(VoteKind kind, View view, const BlockId& block) const;

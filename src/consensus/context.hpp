@@ -14,6 +14,10 @@
 
 namespace moonshot {
 
+namespace obs {
+class Tracer;
+}
+
 /// Produces the payload b_v for a view. Payloads are fixed per view (paper
 /// §II-B): a leader's optimistic and normal proposals with the same parent
 /// therefore contain the identical block.
@@ -34,6 +38,9 @@ struct NodeContext {
   Duration delta = milliseconds(500);
   PayloadSource payload_for_view;
   BlockCreatedHook on_block_created;
+  /// Structured event trace sink (src/obs/). Null = tracing off; every hook
+  /// is a single pointer test in that case.
+  obs::Tracer* tracer = nullptr;
   /// When false, signature checks are skipped (their cost is modelled by the
   /// network's receive pipeline instead); structural validation always runs.
   bool verify_signatures = true;

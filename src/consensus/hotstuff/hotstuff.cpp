@@ -15,6 +15,7 @@ void HotStuffNode::start() {
   // resumes in its restored view and catches up via incoming certificates.
   const bool cold_start = view_ == 0;
   if (cold_start) view_ = 1;
+  trace(obs::EventKind::kViewEnter, view_, 0, 0);
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
   if (cold_start && i_am_leader(1)) propose();
   try_vote();
@@ -36,6 +37,7 @@ void HotStuffNode::handle(NodeId from, const MessagePtr& m) {
             if (!check_tc(*msg.tc)) return;
           }
           if (!check_qc(*msg.justify)) return;
+          trace(obs::EventKind::kProposalRecv, r, msg.block->height(), from);
           store_block(msg.block);
           pending_prop_.emplace(r, msg);
           handle_qc(msg.justify, /*already_validated=*/true);
@@ -44,6 +46,8 @@ void HotStuffNode::handle(NodeId from, const MessagePtr& m) {
         } else if constexpr (std::is_same_v<T, VoteMsg>) {
           if (msg.vote.voter != from) return;
           if (msg.vote.kind != VoteKind::kNormal) return;
+          trace(obs::EventKind::kVoteRecv, msg.vote.view,
+                static_cast<std::uint64_t>(msg.vote.kind), from);
           const BlockPtr body = store_.get(msg.vote.block);
           if (const QcPtr qc = vote_acc_.add(msg.vote, body ? body->height() : 0)) {
             handle_qc(qc, /*already_validated=*/true);
@@ -64,7 +68,10 @@ void HotStuffNode::handle(NodeId from, const MessagePtr& m) {
           const auto result = timeout_acc_.add(msg.timeout);
           if (result.reached_f_plus_1 && msg.timeout.view >= view_)
             send_timeout(msg.timeout.view);
-          if (result.tc) handle_tc(result.tc, /*already_validated=*/true);
+          if (result.tc) {
+            trace(obs::EventKind::kTcFormed, result.tc->view, result.tc->high_qc_view());
+            handle_tc(result.tc, /*already_validated=*/true);
+          }
         } else if constexpr (std::is_same_v<T, CertMsg>) {
           if (msg.qc) handle_qc(msg.qc, /*already_validated=*/false);
         } else if constexpr (std::is_same_v<T, TcMsg>) {
@@ -98,7 +105,10 @@ void HotStuffNode::update_preferred(const QcPtr& qc) {
   if (!body || body->is_genesis()) return;
   const BlockPtr parent = store_.get(body->parent());
   if (!parent) return;
-  preferred_round_ = std::max(preferred_round_, parent->view());
+  if (parent->view() > preferred_round_) {
+    preferred_round_ = parent->view();
+    trace(obs::EventKind::kLockUpdated, preferred_round_, obs::id_prefix(parent->id()));
+  }
 }
 
 void HotStuffNode::handle_tc(const TcPtr& tc, bool already_validated) {
@@ -113,7 +123,10 @@ void HotStuffNode::handle_tc(const TcPtr& tc, bool already_validated) {
 void HotStuffNode::advance_to(View new_round, const TcPtr& via_tc) {
   if (new_round <= view_) return;
   if (!via_tc) note_progress();
+  trace(obs::EventKind::kViewExit, view_, /*views_spent=*/1, new_round);
+  const View prev = view_;
   view_ = new_round;
+  trace(obs::EventKind::kViewEnter, view_, via_tc ? 2 : 1, prev);
   entry_tc_ = via_tc;
   proposed_in_round_ = false;
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
@@ -140,6 +153,7 @@ void HotStuffNode::propose() {
   const MessagePtr msg = make_message<ProposalMsg>(
       block, high_qc_, high_qc_->view + 1 == view_ ? nullptr : entry_tc_, ctx_.id);
   remember_proposal(view_, msg);
+  trace(obs::EventKind::kProposalSent, view_, block->height(), block->payload().wire_size());
   multicast(msg);
 }
 
@@ -174,9 +188,11 @@ void HotStuffNode::send_timeout(View round) {
 void HotStuffNode::on_view_timer_expired() {
   if (timeout_round_ < view_) {
     note_timeout();
+    trace(obs::EventKind::kTimeoutFired, view_);
     send_timeout(view_);
   } else {
     // Retransmit a possibly-lost timeout and stay armed (see pipelined).
+    trace(obs::EventKind::kTimeoutRetransmit, view_);
     multicast(make_message<TimeoutMsgWrap>(make_timeout(view_, high_qc_)));
   }
   retransmit_proposal(view_);  // our own proposal may be the lost message

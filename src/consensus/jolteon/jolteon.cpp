@@ -13,6 +13,7 @@ void JolteonNode::start() {
   // resumes in its restored view and catches up via incoming certificates.
   const bool cold_start = view_ == 0;
   if (cold_start) view_ = 1;
+  trace(obs::EventKind::kViewEnter, view_, 0, 0);
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
   if (cold_start && i_am_leader(1)) propose();
   try_vote();
@@ -36,6 +37,7 @@ void JolteonNode::handle(NodeId from, const MessagePtr& m) {
             if (!check_tc(*msg.tc)) return;
           }
           if (!check_qc(*msg.justify)) return;
+          trace(obs::EventKind::kProposalRecv, r, msg.block->height(), from);
           store_block(msg.block);
           pending_prop_.emplace(r, msg);
           handle_qc(msg.justify, /*already_validated=*/true);
@@ -45,6 +47,8 @@ void JolteonNode::handle(NodeId from, const MessagePtr& m) {
           // Votes arrive only at the next leader (linear steady state).
           if (msg.vote.voter != from) return;
           if (msg.vote.kind != VoteKind::kNormal) return;
+          trace(obs::EventKind::kVoteRecv, msg.vote.view,
+                static_cast<std::uint64_t>(msg.vote.kind), from);
           const BlockPtr body = store_.get(msg.vote.block);
           if (const QcPtr qc = vote_acc_.add(msg.vote, body ? body->height() : 0)) {
             handle_qc(qc, /*already_validated=*/true);
@@ -65,7 +69,10 @@ void JolteonNode::handle(NodeId from, const MessagePtr& m) {
           const auto result = timeout_acc_.add(msg.timeout);
           if (result.reached_f_plus_1 && msg.timeout.view >= view_)
             send_timeout(msg.timeout.view);
-          if (result.tc) handle_tc(result.tc, /*already_validated=*/true);
+          if (result.tc) {
+            trace(obs::EventKind::kTcFormed, result.tc->view, result.tc->high_qc_view());
+            handle_tc(result.tc, /*already_validated=*/true);
+          }
         } else if constexpr (std::is_same_v<T, CertMsg>) {
           if (msg.qc) handle_qc(msg.qc, /*already_validated=*/false);
         } else if constexpr (std::is_same_v<T, TcMsg>) {
@@ -85,7 +92,10 @@ void JolteonNode::handle_qc(const QcPtr& qc, bool already_validated) {
   if (!duplicate && !already_validated && !check_qc(*qc)) return;
 
   record_qc_and_try_commit(qc);
-  if (qc->rank() > high_qc_->rank()) high_qc_ = qc;
+  if (qc->rank() > high_qc_->rank()) {
+    high_qc_ = qc;
+    trace(obs::EventKind::kLockUpdated, qc->view, obs::id_prefix(qc->block));
+  }
 
   if (qc->view >= view_) {
     // Advance round via QC. The QC holder is normally the next leader (it
@@ -107,7 +117,10 @@ void JolteonNode::handle_tc(const TcPtr& tc, bool already_validated) {
 void JolteonNode::advance_to(View new_round, const TcPtr& via_tc) {
   if (new_round <= view_) return;
   if (!via_tc) note_progress();  // QC-driven entry resets pacemaker backoff
+  trace(obs::EventKind::kViewExit, view_, /*views_spent=*/1, new_round);
+  const View prev = view_;
   view_ = new_round;
+  trace(obs::EventKind::kViewEnter, view_, via_tc ? 2 : 1, prev);
   entry_tc_ = via_tc;
   proposed_in_round_ = false;
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
@@ -134,6 +147,7 @@ void JolteonNode::propose() {
   const MessagePtr msg = make_message<ProposalMsg>(
       block, high_qc_, high_qc_->view + 1 == view_ ? nullptr : entry_tc_, ctx_.id);
   remember_proposal(view_, msg);
+  trace(obs::EventKind::kProposalSent, view_, block->height(), block->payload().wire_size());
   multicast(msg);
 }
 
@@ -167,9 +181,11 @@ void JolteonNode::send_timeout(View round) {
 void JolteonNode::on_view_timer_expired() {
   if (timeout_round_ < view_) {
     note_timeout();
+    trace(obs::EventKind::kTimeoutFired, view_);
     send_timeout(view_);
   } else {
     // Retransmit a possibly-lost timeout and stay armed (see pipelined).
+    trace(obs::EventKind::kTimeoutRetransmit, view_);
     multicast(make_message<TimeoutMsgWrap>(make_timeout(view_, high_qc_)));
   }
   retransmit_proposal(view_);  // our own proposal may be the lost message

@@ -32,6 +32,8 @@ void CommitMoonshotNode::on_commit_vote(const Vote& vote) {
   if (const QcPtr qc = commit_acc_.add(vote, body ? body->height() : 0)) {
     // Alternative Direct Commit: a quorum of commit votes commits the block
     // and its ancestors — no child certificate needed.
+    trace(obs::EventKind::kQcFormed, qc->view, obs::id_prefix(qc->block),
+          static_cast<std::uint64_t>(qc->kind));
     commit_chain_by_id(qc->block);
   }
 }

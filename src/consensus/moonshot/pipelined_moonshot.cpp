@@ -13,6 +13,7 @@ void PipelinedMoonshotNode::start() {
   // resumes in its restored view and catches up via incoming certificates.
   const bool cold_start = view_ == 0;
   if (cold_start) view_ = 1;
+  trace(obs::EventKind::kViewEnter, view_, /*reason=*/0);
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
   if (cold_start && i_am_leader(1)) propose_normal(QuorumCert::genesis_qc());
   try_vote();
@@ -27,6 +28,7 @@ void PipelinedMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           if (!msg.block || !msg.justify) return;
           const View v = msg.block->view();
           if (v < 1 || leader_of(v) != from) return;
+          trace(obs::EventKind::kProposalRecv, v, msg.block->height(), from);
           // Normal proposals must be justified by the parent's certificate
           // from the directly preceding view.
           if (msg.block->parent() != msg.justify->block) return;
@@ -40,6 +42,7 @@ void PipelinedMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           if (!msg.block) return;
           const View v = msg.block->view();
           if (v < 1 || leader_of(v) != from) return;
+          trace(obs::EventKind::kOptProposalRecv, v, msg.block->height(), from);
           store_block(msg.block);
           pending_opt_.emplace(v, msg);
           try_vote();
@@ -47,6 +50,7 @@ void PipelinedMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           if (!msg.block || !msg.justify || !msg.tc) return;
           const View v = msg.block->view();
           if (v < 1 || leader_of(v) != from) return;
+          trace(obs::EventKind::kFbProposalRecv, v, msg.block->height(), from);
           if (msg.block->parent() != msg.justify->block) return;
           if (msg.tc->view + 1 != v) return;
           // The justifying lock must rank at least the TC's proven highest.
@@ -59,6 +63,8 @@ void PipelinedMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           try_vote();
         } else if constexpr (std::is_same_v<T, VoteMsg>) {
           if (msg.vote.voter != from) return;
+          trace(obs::EventKind::kVoteRecv, msg.vote.view,
+                static_cast<std::uint64_t>(msg.vote.kind), from);
           if (msg.vote.kind == VoteKind::kCommit) {
             on_commit_vote(msg.vote);  // Commit Moonshot
             return;
@@ -84,7 +90,10 @@ void PipelinedMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           // Bracha amplification: f+1 timeouts for any view ≥ ours → join.
           if (result.reached_f_plus_1 && msg.timeout.view >= view_)
             send_timeout(msg.timeout.view);
-          if (result.tc) handle_tc(result.tc, /*already_validated=*/true);
+          if (result.tc) {
+            trace(obs::EventKind::kTcFormed, result.tc->view);
+            handle_tc(result.tc, /*already_validated=*/true);
+          }
         } else if constexpr (std::is_same_v<T, CertMsg>) {
           if (msg.qc) handle_qc(msg.qc, /*already_validated=*/false);
         } else if constexpr (std::is_same_v<T, TcMsg>) {
@@ -109,7 +118,10 @@ void PipelinedMoonshotNode::handle_qc(const QcPtr& qc, bool already_validated) {
   record_qc_and_try_commit(qc);
 
   // Lock rule: rises immediately on any higher-ranked certificate.
-  if (qc->rank() > lock_->rank()) lock_ = qc;
+  if (qc->rank() > lock_->rank()) {
+    lock_ = qc;
+    trace(obs::EventKind::kLockUpdated, qc->view, obs::id_prefix(qc->block));
+  }
 
   if (qc->view >= view_) advance_to(qc->view + 1, qc, nullptr);
   // No leader-propose-on-late-certificate path here: Pipelined Moonshot
@@ -141,7 +153,10 @@ void PipelinedMoonshotNode::advance_to(View new_view, const QcPtr& via_qc, const
     unicast(leader_of(new_view), make_message<TcMsg>(via_tc, ctx_.id));
   }
 
+  trace(obs::EventKind::kViewExit, view_, /*views_spent=*/1, new_view);
+  const View prev = view_;
   view_ = new_view;
+  trace(obs::EventKind::kViewEnter, view_, via_qc ? 1 : 2, prev);
   entry_tc_ = via_tc;
   proposed_in_view_ = false;
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
@@ -175,6 +190,7 @@ void PipelinedMoonshotNode::propose_normal(const QcPtr& justify) {
   }
   proposed_in_view_ = true;
   const BlockPtr block = create_block(view_, parent);
+  trace(obs::EventKind::kProposalSent, view_, block->height(), block->payload().wire_size());
   const MessagePtr msg = make_message<ProposalMsg>(block, justify, nullptr, ctx_.id);
   remember_proposal(view_, msg);
   multicast(msg);
@@ -190,6 +206,8 @@ void PipelinedMoonshotNode::propose_fallback(const TcPtr& tc) {
   }
   proposed_in_view_ = true;
   const BlockPtr block = create_block(view_, parent);
+  trace(obs::EventKind::kFbProposalSent, view_, block->height(),
+        block->payload().wire_size());
   const MessagePtr msg = make_message<FbProposalMsg>(block, lock_, tc, ctx_.id);
   remember_proposal(view_, msg);
   multicast(msg);
@@ -263,6 +281,8 @@ void PipelinedMoonshotNode::after_vote(const BlockPtr& block) {
   if (i_am_leader(block->view() + 1) && opt_proposed_view_ < block->view() + 1) {
     opt_proposed_view_ = block->view() + 1;
     const BlockPtr child = create_block(block->view() + 1, block);
+    trace(obs::EventKind::kOptProposalSent, child->view(), child->height(),
+          child->payload().wire_size());
     const MessagePtr msg = make_message<OptProposalMsg>(child, ctx_.id);
     remember_proposal(child->view(), msg);
     multicast(msg);
@@ -278,9 +298,11 @@ void PipelinedMoonshotNode::send_timeout(View view) {
 
 void PipelinedMoonshotNode::on_view_timer_expired() {
   if (timeout_view_ < view_) {
+    trace(obs::EventKind::kTimeoutFired, view_);
     note_timeout();
     send_timeout(view_);
   } else {
+    trace(obs::EventKind::kTimeoutRetransmit, view_);
     // The first ⟨timeout⟩ for this view may have been lost (lossy links; a
     // real transport retransmits). Re-multicast with the current — possibly
     // fresher — lock; a single lost timeout must not stall the view forever.

@@ -17,6 +17,7 @@ void SimpleMoonshotNode::start() {
   // rather than replaying view-1 actions.
   const bool cold_start = view_ == 0;
   if (cold_start) view_ = 1;
+  trace(obs::EventKind::kViewEnter, view_, /*reason=*/0);
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
   if (cold_start && i_am_leader(1)) propose_normal(QuorumCert::genesis_qc());
   try_vote();
@@ -41,6 +42,7 @@ void SimpleMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           if (!msg.block || !msg.justify) return;
           const View v = msg.block->view();
           if (v < 1 || leader_of(v) != from) return;  // not from the view's leader
+          trace(obs::EventKind::kProposalRecv, v, msg.block->height(), from);
           if (msg.block->parent() != msg.justify->block) return;
           if (!check_qc(*msg.justify)) return;
           store_block(msg.block);
@@ -51,12 +53,15 @@ void SimpleMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           if (!msg.block) return;
           const View v = msg.block->view();
           if (v < 1 || leader_of(v) != from) return;
+          trace(obs::EventKind::kOptProposalRecv, v, msg.block->height(), from);
           store_block(msg.block);
           pending_opt_.emplace(v, msg);
           try_vote();
         } else if constexpr (std::is_same_v<T, VoteMsg>) {
           if (msg.vote.voter != from) return;  // votes travel first-hand
           if (msg.vote.kind != VoteKind::kNormal) return;  // Simple has one kind
+          trace(obs::EventKind::kVoteRecv, msg.vote.view,
+                static_cast<std::uint64_t>(msg.vote.kind), from);
           const BlockPtr body = store_.get(msg.vote.block);
           if (const QcPtr qc = vote_acc_.add(msg.vote, body ? body->height() : 0)) {
             handle_qc(qc, /*already_validated=*/true);
@@ -79,7 +84,10 @@ void SimpleMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           // Figure 1 rule 4: f+1 timeouts for the *current* view make us
           // stop voting and join the timeout.
           if (result.reached_f_plus_1 && msg.timeout.view == view_) send_timeout(view_);
-          if (result.tc) handle_tc(result.tc, /*already_validated=*/true);
+          if (result.tc) {
+            trace(obs::EventKind::kTcFormed, result.tc->view);
+            handle_tc(result.tc, /*already_validated=*/true);
+          }
         } else if constexpr (std::is_same_v<T, CertMsg>) {
           if (msg.qc) handle_qc(msg.qc, /*already_validated=*/false);
         } else if constexpr (std::is_same_v<T, TcMsg>) {
@@ -138,7 +146,10 @@ void SimpleMoonshotNode::advance_to(View new_view, const QcPtr& via_qc, const Tc
 
   // (ii) Update the lock to the highest certificate received so far. Simple
   // Moonshot updates locks only here, never mid-view.
-  if (highest_qc_->rank() > lock_->rank()) lock_ = highest_qc_;
+  if (highest_qc_->rank() > lock_->rank()) {
+    lock_ = highest_qc_;
+    trace(obs::EventKind::kLockUpdated, lock_->view, obs::id_prefix(lock_->block));
+  }
 
   // (iii) Report a stale lock to the incoming leader.
   if (lock_->view + 1 < new_view) {
@@ -146,7 +157,10 @@ void SimpleMoonshotNode::advance_to(View new_view, const QcPtr& via_qc, const Tc
   }
 
   // (iv) Enter the view; (v) reset the 5Δ timer.
+  trace(obs::EventKind::kViewExit, view_, /*views_spent=*/1, new_view);
+  const View prev = view_;
   view_ = new_view;
+  trace(obs::EventKind::kViewEnter, view_, via_qc ? 1 : 2, prev);
   entry_tc_ = via_tc;
   proposed_in_view_ = false;
   ++propose_generation_;  // invalidates any scheduled 2Δ proposal
@@ -190,6 +204,7 @@ void SimpleMoonshotNode::propose_normal(const QcPtr& justify) {
   proposed_in_view_ = true;
   ++propose_generation_;
   const BlockPtr block = create_block(view_, parent);
+  trace(obs::EventKind::kProposalSent, view_, block->height(), block->payload().wire_size());
   const MessagePtr msg = make_message<ProposalMsg>(block, justify, nullptr, ctx_.id);
   remember_proposal(view_, msg);
   multicast(msg);
@@ -228,6 +243,8 @@ void SimpleMoonshotNode::do_vote(const BlockPtr& block) {
   if (i_am_leader(view_ + 1) && opt_proposed_view_ < view_ + 1) {
     opt_proposed_view_ = view_ + 1;
     const BlockPtr child = create_block(view_ + 1, block);
+    trace(obs::EventKind::kOptProposalSent, child->view(), child->height(),
+          child->payload().wire_size());
     const MessagePtr msg = make_message<OptProposalMsg>(child, ctx_.id);
     remember_proposal(child->view(), msg);
     multicast(msg);
@@ -243,9 +260,11 @@ void SimpleMoonshotNode::send_timeout(View view) {
 
 void SimpleMoonshotNode::on_view_timer_expired() {
   if (timeout_sent_view_ < view_) {
+    trace(obs::EventKind::kTimeoutFired, view_);
     note_timeout();
     send_timeout(view_);
   } else {
+    trace(obs::EventKind::kTimeoutRetransmit, view_);
     // Retransmit a possibly-lost timeout and stay armed (see pipelined).
     multicast(make_message<TimeoutMsgWrap>(make_timeout(view_, nullptr)));
   }

@@ -7,6 +7,7 @@
 #include "consensus/moonshot/pipelined_moonshot.hpp"
 #include "consensus/moonshot/simple_moonshot.hpp"
 #include "support/assert.hpp"
+#include "support/log.hpp"
 #include "support/prng.hpp"
 
 namespace moonshot {
@@ -65,6 +66,15 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   down_.assign(cfg_.n, 0);
   recovered_once_.assign(cfg_.n, 0);
 
+  if (cfg_.tracer) cfg_.tracer->set_clock(&sched_);
+
+  // Stamp log lines with this run's simulated time. The last-constructed
+  // experiment wins (fine: concurrent experiments share one process only in
+  // tests, where logs are filtered anyway); the destructor deregisters.
+  set_log_clock(
+      [](const void* ctx) { return static_cast<const sim::Scheduler*>(ctx)->now().ns; },
+      &sched_);
+
   // Network.
   cfg_.net.seed = cfg_.seed;
   cfg_.net.delta = cfg_.delta;
@@ -73,6 +83,7 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
         if (is_crashed(to) || down_[to]) return;
         nodes_[to]->handle(from, m);
       });
+  network_->set_tracer(cfg_.tracer);
 
   // Validators & keys.
   auto scheme = cfg_.use_ed25519 ? crypto::ed25519_scheme() : crypto::fast_scheme();
@@ -136,6 +147,7 @@ std::unique_ptr<IConsensusNode> Experiment::make_node(NodeId id) {
   ctx.aggregate_certificates =
       cfg_.aggregate_certificates && validators_->scheme().supports_aggregation();
   ctx.lso_mode = cfg_.lso_mode;
+  ctx.tracer = cfg_.tracer;
 
   if (is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate) {
     return std::make_unique<EquivocatorNode>(std::move(ctx));
@@ -190,13 +202,31 @@ void Experiment::recover_node(NodeId id) {
   if (started_) nodes_[id]->start();
 }
 
-Experiment::~Experiment() = default;
+Experiment::~Experiment() { clear_log_clock(&sched_); }
 
 void Experiment::start() {
   if (started_) return;
   started_ = true;
   for (NodeId id = 0; id < cfg_.n; ++id) {
     if (!is_crashed(id) && !down_[id]) nodes_[id]->start();  // equivocators start too
+  }
+
+  // Scheduler queue-depth sampling: a self-rescheduling probe every Δ, gated
+  // on the run duration so run_all()-style drivers still terminate.
+  if (cfg_.tracer) {
+    struct Sampler {
+      Experiment* exp;
+      TimePoint until;
+      void operator()() const {
+        sim::Scheduler& s = exp->sched_;
+        exp->cfg_.tracer->record(kNoNode, obs::EventKind::kSchedQueue, 0, s.pending(),
+                                 s.events_executed());
+        if (s.now() + exp->cfg_.delta <= until) {
+          s.schedule_after(exp->cfg_.delta, Sampler{exp, until});
+        }
+      }
+    };
+    Sampler{this, sched_.now() + cfg_.duration}();
   }
 }
 

@@ -79,6 +79,10 @@ struct ExperimentConfig {
   /// Client transaction arrival rate (tx/s) for end-to-end latency tracking;
   /// 0 disables the tracker.
   double tx_rate = 0.0;
+  /// Optional structured tracer (src/obs/). When set, the experiment wires
+  /// it into every node context and the network, registers the scheduler as
+  /// its clock, and samples scheduler queue depth every Δ.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ExperimentResult {

@@ -30,6 +30,7 @@ MetricsCollector::Summary MetricsCollector::summarize(std::size_t threshold,
                                                       Duration run_duration) const {
   Summary s;
   std::vector<double> latencies;
+  std::vector<std::pair<Height, TimePoint>> created_at;  // threshold-committed
   for (const auto& [id, stat] : blocks_) {
     if (stat.commits.size() < threshold) continue;
     auto commits = stat.commits;
@@ -40,6 +41,22 @@ MetricsCollector::Summary MetricsCollector::summarize(std::size_t threshold,
     s.committed_payload_bytes += stat.payload_bytes;
     s.max_committed_height = std::max(s.max_committed_height, stat.height);
     latencies.push_back(to_ms(kth - stat.created));
+    created_at.emplace_back(stat.height, stat.created);
+  }
+
+  // Block period ω: gaps between creation times of consecutive committed
+  // heights. A height gap (no threshold commit in between) breaks the pair
+  // so timeouts don't contaminate the min/max.
+  std::sort(created_at.begin(), created_at.end());
+  for (std::size_t i = 1; i < created_at.size(); ++i) {
+    if (created_at[i].first != created_at[i - 1].first + 1) continue;
+    const double gap = to_ms(created_at[i].second - created_at[i - 1].second);
+    if (s.max_block_period_ms == 0.0 && s.min_block_period_ms == 0.0) {
+      s.min_block_period_ms = s.max_block_period_ms = gap;
+    } else {
+      s.min_block_period_ms = std::min(s.min_block_period_ms, gap);
+      s.max_block_period_ms = std::max(s.max_block_period_ms, gap);
+    }
   }
   const double secs = to_seconds(run_duration);
   if (secs > 0) {
@@ -53,6 +70,7 @@ MetricsCollector::Summary MetricsCollector::summarize(std::size_t threshold,
     std::sort(latencies.begin(), latencies.end());
     s.p50_latency_ms = latencies[latencies.size() / 2];
     s.p90_latency_ms = latencies[latencies.size() * 9 / 10];
+    s.p99_latency_ms = latencies[std::min(latencies.size() - 1, latencies.size() * 99 / 100)];
   }
   return s;
 }

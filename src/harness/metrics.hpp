@@ -32,9 +32,14 @@ class MetricsCollector {
     double avg_latency_ms = 0.0;   // creation -> threshold-th commit
     double p50_latency_ms = 0.0;
     double p90_latency_ms = 0.0;
+    double p99_latency_ms = 0.0;
     double transfer_rate_bps = 0.0;  // committed payload bytes per second
     std::uint64_t committed_payload_bytes = 0;
     Height max_committed_height = 0;
+    /// Block period (the paper's ω): creation-time gap between blocks at
+    /// consecutive committed heights. 0 when fewer than two such pairs exist.
+    double min_block_period_ms = 0.0;
+    double max_block_period_ms = 0.0;
   };
 
   /// Aggregates over the run. `threshold` is the number of distinct nodes

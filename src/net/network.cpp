@@ -4,6 +4,12 @@
 
 namespace moonshot::net {
 
+// The obs layer mirrors the wire-type order of the Message variant so it can
+// label counters without depending on types/messages.hpp internals. Catch a
+// drifting variant at compile time.
+static_assert(std::variant_size_v<Message> == obs::kMessageTypeCount,
+              "obs::kMessageTypeCount / message_type_label() must mirror the Message variant");
+
 SimNetwork::SimNetwork(sim::Scheduler& sched, std::size_t n, NetworkConfig cfg,
                        DeliverFn deliver)
     : sched_(sched),
@@ -42,6 +48,9 @@ void SimNetwork::multicast(NodeId from, MessagePtr m) {
   if (silenced_.at(from)) return;
   if (tap_) tap_(from, *m);
   const std::uint64_t wire = message_wire_size(*m);
+  if (tracer_) {
+    tracer_->record(from, obs::EventKind::kMsgSent, 0, m->index(), wire, kNoNode);
+  }
   const std::size_t n = egress_free_.size();
 
   // Self-delivery first: immediate and free (local shortcut).
@@ -64,6 +73,9 @@ void SimNetwork::unicast(NodeId from, NodeId to, MessagePtr m) {
   if (silenced_.at(from)) return;
   if (tap_) tap_(from, *m);
   const std::uint64_t wire = message_wire_size(*m);
+  if (tracer_) {
+    tracer_->record(from, obs::EventKind::kMsgSent, 0, m->index(), wire, to);
+  }
   if (to == from) {
     stats_.messages_sent++;
     sched_.schedule_at(sched_.now(), [this, from, m] { deliver_(from, from, m); });
@@ -95,6 +107,7 @@ void SimNetwork::send_one(NodeId from, NodeId to, const MessagePtr& m, std::uint
 
   if (silenced_.at(to)) {
     stats_.messages_dropped++;
+    if (tracer_) tracer_->record(to, obs::EventKind::kMsgDropped, 0, m->index(), wire, from);
     return;
   }
 
@@ -102,6 +115,7 @@ void SimNetwork::send_one(NodeId from, NodeId to, const MessagePtr& m, std::uint
   if (!faults_.empty()) verdict = faults_.apply(from, to, *m, sched_.now());
   if (verdict.drop) {
     stats_.messages_dropped++;
+    if (tracer_) tracer_->record(to, obs::EventKind::kMsgDropped, 0, m->index(), wire, from);
     return;
   }
 
@@ -164,8 +178,9 @@ void SimNetwork::deliver_copy(NodeId from, NodeId to, const MessagePtr& m,
   const TimePoint done = start + rx;
   ingress_free_[to] = done;
 
-  sched_.schedule_at(done, [this, from, to, m] {
+  sched_.schedule_at(done, [this, from, to, m, wire] {
     stats_.messages_delivered++;
+    if (tracer_) tracer_->record(to, obs::EventKind::kMsgDelivered, 0, m->index(), wire, from);
     deliver_(to, from, m);
   });
 }

@@ -23,6 +23,7 @@
 
 #include "net/fault.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "support/prng.hpp"
 #include "types/messages.hpp"
@@ -124,6 +125,10 @@ class SimNetwork final : public INetwork {
   using Tap = std::function<void(NodeId from, const Message&)>;
   void set_tap(Tap t) { tap_ = std::move(t); }
 
+  /// Optional structured tracer: sends (multicast counted once), per-copy
+  /// deliveries and drops are recorded with the wire type index and size.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+
   const NetworkStats& stats() const { return stats_; }
   const RegionAssignment& regions() const { return regions_; }
   const NetworkConfig& config() const { return cfg_; }
@@ -146,6 +151,7 @@ class SimNetwork final : public INetwork {
   FaultChain faults_;
   ILinkFault* predicate_fault_ = nullptr;  // the set_drop_filter() chain entry
   Tap tap_;
+  obs::Tracer* tracer_ = nullptr;
   NetworkStats stats_;
 };
 

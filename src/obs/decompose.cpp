@@ -1,0 +1,136 @@
+#include "obs/decompose.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace moonshot::obs {
+
+namespace {
+
+bool is_proposal_sent(EventKind k) {
+  return k == EventKind::kOptProposalSent || k == EventKind::kProposalSent ||
+         k == EventKind::kFbProposalSent;
+}
+
+struct ViewStamps {
+  TimePoint proposed{};
+  TimePoint voted{};
+  TimePoint certified{};
+  TimePoint committed{};
+  Height height = 0;
+  bool has_proposed = false, has_voted = false, has_certified = false, has_committed = false;
+};
+
+}  // namespace
+
+Decomposition decompose(const std::vector<Event>& merged, NodeId observer) {
+  Decomposition d;
+  d.observer = observer;
+
+  std::map<View, ViewStamps> views;
+  for (const Event& e : merged) {
+    if (is_proposal_sent(e.kind)) {
+      // Any replica's multicast counts: the leader of view v stamps the
+      // proposal, whichever proposal flavour it used.
+      auto& s = views[e.view];
+      if (!s.has_proposed || e.t < s.proposed) {
+        s.proposed = e.t;
+        s.has_proposed = true;
+        s.height = e.a;
+      }
+      continue;
+    }
+    if (e.node != observer) continue;
+    auto& s = views[e.view];
+    switch (e.kind) {
+      case EventKind::kVoteCast:
+        if (!s.has_voted) {
+          s.voted = e.t;
+          s.has_voted = true;
+        }
+        break;
+      case EventKind::kQcFormed:
+        if (!s.has_certified) {
+          s.certified = e.t;
+          s.has_certified = true;
+        }
+        break;
+      case EventKind::kCommit:
+        if (!s.has_committed) {
+          s.committed = e.t;
+          s.has_committed = true;
+          if (s.height == 0) s.height = e.a;
+        }
+        break;
+      default: break;
+    }
+  }
+
+  bool have_prev_proposal = false;
+  View prev_view = 0;
+  TimePoint prev_proposal{};
+  for (const auto& [view, s] : views) {
+    if (s.has_proposed) {
+      if (have_prev_proposal && view == prev_view + 1) {
+        d.period.record(s.proposed - prev_proposal);
+      }
+      have_prev_proposal = true;
+      prev_view = view;
+      prev_proposal = s.proposed;
+    }
+    if (!s.has_committed) continue;
+    BlockDecomp b;
+    b.view = view;
+    b.height = s.height;
+    b.proposed = s.proposed;
+    b.voted = s.voted;
+    b.certified = s.certified;
+    b.committed = s.committed;
+    b.complete = s.has_proposed && s.has_voted && s.has_certified &&
+                 s.proposed <= s.voted && s.voted <= s.certified && s.certified <= s.committed;
+    if (b.complete) {
+      d.latency.record(b.total());
+      d.prop_to_vote.record(b.prop_to_vote());
+      d.vote_to_cert.record(b.vote_to_cert());
+      d.cert_to_commit.record(b.cert_to_commit());
+    }
+    d.blocks.push_back(b);
+  }
+  return d;
+}
+
+namespace {
+
+void print_stat_row(std::FILE* out, const char* label, const Histogram& h, Duration delta,
+                    const char* paper) {
+  if (h.count() == 0) {
+    std::fprintf(out, "  %-16s %10s\n", label, "n/a");
+    return;
+  }
+  std::fprintf(out, "  %-16s %9.3fms  p50 %9.3fms  p99 %9.3fms", label, h.mean_ms(),
+               h.percentile_ms(0.5), h.percentile_ms(0.99));
+  if (delta.count() > 0) {
+    std::fprintf(out, "  = %5.2fd (paper: %s)", h.mean_ms() / to_ms(delta), paper);
+  }
+  std::fputc('\n', out);
+}
+
+}  // namespace
+
+void print_decomposition(const Decomposition& d, Duration delta, std::FILE* out) {
+  std::size_t complete = 0;
+  for (const auto& b : d.blocks)
+    if (b.complete) complete++;
+  std::fprintf(out, "--- latency decomposition (observer: node %u) ---\n", d.observer);
+  std::fprintf(out, "  committed blocks: %zu (%zu with full 4-stamp decomposition)\n",
+               d.blocks.size(), complete);
+  if (delta.count() > 0)
+    std::fprintf(out, "  one-way delta: %.3f ms\n", to_ms(delta));
+  print_stat_row(out, "block period w", d.period, delta, "1d");
+  print_stat_row(out, "commit lat. l", d.latency, delta, "3d");
+  print_stat_row(out, "  prop->vote", d.prop_to_vote, delta, "1d");
+  print_stat_row(out, "  vote->cert", d.vote_to_cert, delta, "1d");
+  print_stat_row(out, "  cert->commit", d.cert_to_commit, delta, "1d");
+}
+
+}  // namespace moonshot::obs

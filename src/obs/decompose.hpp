@@ -1,0 +1,59 @@
+// Latency decomposition over a merged trace.
+//
+// Splits each committed block's commit latency λ into the paper's δ-segments
+// as seen by one observer replica:
+//
+//   proposal  — leader's first proposal multicast for the view
+//   → vote    — observer casts its vote for that block        (≈ 1δ)
+//   → cert    — observer first holds a certificate for it     (≈ 1δ)
+//   → commit  — observer commits the block                    (≈ 1δ, §III)
+//
+// and derives the block period ω from consecutive leaders' proposal times
+// (≈ 1δ with optimistic proposals, §IV). Against a known one-way δ the
+// printer reports every segment as a δ-multiple next to the paper's targets
+// (ω = δ, λ = 3δ for the Moonshots).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/hist.hpp"
+
+namespace moonshot::obs {
+
+struct BlockDecomp {
+  View view = 0;
+  Height height = 0;
+  TimePoint proposed{};   // leader's first *_proposal_sent for the view
+  TimePoint voted{};      // observer's vote_cast for the view
+  TimePoint certified{};  // observer's qc_formed for the view
+  TimePoint committed{};  // observer's commit of the view's block
+  bool complete = false;  // all four stamps present and ordered
+
+  Duration prop_to_vote() const { return voted - proposed; }
+  Duration vote_to_cert() const { return certified - voted; }
+  Duration cert_to_commit() const { return committed - certified; }
+  Duration total() const { return committed - proposed; }
+};
+
+struct Decomposition {
+  NodeId observer = 0;
+  std::vector<BlockDecomp> blocks;  // committed blocks, view order
+  /// Gaps between consecutive views' first proposal multicasts (the ω
+  /// samples). Only adjacent views contribute, so timeout gaps don't skew it.
+  Histogram period;
+  Histogram latency;        // total() of complete blocks
+  Histogram prop_to_vote;
+  Histogram vote_to_cert;
+  Histogram cert_to_commit;
+};
+
+/// Runs the pass over merged() output. The observer defaults to replica 0.
+Decomposition decompose(const std::vector<Event>& merged, NodeId observer = 0);
+
+/// Human-readable report. When `delta` > 0 every statistic is also printed
+/// as a multiple of δ next to the paper's targets.
+void print_decomposition(const Decomposition& d, Duration delta, std::FILE* out);
+
+}  // namespace moonshot::obs

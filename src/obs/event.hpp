@@ -1,0 +1,71 @@
+// Structured trace events.
+//
+// One Event is a fixed-size POD stamped with *simulated* time only — never a
+// wall clock — so a traced run is as deterministic as the run itself and the
+// chaos replay digest can cover the trace stream. The three generic argument
+// slots carry kind-specific detail (documented per kind below); anything
+// variable-length (block ids, message bodies) is reduced to a 64-bit prefix
+// so recording never allocates.
+#pragma once
+
+#include <cstdint>
+
+#include "support/time.hpp"
+#include "types/ids.hpp"
+
+namespace moonshot::obs {
+
+enum class EventKind : std::uint8_t {
+  // --- protocol events (node = emitting replica, view = protocol view) ----
+  kViewEnter,          // a: reason (0=start, 1=certificate, 2=timeout cert), b: previous view
+  kViewExit,           // a: views spent (always 1 in this codebase), b: next view
+  kOptProposalSent,    // a: block height, b: payload bytes
+  kOptProposalRecv,    // a: block height, b: proposer
+  kProposalSent,       // a: block height, b: payload bytes
+  kProposalRecv,       // a: block height, b: proposer
+  kFbProposalSent,     // a: block height, b: payload bytes
+  kFbProposalRecv,     // a: block height, b: proposer
+  kVoteCast,           // a: vote kind, b: block id prefix
+  kVoteRecv,           // a: vote kind, b: voter
+  kQcFormed,           // first certificate observed for `view`; a: block id prefix, b: vote kind
+  kTcFormed,           // TC assembled locally for `view`; a: TC high-QC view (0 in the Moonshots)
+  kLockUpdated,        // lock rose to the certificate of `view`; a: block id prefix
+  kCommit,             // block of `view` committed; a: height, b: payload bytes
+  kTimeoutFired,       // view timer expired, fresh timeout sent for `view`
+  kTimeoutRetransmit,  // timer expired again: timeout/proposal re-multicast for `view`
+  kSyncRequest,        // a: wanted block id prefix, b: retry count, c: asked peer
+  kSyncResponse,       // served a block body; a: block id prefix, b: requester
+
+  // --- environment events ------------------------------------------------
+  kMsgSent,       // node = sender;   a: wire type index, b: wire bytes, c: dest (kNoNode = multicast)
+  kMsgDelivered,  // node = receiver; a: wire type index, b: wire bytes, c: sender
+  kMsgDropped,    // node = intended receiver; a: wire type index, b: wire bytes, c: sender
+  kSchedQueue,    // node = kNoNode;  a: pending events, b: events executed
+  kFaultInjected, // node = kNoNode;  a: schedule event index, b: fault type
+  kFaultHealed,   // node = kNoNode;  a: schedule event index, b: fault type
+};
+
+constexpr std::size_t kEventKindCount = static_cast<std::size_t>(EventKind::kFaultHealed) + 1;
+
+/// Stable snake_case name, used by both exporters and the golden tests.
+const char* event_kind_name(EventKind k);
+
+/// Number of wire message types (mirrors the Message variant in
+/// types/messages.hpp; network.cpp static_asserts the two stay in sync).
+constexpr std::size_t kMessageTypeCount = 10;
+
+/// Label for a wire type index ("proposal", "vote", ...).
+const char* message_type_label(std::size_t index);
+
+struct Event {
+  TimePoint t{};          // simulated time of the event
+  std::uint64_t seq = 0;  // global record order; tie-breaker among equal times
+  View view = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  NodeId node = kNoNode;  // kNoNode = environment event
+  EventKind kind{};
+};
+
+}  // namespace moonshot::obs

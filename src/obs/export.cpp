@@ -1,0 +1,125 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <sstream>
+
+namespace moonshot::obs {
+
+namespace {
+
+void append_event_json(std::string& out, const Event& e) {
+  char buf[256];
+  const long long node = e.node == kNoNode ? -1 : static_cast<long long>(e.node);
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%" PRId64 ",\"seq\":%" PRIu64 ",\"node\":%lld,\"kind\":\"%s\","
+                "\"view\":%" PRIu64 ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 ",\"c\":%" PRIu64 "}",
+                e.t.ns, e.seq, node, event_kind_name(e.kind), e.view, e.a, e.b, e.c);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_jsonl(const std::vector<Event>& events) {
+  std::string out;
+  out.reserve(events.size() * 96);
+  for (const Event& e : events) {
+    append_event_json(out, e);
+    out += '\n';
+  }
+  return out;
+}
+
+void write_jsonl(const std::vector<Event>& events, std::FILE* out) {
+  const std::string s = to_jsonl(events);
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+void write_chrome_trace(const std::vector<Event>& events, std::size_t nodes,
+                        std::FILE* out) {
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", out);
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) std::fputc(',', out);
+    first = false;
+    std::fputc('\n', out);
+  };
+
+  for (std::size_t pid = 0; pid <= nodes; ++pid) {
+    sep();
+    if (pid < nodes) {
+      std::fprintf(out,
+                   "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+                   "\"args\":{\"name\":\"node %zu\"}}",
+                   pid, pid);
+    } else {
+      std::fprintf(out,
+                   "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+                   "\"args\":{\"name\":\"environment\"}}",
+                   pid);
+    }
+  }
+
+  // View spans: a view_enter opens a bar on its node, closed by the next
+  // view_enter (views are contiguous; view_exit always precedes the next
+  // enter at the same timestamp).
+  std::vector<std::int64_t> open_since(nodes, -1);
+  std::vector<View> open_view(nodes, 0);
+  const auto close_span = [&](std::size_t node, std::int64_t end_ns) {
+    if (open_since[node] < 0) return;
+    sep();
+    std::fprintf(out,
+                 "{\"name\":\"view %" PRIu64 "\",\"ph\":\"X\",\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"pid\":%zu,\"tid\":0}",
+                 open_view[node], static_cast<double>(open_since[node]) / 1e3,
+                 static_cast<double>(end_ns - open_since[node]) / 1e3, node);
+    open_since[node] = -1;
+  };
+
+  std::int64_t last_t = 0;
+  for (const Event& e : events) {
+    last_t = e.t.ns;
+    const std::size_t pid = e.node == kNoNode ? nodes : e.node;
+    if (e.kind == EventKind::kViewEnter && pid < nodes) {
+      close_span(pid, e.t.ns);
+      open_since[pid] = e.t.ns;
+      open_view[pid] = e.view;
+    }
+    sep();
+    std::fprintf(out,
+                 "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%zu,"
+                 "\"tid\":1,\"args\":{\"view\":%" PRIu64 ",\"a\":%" PRIu64 ",\"b\":%" PRIu64
+                 ",\"c\":%" PRIu64 "}}",
+                 event_kind_name(e.kind), static_cast<double>(e.t.ns) / 1e3, pid, e.view,
+                 e.a, e.b, e.c);
+  }
+  for (std::size_t node = 0; node < nodes; ++node) close_span(node, last_t);
+  std::fputs("\n]}\n", out);
+}
+
+void print_timeline(const std::vector<Event>& events, std::FILE* out,
+                    std::size_t max_events) {
+  View max_entered = 0;
+  std::size_t printed = 0;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kViewEnter && e.view > max_entered) {
+      max_entered = e.view;
+      std::fprintf(out, "---- view %" PRIu64 " ----\n", max_entered);
+    }
+    char who[16];
+    if (e.node == kNoNode) {
+      std::snprintf(who, sizeof(who), "env");
+    } else {
+      std::snprintf(who, sizeof(who), "n%u", e.node);
+    }
+    std::fprintf(out, "%12.3fms %-4s %-18s v=%-5" PRIu64 " a=%-8" PRIu64 " b=%-8" PRIu64
+                 " c=%" PRIu64 "\n",
+                 static_cast<double>(e.t.ns) / 1e6, who, event_kind_name(e.kind), e.view,
+                 e.a, e.b, e.c);
+    if (++printed >= max_events) {
+      std::fprintf(out, "... (%zu more events truncated)\n", events.size() - printed);
+      return;
+    }
+  }
+}
+
+}  // namespace moonshot::obs

@@ -1,0 +1,62 @@
+#include "obs/hist.hpp"
+
+#include <algorithm>
+
+namespace moonshot::obs {
+
+namespace {
+int msb_index(std::uint64_t v) { return 63 - __builtin_clzll(v); }
+}  // namespace
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);  // tier 0: exact
+  const int msb = msb_index(v);
+  const std::size_t tier = static_cast<std::size_t>(msb) - 4;  // msb >= 5 here
+  const std::size_t sub = static_cast<std::size_t>((v >> (msb - 5)) - kSubBuckets);
+  const std::size_t index = tier * kSubBuckets + sub;
+  return std::min(index, kTiers * kSubBuckets - 1);
+}
+
+std::int64_t Histogram::bucket_midpoint(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t tier = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  const std::uint64_t low = (kSubBuckets + sub) << (tier - 1);
+  const std::uint64_t width = std::uint64_t{1} << (tier - 1);
+  return static_cast<std::int64_t>(low + width / 2);
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[bucket_index(value)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  count_++;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile, 1-based; q=0 -> first value, q=1 -> last.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::clamp(bucket_midpoint(i), min_, max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+}  // namespace moonshot::obs

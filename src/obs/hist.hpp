@@ -1,0 +1,54 @@
+// HDR-style log-linear histogram.
+//
+// Values (nanoseconds, but any non-negative 64-bit quantity works) land in
+// one of 64 power-of-two magnitude tiers, each split into 32 linear
+// sub-buckets — ~3% relative resolution across the full range with a fixed
+// 2048-slot footprint and O(1) recording. Quantiles interpolate within the
+// winning bucket.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/time.hpp"
+
+namespace moonshot::obs {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBuckets = 32;
+  static constexpr std::size_t kTiers = 58;  // values up to 2^63 / kSubBuckets
+
+  void record(std::int64_t value);
+  void record(Duration d) { record(d.count()); }
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const { return count_ ? min_ : 0; }
+  std::int64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile `q` in [0, 1]; 0 when empty.
+  std::int64_t percentile(double q) const;
+
+  void merge(const Histogram& other);
+  void clear() { *this = Histogram{}; }
+
+  double mean_ms() const { return mean() / 1e6; }
+  double percentile_ms(double q) const {
+    return static_cast<double>(percentile(q)) / 1e6;
+  }
+
+ private:
+  static std::size_t bucket_index(std::int64_t value);
+  static std::int64_t bucket_midpoint(std::size_t index);
+
+  std::array<std::uint64_t, kTiers * kSubBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace moonshot::obs

@@ -18,19 +18,54 @@ const char* level_name(LogLevel l) {
     default: return "?";
   }
 }
+
+class StderrSink final : public LogSink {
+ public:
+  void write(LogLevel /*level*/, const char* line) override {
+    std::fprintf(stderr, "%s\n", line);
+  }
+};
+
+StderrSink g_stderr_sink;
+LogSink* g_sink = &g_stderr_sink;
+LogClockFn g_clock_fn = nullptr;
+const void* g_clock_ctx = nullptr;
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+void set_log_sink(LogSink* sink) { g_sink = sink ? sink : &g_stderr_sink; }
+LogSink* log_sink() { return g_sink; }
+
+void set_log_clock(LogClockFn fn, const void* ctx) {
+  g_clock_fn = fn;
+  g_clock_ctx = fn ? ctx : nullptr;
+}
+
+void clear_log_clock(const void* ctx) {
+  if (g_clock_ctx == ctx) {
+    g_clock_fn = nullptr;
+    g_clock_ctx = nullptr;
+  }
+}
+
 void log_at(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::fprintf(stderr, "[%s] ", level_name(level));
+  char msg[1024];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(msg, sizeof msg, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+
+  char line[1152];
+  if (g_clock_fn) {
+    const double secs = static_cast<double>(g_clock_fn(g_clock_ctx)) / 1e9;
+    std::snprintf(line, sizeof line, "[%10.6fs] [%s] %s", secs, level_name(level), msg);
+  } else {
+    std::snprintf(line, sizeof line, "[%s] %s", level_name(level), msg);
+  }
+  g_sink->write(level, line);
 }
 
 }  // namespace moonshot

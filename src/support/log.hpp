@@ -2,10 +2,14 @@
 //
 // Protocol code logs through this instead of writing to streams directly so
 // that large simulations can run silently and tests can raise verbosity for
-// a single failing scenario.
+// a single failing scenario. Output goes through a pluggable sink (default:
+// stderr); when a simulated clock is registered (the Experiment registers its
+// scheduler), every line is stamped with simulated time, so log output lines
+// up with trace timestamps.
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace moonshot {
@@ -15,6 +19,29 @@ enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError
 /// Global log threshold; messages below it are discarded. Defaults to kWarn.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives fully formatted log lines (stamp + level + message, no trailing
+/// newline). Implementations must not call back into the logger.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(LogLevel level, const char* line) = 0;
+};
+
+/// Installs a sink; null restores the default stderr sink. The caller keeps
+/// ownership and must outlive its installation.
+void set_log_sink(LogSink* sink);
+LogSink* log_sink();
+
+/// Registers a simulated-time source for line stamps: `fn(ctx)` returns
+/// nanoseconds of simulated time. Plain function pointer + context so the
+/// support layer stays free of upward dependencies (the scheduler lives
+/// above it). Null `fn` unstamps.
+using LogClockFn = std::int64_t (*)(const void* ctx);
+void set_log_clock(LogClockFn fn, const void* ctx);
+/// Clears the clock only if `ctx` is still the registered context — lets an
+/// owner deregister on destruction without clobbering a successor's clock.
+void clear_log_clock(const void* ctx);
 
 /// printf-style logging. Cheap when the level is filtered out.
 void log_at(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));

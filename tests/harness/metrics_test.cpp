@@ -9,6 +9,12 @@ BlockPtr make_block(View v, std::uint64_t payload) {
   return Block::create(v, 1, Block::genesis()->id(), Payload::synthetic(payload, v));
 }
 
+BlockPtr make_block_at(View v, Height h) {
+  return Block::create(v, h, Block::genesis()->id(), Payload::synthetic(0, v));
+}
+
+TimePoint at_ms(std::int64_t ms) { return TimePoint{Duration(milliseconds(ms)).count()}; }
+
 TEST(Metrics, BlockCountsThresholdCommits) {
   MetricsCollector m;
   const auto b1 = make_block(1, 100);
@@ -63,6 +69,72 @@ TEST(Metrics, EmptyRun) {
   const auto s = m.summarize(3, seconds(1));
   EXPECT_EQ(s.committed_blocks, 0u);
   EXPECT_DOUBLE_EQ(s.avg_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.min_block_period_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_block_period_ms, 0.0);
+}
+
+TEST(Metrics, P99LatencyIsTailRank) {
+  MetricsCollector m;
+  // 100 blocks with latencies 1..100 ms: p50 = 51, p99 = 100.
+  for (View v = 1; v <= 100; ++v) {
+    const auto b = make_block(v, 0);
+    m.on_created(b, TimePoint{0});
+    m.on_committed(0, b, at_ms(static_cast<std::int64_t>(v)));
+  }
+  const auto s = m.summarize(1, seconds(1));
+  EXPECT_DOUBLE_EQ(s.p50_latency_ms, 51.0);
+  EXPECT_DOUBLE_EQ(s.p99_latency_ms, 100.0);
+}
+
+TEST(Metrics, P99SingleSampleClamps) {
+  MetricsCollector m;
+  const auto b = make_block(1, 0);
+  m.on_created(b, TimePoint{0});
+  m.on_committed(0, b, at_ms(42));
+  const auto s = m.summarize(1, seconds(1));
+  EXPECT_DOUBLE_EQ(s.p99_latency_ms, 42.0);
+}
+
+TEST(Metrics, BlockPeriodMinMax) {
+  MetricsCollector m;
+  // Heights 1, 2, 3 created at 0, 100, 350 ms: periods 100 and 250.
+  const Height heights[] = {1, 2, 3};
+  const std::int64_t created[] = {0, 100, 350};
+  for (int i = 0; i < 3; ++i) {
+    const auto b = make_block_at(static_cast<View>(i + 1), heights[i]);
+    m.on_created(b, at_ms(created[i]));
+    m.on_committed(0, b, at_ms(created[i] + 300));
+  }
+  const auto s = m.summarize(1, seconds(1));
+  EXPECT_DOUBLE_EQ(s.min_block_period_ms, 100.0);
+  EXPECT_DOUBLE_EQ(s.max_block_period_ms, 250.0);
+}
+
+TEST(Metrics, BlockPeriodSkipsHeightGaps) {
+  MetricsCollector m;
+  // Heights 1, 2, 4: only the 1->2 pair is a valid period sample; the 2->4
+  // gap (a missing threshold commit at height 3) must not contribute.
+  const Height heights[] = {1, 2, 4};
+  const std::int64_t created[] = {0, 100, 900};
+  for (int i = 0; i < 3; ++i) {
+    const auto b = make_block_at(static_cast<View>(i + 1), heights[i]);
+    m.on_created(b, at_ms(created[i]));
+    m.on_committed(0, b, at_ms(created[i] + 300));
+  }
+  const auto s = m.summarize(1, seconds(1));
+  EXPECT_DOUBLE_EQ(s.min_block_period_ms, 100.0);
+  EXPECT_DOUBLE_EQ(s.max_block_period_ms, 100.0);
+}
+
+TEST(Metrics, BlockPeriodNeedsTwoCommittedHeights) {
+  MetricsCollector m;
+  const auto b = make_block_at(1, 1);
+  m.on_created(b, TimePoint{0});
+  m.on_committed(0, b, at_ms(300));
+  const auto s = m.summarize(1, seconds(1));
+  EXPECT_DOUBLE_EQ(s.min_block_period_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_block_period_ms, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+#include "obs/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "obs/trace.hpp"
+
+namespace moonshot {
+namespace {
+
+obs::Event make_event(std::int64_t t_ms, NodeId node, obs::EventKind kind, View view,
+                      std::uint64_t a = 0) {
+  obs::Event e;
+  e.t = TimePoint{Duration(milliseconds(t_ms)).count()};
+  e.node = node;
+  e.kind = kind;
+  e.view = view;
+  e.a = a;
+  return e;
+}
+
+TEST(Decompose, SyntheticFourStampBlock) {
+  // View 1: proposed by node 1 at 0, node 0 votes at 100, certifies at 200,
+  // commits at 300. View 2's proposal at 100 gives one ω sample of 100 ms.
+  std::vector<obs::Event> events = {
+      make_event(0, 1, obs::EventKind::kProposalSent, 1, /*height=*/1),
+      make_event(100, 0, obs::EventKind::kVoteCast, 1),
+      make_event(100, 2, obs::EventKind::kOptProposalSent, 2, /*height=*/2),
+      make_event(200, 0, obs::EventKind::kQcFormed, 1),
+      make_event(300, 0, obs::EventKind::kCommit, 1, /*height=*/1),
+  };
+  const auto d = obs::decompose(events, /*observer=*/0);
+
+  ASSERT_EQ(d.blocks.size(), 1u);
+  const auto& b = d.blocks[0];
+  EXPECT_TRUE(b.complete);
+  EXPECT_EQ(b.view, 1u);
+  EXPECT_EQ(b.height, 1u);
+  EXPECT_EQ(to_ms(b.prop_to_vote()), 100.0);
+  EXPECT_EQ(to_ms(b.vote_to_cert()), 100.0);
+  EXPECT_EQ(to_ms(b.cert_to_commit()), 100.0);
+  EXPECT_EQ(to_ms(b.total()), 300.0);
+
+  EXPECT_EQ(d.period.count(), 1u);
+  EXPECT_NEAR(d.period.mean_ms(), 100.0, 1e-9);
+  EXPECT_EQ(d.latency.count(), 1u);
+  EXPECT_NEAR(d.latency.mean_ms(), 300.0, 1e-9);
+}
+
+TEST(Decompose, MissingVoteLeavesBlockIncomplete) {
+  std::vector<obs::Event> events = {
+      make_event(0, 1, obs::EventKind::kProposalSent, 1, 1),
+      make_event(200, 0, obs::EventKind::kQcFormed, 1),
+      make_event(300, 0, obs::EventKind::kCommit, 1, 1),
+  };
+  const auto d = obs::decompose(events, 0);
+  ASSERT_EQ(d.blocks.size(), 1u);
+  EXPECT_FALSE(d.blocks[0].complete);
+  EXPECT_EQ(d.latency.count(), 0u);  // incomplete blocks don't feed the histograms
+}
+
+TEST(Decompose, PeriodSkipsNonAdjacentViews) {
+  // Views 1 and 3 propose; view 2 never does (timed out). No ω sample may
+  // span the gap.
+  std::vector<obs::Event> events = {
+      make_event(0, 1, obs::EventKind::kProposalSent, 1, 1),
+      make_event(900, 3, obs::EventKind::kProposalSent, 3, 2),
+  };
+  const auto d = obs::decompose(events, 0);
+  EXPECT_EQ(d.period.count(), 0u);
+}
+
+TEST(Decompose, OtherObserversEventsAreIgnored) {
+  // Node 2's stamps must not contribute when observing node 0.
+  std::vector<obs::Event> events = {
+      make_event(0, 1, obs::EventKind::kProposalSent, 1, 1),
+      make_event(50, 2, obs::EventKind::kVoteCast, 1),
+      make_event(90, 2, obs::EventKind::kQcFormed, 1),
+      make_event(120, 2, obs::EventKind::kCommit, 1, 1),
+  };
+  const auto d = obs::decompose(events, 0);
+  EXPECT_TRUE(d.blocks.empty());
+}
+
+// The headline acceptance check: a traced Pipelined Moonshot happy path on a
+// uniform jitter-free network shows the paper's constants — block period
+// ω ≈ δ (optimistic proposals, §IV) and commit latency λ ≈ 3δ (§III).
+TEST(Decompose, PipelinedMoonshotShowsPaperConstants) {
+  constexpr auto kDelta = milliseconds(100);  // one-way network delay
+  obs::Tracer tracer(4);
+
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kPipelinedMoonshot;
+  cfg.n = 4;
+  cfg.delta = milliseconds(500);  // pacemaker bound; generous vs real δ
+  cfg.duration = seconds(10);
+  cfg.seed = 7;
+  cfg.net.matrix = net::LatencyMatrix::uniform(kDelta, 1);
+  cfg.net.regions_used = 1;
+  cfg.net.jitter = 0.0;
+  cfg.net.proc_base = Duration(0);
+  cfg.net.proc_sig = Duration(0);
+  cfg.net.proc_cert = Duration(0);
+  cfg.net.proc_per_kb = Duration(0);
+  cfg.net.adversarial_before_gst = false;
+  cfg.tracer = &tracer;
+
+  const auto r = run_experiment(cfg);
+  ASSERT_TRUE(r.logs_consistent);
+  ASSERT_GT(r.summary.committed_blocks, 20u);
+
+  const auto d = obs::decompose(tracer.merged(), /*observer=*/0);
+  ASSERT_GT(d.blocks.size(), 20u);
+  std::size_t complete = 0;
+  for (const auto& b : d.blocks) complete += b.complete ? 1 : 0;
+  // Every committed block decomposes fully (modulo the tail still in flight).
+  EXPECT_GE(complete + 3, d.blocks.size());
+
+  const double delta_ms = to_ms(kDelta);
+  EXPECT_NEAR(d.period.mean_ms() / delta_ms, 1.0, 0.15);   // ω ≈ 1δ
+  EXPECT_NEAR(d.latency.mean_ms() / delta_ms, 3.0, 0.30);  // λ ≈ 3δ
+  EXPECT_NEAR(d.prop_to_vote.mean_ms() / delta_ms, 1.0, 0.20);
+  EXPECT_NEAR(d.vote_to_cert.mean_ms() / delta_ms, 1.0, 0.20);
+  EXPECT_NEAR(d.cert_to_commit.mean_ms() / delta_ms, 1.0, 0.20);
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,96 @@
+#include "obs/hist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moonshot {
+namespace {
+
+TEST(Histogram, EmptyIsAllZero) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  obs::Histogram h;
+  h.record(std::int64_t{1234});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_DOUBLE_EQ(h.mean(), 1234.0);
+  EXPECT_EQ(h.percentile(0.0), 1234);
+  EXPECT_EQ(h.percentile(1.0), 1234);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Tier 0 (values < 32) has one slot per value: quantiles are exact.
+  obs::Histogram h;
+  for (std::int64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(0.5), 15);
+  EXPECT_EQ(h.percentile(1.0), 31);
+}
+
+TEST(Histogram, QuantilesWithinRelativeResolution) {
+  obs::Histogram h;
+  for (std::int64_t v = 1; v <= 100000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100000u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100000);
+  EXPECT_NEAR(h.mean(), 50000.5, 1e-6);  // sum/count: exact
+  // Log-linear buckets guarantee ~3% relative error; allow 5%.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.50)), 50000.0, 2500.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.99)), 99000.0, 5000.0);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  obs::Histogram h;
+  h.record(std::int64_t{-5});
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(Histogram, DurationOverloadRecordsNanoseconds) {
+  obs::Histogram h;
+  h.record(milliseconds(3));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 3000000);
+  EXPECT_NEAR(h.mean_ms(), 3.0, 1e-9);
+  EXPECT_NEAR(h.percentile_ms(0.5), 3.0, 0.15);  // within bucket resolution
+}
+
+TEST(Histogram, MergeCombinesCountsAndBounds) {
+  obs::Histogram a, b;
+  for (std::int64_t v = 1; v <= 100; ++v) a.record(v);
+  for (std::int64_t v = 1000; v <= 1100; ++v) b.record(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 201u);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 1100);
+  // Upper half of the merged distribution comes from b.
+  EXPECT_GT(a.percentile(0.9), 900);
+
+  obs::Histogram empty;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 201u);
+
+  obs::Histogram into;
+  into.merge(a);  // merge into empty adopts bounds
+  EXPECT_EQ(into.count(), 201u);
+  EXPECT_EQ(into.min(), 1);
+  EXPECT_EQ(into.max(), 1100);
+}
+
+TEST(Histogram, ClearResets) {
+  obs::Histogram h;
+  h.record(std::int64_t{77});
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+}  // namespace
+}  // namespace moonshot

@@ -1,0 +1,112 @@
+// Golden-file test for the JSONL trace export: a tiny deterministic 4-node
+// Pipelined Moonshot run must serialize byte-for-byte identically across
+// machines and commits. A drift here means either the exporter format or the
+// traced event stream changed — both are contract changes (DESIGN.md §5.2)
+// and the golden file must be regenerated deliberately:
+//
+//   MOONSHOT_UPDATE_GOLDEN=1 ./build/tests/test_obs --gtest_filter=TraceGolden.*
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace moonshot {
+namespace {
+
+#ifndef MOONSHOT_OBS_TEST_DIR
+#error "MOONSHOT_OBS_TEST_DIR must point at tests/obs (set in tests/CMakeLists.txt)"
+#endif
+
+constexpr const char* kGoldenPath = MOONSHOT_OBS_TEST_DIR "/golden/trace_pm_n4.jsonl";
+constexpr std::size_t kGoldenEvents = 256;  // enough for several full views
+
+std::string render_trace() {
+  obs::Tracer tracer(4);
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kPipelinedMoonshot;
+  cfg.n = 4;
+  cfg.delta = milliseconds(200);
+  cfg.duration = milliseconds(600);
+  cfg.seed = 1;
+  cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(50), 1);
+  cfg.net.regions_used = 1;
+  cfg.net.jitter = 0.0;
+  cfg.net.adversarial_before_gst = false;
+  cfg.tracer = &tracer;
+  run_experiment(cfg);
+
+  auto events = tracer.merged();
+  if (events.size() > kGoldenEvents) events.resize(kGoldenEvents);
+  return obs::to_jsonl(events);
+}
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(TraceGolden, JsonlMatchesCheckedInTrace) {
+  const std::string got = render_trace();
+  ASSERT_FALSE(got.empty());
+
+  if (std::getenv("MOONSHOT_UPDATE_GOLDEN")) {
+    std::FILE* f = std::fopen(kGoldenPath, "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << kGoldenPath;
+    std::fwrite(got.data(), 1, got.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "golden file regenerated at " << kGoldenPath;
+  }
+
+  const std::string want = read_file(kGoldenPath);
+  ASSERT_FALSE(want.empty()) << "missing golden file " << kGoldenPath
+                             << " — regenerate with MOONSHOT_UPDATE_GOLDEN=1";
+  if (got != want) {
+    // Locate the first differing line for a readable failure.
+    std::size_t line = 1, i = 0;
+    const std::size_t limit = std::min(got.size(), want.size());
+    while (i < limit && got[i] == want[i]) {
+      if (got[i] == '\n') ++line;
+      ++i;
+    }
+    FAIL() << "trace JSONL drifted from golden at line " << line
+           << " (byte " << i << "); if the change is intentional, regenerate with "
+           << "MOONSHOT_UPDATE_GOLDEN=1";
+  }
+}
+
+TEST(TraceGolden, JsonlLinesAreWellFormed) {
+  // Structural checks that hold regardless of the golden content: one object
+  // per line, fixed key order, environment events flagged with node = -1.
+  const std::string got = render_trace();
+  std::size_t start = 0, lines = 0;
+  bool saw_env = false;
+  while (start < got.size()) {
+    std::size_t end = got.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "unterminated final line";
+    const std::string line = got.substr(start, end - start);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find("{\"t\":"), 0u);
+    EXPECT_NE(line.find("\"kind\":\""), std::string::npos);
+    if (line.find("\"node\":-1") != std::string::npos) saw_env = true;
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, kGoldenEvents);
+  EXPECT_TRUE(saw_env);  // the sched_queue sampler guarantees env events
+}
+
+}  // namespace
+}  // namespace moonshot
