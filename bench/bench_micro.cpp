@@ -16,6 +16,7 @@
 #include "sim/scheduler.hpp"
 #include "types/certs.hpp"
 #include "types/messages.hpp"
+#include "wal/wal.hpp"
 
 namespace {
 using namespace moonshot;
@@ -198,6 +199,76 @@ void BM_TracerHookNull(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TracerHookNull);
+
+// WAL hot paths (DESIGN.md §5.3): the persist-before-send gate every vote
+// takes, the recovery scan, and snapshot compaction. These bound the cost
+// the durability layer adds to simulated runs (the modelled fsync latency is
+// simulated time, not wall time — what these measure is the bookkeeping).
+wal::Wal make_filled_wal(sim::Scheduler& sched, std::size_t views) {
+  wal::Wal log(0, &sched, 1);
+  const auto gen = ValidatorSet::generate(4, crypto::fast_scheme(), 1);
+  BlockPtr parent = Block::genesis();
+  for (std::size_t v = 1; v <= views; ++v) {
+    const View view = static_cast<View>(v);
+    const BlockPtr b =
+        Block::create(view, view, parent->id(), Payload::synthetic(256, view));
+    log.append_block(*b);
+    log.record_vote(VoteKind::kNormal, view, b->id());
+    std::vector<Vote> votes;
+    for (NodeId i = 0; i < gen.set->quorum_size(); ++i)
+      votes.push_back(Vote::make(VoteKind::kNormal, view, b->id(), i, gen.private_keys[i],
+                                 gen.set->scheme()));
+    log.append_qc(*QuorumCert::assemble(votes, view, *gen.set));
+    if (v >= 2) log.append_commit(*parent);
+    parent = b;
+  }
+  log.sync();
+  return log;
+}
+
+void BM_WalAppendVote(benchmark::State& state) {
+  // record_vote = admission check + framed append + sync: the full
+  // persist-before-send gate on the vote path.
+  sim::Scheduler sched;
+  wal::Wal log(0, &sched, 1);
+  const BlockId id = Block::genesis()->id();
+  View v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.record_vote(VoteKind::kNormal, ++v, id));
+    if (log.size() > (32u << 20)) log.wipe();  // bound memory, keep views rising
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WalAppendVote);
+
+void BM_WalReplay(benchmark::State& state) {
+  // Corruption-tolerant scan + state reconstruction over `range(0)` views
+  // (each contributing a block, a vote, a certificate and a commit record).
+  sim::Scheduler sched;
+  wal::Wal log = make_filled_wal(sched, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const wal::RecoveredState rs = log.replay();
+    benchmark::DoNotOptimize(rs.blocks.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log.size()));
+}
+BENCHMARK(BM_WalReplay)->Arg(64)->Arg(512);
+
+void BM_WalSnapshot(benchmark::State& state) {
+  // Full compaction: scan + snapshot serialization + log rewrite.
+  sim::Scheduler sched;
+  wal::Wal log = make_filled_wal(sched, static_cast<std::size_t>(state.range(0)));
+  const Bytes saved = log.data();
+  for (auto _ : state) {
+    log.data_mutable() = saved;  // restore the un-compacted log
+    log.compact();
+    benchmark::DoNotOptimize(log.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(saved.size()));
+}
+BENCHMARK(BM_WalSnapshot)->Arg(64)->Arg(512);
 
 }  // namespace
 

@@ -39,6 +39,12 @@ struct Options {
   std::string schedule;  // replay mode when non-empty
   bool smoke = false;
   bool inject_bug = false;
+  /// Default recovery mode for crash events without an m= key.
+  RecoveryMode recovery = RecoveryMode::kInMemory;
+  /// Bias generation toward several crash windows per schedule.
+  bool crash_heavy = false;
+  /// Modelled fsync base latency (µs); nonzero implies the WAL is enabled.
+  std::int64_t fsync_us = 0;
 };
 
 [[noreturn]] void usage_error(const char* what) {
@@ -47,7 +53,8 @@ struct Options {
                "usage: chaos_fuzz [--protocol sm|pm|cm|j|hs] [--seed N] [--runs N]\n"
                "                  [--n N] [--duration-ms N] [--delta-ms N]\n"
                "                  [--max-events N] [--schedule STR] [--smoke]\n"
-               "                  [--inject-bug]\n");
+               "                  [--inject-bug] [--recovery in-memory|amnesia|durable]\n"
+               "                  [--crash-heavy] [--fsync-us N]\n");
   std::exit(2);
 }
 
@@ -100,6 +107,14 @@ Options parse_args(int argc, char** argv) {
       opt.smoke = true;
     } else if (arg == "--inject-bug") {
       opt.inject_bug = true;
+    } else if (arg == "--recovery") {
+      const auto mode = parse_recovery_mode(value());
+      if (!mode) usage_error("unknown recovery mode");
+      opt.recovery = *mode;
+    } else if (arg == "--crash-heavy") {
+      opt.crash_heavy = true;
+    } else if (arg == "--fsync-us") {
+      opt.fsync_us = std::strtoll(value().c_str(), nullptr, 10);
     } else {
       usage_error(("unknown argument: " + arg).c_str());
     }
@@ -117,6 +132,11 @@ ChaosRunConfig make_run_config(const Options& opt, std::uint64_t seed,
   cfg.seed = seed;
   cfg.schedule = std::move(schedule);
   cfg.inject_bug = opt.inject_bug;
+  cfg.recovery = opt.recovery;
+  if (opt.fsync_us > 0) {
+    cfg.enable_wal = true;
+    cfg.wal.fsync_base = microseconds(opt.fsync_us);
+  }
   return cfg;
 }
 
@@ -127,15 +147,23 @@ GenerateOptions make_gen_options(const Options& opt) {
   gen.duration = milliseconds(opt.duration_ms);
   gen.stable_tail = milliseconds(std::min<std::int64_t>(opt.duration_ms / 2, 4000));
   gen.max_events = opt.max_events;
+  gen.crash_heavy = opt.crash_heavy;
   return gen;
 }
 
 void print_reproducer(const Options& opt, std::uint64_t seed, const FaultSchedule& schedule) {
+  std::string extras;
+  if (opt.inject_bug) extras += " --inject-bug";
+  if (opt.recovery != RecoveryMode::kInMemory) {
+    extras += " --recovery ";
+    extras += recovery_mode_name(opt.recovery);
+  }
+  if (opt.fsync_us > 0) extras += " --fsync-us " + std::to_string(opt.fsync_us);
   std::printf("  chaos_fuzz --protocol %s --seed %llu --n %zu --duration-ms %lld"
               " --delta-ms %lld%s --schedule \"%s\"\n",
               cli_tag(opt.protocol), static_cast<unsigned long long>(seed), opt.n,
               static_cast<long long>(opt.duration_ms), static_cast<long long>(opt.delta_ms),
-              opt.inject_bug ? " --inject-bug" : "", schedule.to_string().c_str());
+              extras.c_str(), schedule.to_string().c_str());
 }
 
 int replay(const Options& opt) {

@@ -46,7 +46,9 @@ FaultSchedule generate_schedule(const GenerateOptions& opt, std::uint64_t seed) 
   const std::size_t count =
       static_cast<std::size_t>(prng.next_range(static_cast<std::int64_t>(opt.min_events),
                                                static_cast<std::int64_t>(opt.max_events)));
-  bool crash_used = false;
+  // The crash-heavy path appends its own crash windows below; the generic
+  // loop then only draws network faults.
+  bool crash_used = opt.crash_heavy;
   for (std::size_t i = 0; i < count; ++i) {
     FaultEvent ev;
     pick_window(prng, opt, ev);
@@ -92,6 +94,7 @@ FaultSchedule generate_schedule(const GenerateOptions& opt, std::uint64_t seed) 
         break;
       case 6: {
         ev.type = FaultType::kCrash;
+        ev.crash_mode = opt.crash_mode;
         crash_used = true;
         const std::size_t picks = 1 + prng.next_below(opt.crash_pool);
         for (std::size_t p = 0; p < picks; ++p) {
@@ -105,6 +108,36 @@ FaultSchedule generate_schedule(const GenerateOptions& opt, std::uint64_t seed) 
     }
     schedule.events.push_back(std::move(ev));
   }
+
+  // Crash-heavy: carve the pre-tail horizon into one segment per crash so
+  // the windows never overlap (a crash landing on an already-down node would
+  // otherwise pair with a double recovery).
+  if (opt.crash_heavy && opt.crash_pool > 0) {
+    const std::int64_t horizon_ms = ms_of(opt.duration) - ms_of(opt.stable_tail);
+    const std::size_t max_crashes =
+        std::max<std::size_t>(1, std::min<std::size_t>(4, static_cast<std::size_t>(horizon_ms / 400)));
+    const std::size_t crashes = max_crashes == 1 ? 1 : 1 + prng.next_below(max_crashes);
+    const std::int64_t seg = horizon_ms / static_cast<std::int64_t>(crashes);
+    for (std::size_t c = 0; c < crashes; ++c) {
+      FaultEvent ev;
+      ev.type = FaultType::kCrash;
+      ev.crash_mode = opt.crash_mode;
+      const std::int64_t lo = static_cast<std::int64_t>(c) * seg;
+      const std::int64_t start_ms = prng.next_range(lo, lo + seg - 150);
+      const std::int64_t end_ms = prng.next_range(start_ms + 100, lo + seg - 1);
+      ev.start = TimePoint{start_ms * 1'000'000};
+      ev.end = TimePoint{end_ms * 1'000'000};
+      const std::size_t picks = 1 + prng.next_below(opt.crash_pool);
+      for (std::size_t p = 0; p < picks; ++p) {
+        const NodeId id = static_cast<NodeId>(prng.next_below(opt.crash_pool));
+        if (std::find(ev.nodes.begin(), ev.nodes.end(), id) == ev.nodes.end())
+          ev.nodes.push_back(id);
+      }
+      std::sort(ev.nodes.begin(), ev.nodes.end());
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
   // Stable event order by start time keeps the printed schedule readable;
   // arm() preserves this order for same-time activations.
   std::stable_sort(schedule.events.begin(), schedule.events.end(),

@@ -30,6 +30,12 @@ struct GenerateOptions {
   std::size_t max_events = 6;
   /// Largest delay spike / burst, ms granularity.
   Duration max_delay = milliseconds(400);
+  /// Recovery mode stamped on generated crash events (kDefault = use the
+  /// runner's configured mode, printed without an m= key).
+  CrashMode crash_mode = CrashMode::kDefault;
+  /// Crash-heavy bias: several non-overlapping crash windows per schedule
+  /// (plus the usual background faults) instead of at most one.
+  bool crash_heavy = false;
 };
 
 FaultSchedule generate_schedule(const GenerateOptions& opt, std::uint64_t seed);

@@ -75,6 +75,11 @@ ChaosReport run_chaos(const ChaosRunConfig& cfg) {
   ecfg.duration = cfg.duration;
   ecfg.seed = cfg.seed;
   ecfg.tracer = cfg.tracer;
+  ecfg.net = cfg.net;
+  ecfg.recovery = cfg.recovery;
+  ecfg.wal = cfg.wal;
+  ecfg.enable_wal = cfg.enable_wal || cfg.recovery == RecoveryMode::kDurable ||
+                    cfg.schedule.wants_wal();
 
   Experiment e(ecfg);
   ConformanceChecker checker = make_conformance_checker(e, cfg.schedule.crash_targets());

@@ -42,6 +42,16 @@ struct ChaosRunConfig {
   /// the tracer's event digest is folded into the report digest, so replay
   /// verification covers the trace stream too.
   obs::Tracer* tracer = nullptr;
+  /// Default recovery mode for crash events without an explicit `m=` key.
+  RecoveryMode recovery = RecoveryMode::kInMemory;
+  /// Give honest nodes a WAL. Auto-enabled when the default recovery mode is
+  /// durable or any schedule event carries m=durable.
+  bool enable_wal = false;
+  /// Fsync model / compaction threshold for the per-node WALs.
+  wal::WalOptions wal;
+  /// Network model override (latency matrix, drops, GST). Seed and delta are
+  /// stamped in by the experiment.
+  net::NetworkConfig net;
 };
 
 struct ChaosReport {

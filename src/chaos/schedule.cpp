@@ -7,6 +7,15 @@
 
 namespace moonshot::chaos {
 
+const char* crash_mode_tag(CrashMode m) {
+  switch (m) {
+    case CrashMode::kDefault: return "default";
+    case CrashMode::kDurable: return "durable";
+    case CrashMode::kAmnesia: return "amnesia";
+  }
+  return "?";
+}
+
 const char* fault_type_tag(FaultType t) {
   switch (t) {
     case FaultType::kPartition: return "part";
@@ -72,6 +81,8 @@ std::string FaultEvent::to_string() const {
         if (i) os << ',';
         os << nodes[i];
       }
+      // kDefault is never printed: pre-WAL schedule strings round-trip as-is.
+      if (crash_mode != CrashMode::kDefault) os << ";m=" << crash_mode_tag(crash_mode);
       break;
     case FaultType::kBurst:
       os << ";d=" << delay.count() / 1'000'000;
@@ -96,6 +107,13 @@ std::vector<NodeId> FaultSchedule::crash_targets() const {
     }
   }
   return out;
+}
+
+bool FaultSchedule::wants_wal() const {
+  for (const FaultEvent& e : events) {
+    if (e.type == FaultType::kCrash && e.crash_mode == CrashMode::kDurable) return true;
+  }
+  return false;
 }
 
 std::string FaultSchedule::to_string() const {
@@ -195,6 +213,13 @@ bool parse_kv(std::string_view param, FaultEvent& ev) {
   }
   if (kv[0] == "links") return parse_links(kv[1], ev.links);
   if (kv[0] == "n") return parse_node_list(kv[1], ev.nodes);
+  if (kv[0] == "m") {
+    if (ev.type != FaultType::kCrash) return false;
+    if (kv[1] == "durable") ev.crash_mode = CrashMode::kDurable;
+    else if (kv[1] == "amnesia") ev.crash_mode = CrashMode::kAmnesia;
+    else return false;
+    return true;
+  }
   return false;
 }
 

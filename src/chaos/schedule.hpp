@@ -10,6 +10,8 @@
 //   dup(0-2000;p=20)                 probabilistic duplication (all links)
 //   delay(0-2000;d=200;p=100)        per-link delay spike of d ms
 //   crash(200-1500;n=2)              crash node 2 at 200ms, rebuild at 1500ms
+//   crash(200-1500;n=2;m=durable)    same, but recover by replaying the WAL
+//   crash(200-1500;n=2;m=amnesia)    same, but the disk is lost too
 //   burst(0-1000;d=300)              adversarial delay burst on all traffic
 //
 // Times are milliseconds from simulation start; events are ';'-separated.
@@ -40,6 +42,16 @@ enum class FaultType {
 };
 const char* fault_type_tag(FaultType t);
 
+/// Per-event recovery mode for kCrash (grammar key `m=`). kDefault defers to
+/// the run configuration and is never printed, so schedules without the key
+/// round-trip byte-for-byte.
+enum class CrashMode {
+  kDefault,  // use the run's configured RecoveryMode
+  kDurable,  // replay the node's WAL (m=durable)
+  kAmnesia,  // disk lost: wipe the WAL, cold start (m=amnesia)
+};
+const char* crash_mode_tag(CrashMode m);
+
 struct FaultEvent {
   FaultType type = FaultType::kPartition;
   /// Active window [start, end): the fault arms at `start` and heals at
@@ -51,6 +63,7 @@ struct FaultEvent {
   std::vector<NodeId> nodes;                // kCrash
   int percent = 100;                        // trigger probability, 0..100
   Duration delay = Duration(0);             // kDelay / kBurst spike size
+  CrashMode crash_mode = CrashMode::kDefault;  // kCrash recovery mode
 
   std::string to_string() const;
 };
@@ -64,6 +77,9 @@ struct FaultSchedule {
   TimePoint last_heal() const;
   /// Node ids named by crash events (recovery-exempt for conformance).
   std::vector<NodeId> crash_targets() const;
+  /// True when any crash event requests durable (WAL) recovery, so runners
+  /// can auto-enable the write-ahead log.
+  bool wants_wal() const;
 
   std::string to_string() const;
   static std::optional<FaultSchedule> parse(std::string_view text);

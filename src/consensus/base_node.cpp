@@ -4,6 +4,7 @@
 
 #include "support/assert.hpp"
 #include "support/hex.hpp"
+#include "wal/wal.hpp"
 
 namespace moonshot {
 
@@ -33,15 +34,74 @@ void BaseNode::restore(const BlockStore& store, const std::vector<BlockPtr>& com
   if (resume_view > 0) view_ = resume_view;
 }
 
-Vote BaseNode::make_vote(VoteKind kind, View view, const BlockId& block) const {
+void BaseNode::restore_from_wal(const wal::RecoveredState& state) {
+  MOONSHOT_INVARIANT(view_ == 0, "restore must precede start()");
+  wal_restoring_ = true;
+  for (const BlockPtr& b : state.blocks) store_.add(b);
+  const TimePoint now = ctx_.sched->now();
+  for (const BlockPtr& b : state.committed) commit_log_.commit(b, now);
+  // Re-seed the certificate table so the commit rule bridges the crash: a
+  // certificate arriving after recovery may complete a chain whose older
+  // half is only in the log. Commits the log had not yet recorded (lazy
+  // appends lost in the crash) re-derive here from the replayed
+  // certificates.
+  for (const QcPtr& qc : state.certificates) record_qc_and_try_commit(qc);
+  wal_restoring_ = false;
+  // Commits the certificate replay just derived beyond the durable prefix
+  // are *new* decisions (their appends were suppressed above): log them now,
+  // or the next replay would see a gap in the commit records.
+  if (ctx_.wal) {
+    const auto& committed_now = commit_log_.blocks();
+    for (std::size_t i = state.committed.size(); i < committed_now.size(); ++i)
+      ctx_.wal->append_commit(*committed_now[i]);
+  }
+  if (state.resume_view > view_) view_ = state.resume_view;
+  on_wal_restored(state);
+}
+
+void BaseNode::multicast(MessagePtr m) {
+  if (halted_) return;
+  if (ctx_.wal && ctx_.wal->busy_until() > ctx_.sched->now()) {
+    // The message is gated behind an in-flight fsync: deliver it to the
+    // network the moment the sync completes. Scheduler order is stable for
+    // equal times, so send order is preserved deterministically.
+    ctx_.sched->schedule_at(ctx_.wal->busy_until(), [this, m = std::move(m)] {
+      if (!halted_) ctx_.network->multicast(ctx_.id, m);
+    });
+    return;
+  }
+  ctx_.network->multicast(ctx_.id, std::move(m));
+}
+
+void BaseNode::unicast(NodeId to, MessagePtr m) {
+  if (halted_) return;
+  if (ctx_.wal && ctx_.wal->busy_until() > ctx_.sched->now()) {
+    ctx_.sched->schedule_at(ctx_.wal->busy_until(), [this, to, m = std::move(m)] {
+      if (!halted_) ctx_.network->unicast(ctx_.id, to, m);
+    });
+    return;
+  }
+  ctx_.network->unicast(ctx_.id, to, std::move(m));
+}
+
+std::optional<Vote> BaseNode::make_vote(VoteKind kind, View view, const BlockId& block) {
   // Every vote this replica casts flows through here (all five protocols),
-  // making it the one natural kVoteCast hook point.
+  // making it the one natural place for both the kVoteCast hook and the
+  // WAL's persist-before-send gate.
+  if (ctx_.wal && !ctx_.wal->record_vote(kind, view, block)) {
+    // Durable state says we already voted differently here — the classic
+    // post-recovery double vote the WAL exists to prevent.
+    LOG_WARN("node %u: WAL refuses %s vote for view %llu (durably voted)", ctx_.id,
+             vote_kind_name(kind), static_cast<unsigned long long>(view));
+    return std::nullopt;
+  }
   trace(obs::EventKind::kVoteCast, view, static_cast<std::uint64_t>(kind),
         obs::id_prefix(block));
   return Vote::make(kind, view, block, ctx_.id, ctx_.priv, ctx_.validators->scheme());
 }
 
-TimeoutMsg BaseNode::make_timeout(View view, QcPtr lock) const {
+TimeoutMsg BaseNode::make_timeout(View view, QcPtr lock) {
+  if (ctx_.wal) ctx_.wal->record_timeout(view);
   return TimeoutMsg::make(view, ctx_.id, std::move(lock), ctx_.priv,
                           ctx_.validators->scheme());
 }
@@ -61,6 +121,9 @@ void BaseNode::record_qc_and_try_commit(const QcPtr& qc) {
   if (inserted) {
     trace(obs::EventKind::kQcFormed, qc->view, obs::id_prefix(qc->block),
           static_cast<std::uint64_t>(qc->kind));
+    // Lazy append (no sync): a lost certificate record is re-derivable, so
+    // durability rides on the next vote/timeout sync.
+    if (ctx_.wal && !wal_restoring_) ctx_.wal->append_qc(*qc);
   }
   if (!inserted) {
     if (it->second->block != qc->block) {
@@ -137,12 +200,19 @@ void BaseNode::commit_chain_by_id(const BlockId& target_id) {
     commit_log_.commit(*rit, now);
     trace(obs::EventKind::kCommit, (*rit)->view(), (*rit)->height(),
           (*rit)->payload().wire_size());
+    // Lazy append; commits are re-derivable from the logged certificates.
+    // append_commit also drives snapshot + compaction.
+    if (ctx_.wal && !wal_restoring_) ctx_.wal->append_commit(**rit);
   }
 }
 
 bool BaseNode::store_block(const BlockPtr& block) {
   if (!block) return false;
   if (!store_.add(block)) return false;
+
+  // Log every new block body before anything that references it (votes,
+  // certificates, commits): replay relies on this prefix order.
+  if (ctx_.wal && !wal_restoring_) ctx_.wal->append_block(*block);
 
   // Retry deferred commits now that a new body exists.
   if (!pending_commit_targets_.empty()) {

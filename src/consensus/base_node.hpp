@@ -39,6 +39,11 @@ class BaseNode : public IConsensusNode {
   void restore(const BlockStore& store, const std::vector<BlockPtr>& committed,
                View resume_view) override;
 
+  /// Rebuilds ledger state *and* durable voting state from a replayed WAL;
+  /// must precede start(). Subclasses pick up their vote/timeout guards via
+  /// on_wal_restored().
+  void restore_from_wal(const wal::RecoveredState& state) override;
+
   NodeId id() const { return ctx_.id; }
 
  protected:
@@ -49,14 +54,11 @@ class BaseNode : public IConsensusNode {
   const ValidatorSet& validators() const { return *ctx_.validators; }
 
   // --- sending ---------------------------------------------------------------
-  void multicast(MessagePtr m) {
-    if (halted_) return;
-    ctx_.network->multicast(ctx_.id, std::move(m));
-  }
-  void unicast(NodeId to, MessagePtr m) {
-    if (halted_) return;
-    ctx_.network->unicast(ctx_.id, to, std::move(m));
-  }
+  /// Sends defer until the WAL's modelled fsync completes (persist-before-
+  /// send: a vote must not reach the wire before the decision is durable).
+  /// With no WAL, or a free fsync model, these send immediately.
+  void multicast(MessagePtr m);
+  void unicast(NodeId to, MessagePtr m);
   bool halted() const { return halted_; }
 
   // --- tracing ---------------------------------------------------------------
@@ -67,9 +69,19 @@ class BaseNode : public IConsensusNode {
     if (ctx_.tracer) ctx_.tracer->record(ctx_.id, kind, view, a, b, c);
   }
 
-  /// Creates, records (for the accumulator) and multicasts a vote.
-  Vote make_vote(VoteKind kind, View view, const BlockId& block) const;
-  TimeoutMsg make_timeout(View view, QcPtr lock) const;
+  /// Creates a vote for the caller to send. With a WAL attached this is the
+  /// persist-before-send gate: the decision is logged and synced first, and
+  /// nullopt is returned when the vote would conflict with a durable
+  /// decision from before a crash (the caller must not send anything).
+  /// Without a WAL it always yields a vote — the amnesia model.
+  std::optional<Vote> make_vote(VoteKind kind, View view, const BlockId& block);
+  /// Timeouts follow the same contract but are never refused (re-multicast
+  /// of the current view's timeout is legitimate pacemaker behaviour).
+  TimeoutMsg make_timeout(View view, QcPtr lock);
+
+  /// Subclass hook invoked at the end of restore_from_wal(): reinstate
+  /// protocol-specific vote/timeout guards from the recovered voting state.
+  virtual void on_wal_restored(const wal::RecoveredState& /*state*/) {}
 
   /// Remembers the leader's own proposal multicast for `view` so the
   /// pacemaker can retransmit it if the view stalls: the original may have
@@ -184,6 +196,9 @@ class BaseNode : public IConsensusNode {
   int backoff_exponent_ = 0;
   int progress_streak_ = 0;
   bool halted_ = false;
+  /// True while restore_from_wal() replays state: suppresses WAL re-appends
+  /// (the records being replayed are already in the log).
+  bool wal_restoring_ = false;
 };
 
 }  // namespace moonshot

@@ -88,7 +88,11 @@ void EquivocatorNode::vote_for_everything(const BlockPtr& block) {
   ++cast;
   for (const VoteKind kind :
        {VoteKind::kNormal, VoteKind::kOptimistic, VoteKind::kFallback, VoteKind::kCommit}) {
-    multicast(make_message<VoteMsg>(make_vote(kind, block->view(), block->id())));
+    // Equivocators never get a WAL attached, so make_vote() cannot refuse —
+    // the guard keeps the adversary intact if that ever changes.
+    if (auto vote = make_vote(kind, block->view(), block->id())) {
+      multicast(make_message<VoteMsg>(*vote));
+    }
   }
 }
 

@@ -17,6 +17,9 @@ namespace moonshot {
 namespace obs {
 class Tracer;
 }
+namespace wal {
+class Wal;
+}
 
 /// Produces the payload b_v for a view. Payloads are fixed per view (paper
 /// §II-B): a leader's optimistic and normal proposals with the same parent
@@ -41,6 +44,10 @@ struct NodeContext {
   /// Structured event trace sink (src/obs/). Null = tracing off; every hook
   /// is a single pointer test in that case.
   obs::Tracer* tracer = nullptr;
+  /// Per-node write-ahead log (src/wal/). Null = no durability: votes and
+  /// timeouts leave without being logged, and a crash forgets everything
+  /// (the amnesia model). When set, BaseNode enforces persist-before-send.
+  wal::Wal* wal = nullptr;
   /// When false, signature checks are skipped (their cost is modelled by the
   /// network's receive pipeline instead); structural validation always runs.
   bool verify_signatures = true;

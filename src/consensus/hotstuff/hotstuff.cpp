@@ -1,5 +1,7 @@
 #include "consensus/hotstuff/hotstuff.hpp"
 
+#include "wal/wal.hpp"
+
 namespace moonshot {
 
 namespace {
@@ -8,6 +10,14 @@ constexpr int kTimerDeltas = 4;  // Table I: view length 4Δ
 
 HotStuffNode::HotStuffNode(NodeContext ctx) : BaseNode(std::move(ctx)) {
   commit_chain_length_ = 3;  // the three-chain rule
+}
+
+void HotStuffNode::on_wal_restored(const wal::RecoveredState& rs) {
+  last_voted_round_ = rs.voting.last[static_cast<std::size_t>(VoteKind::kNormal)].view;
+  timeout_round_ = rs.voting.timeout_view;
+  if (rs.high_qc && rs.high_qc->rank() > high_qc_->rank()) high_qc_ = rs.high_qc;
+  // Replaying the certificates re-derives the two-chain lock.
+  for (const QcPtr& qc : rs.certificates) update_preferred(qc);
 }
 
 void HotStuffNode::start() {
@@ -174,9 +184,10 @@ void HotStuffNode::try_vote() {
   if (justify->view < preferred_round_) return;
   if (block->parent() != justify->block || !link_valid(block)) return;
 
+  const auto vote = make_vote(VoteKind::kNormal, view_, block->id());
+  if (!vote) return;
   last_voted_round_ = view_;
-  unicast(leader_of(view_ + 1),
-          make_message<VoteMsg>(make_vote(VoteKind::kNormal, view_, block->id())));
+  unicast(leader_of(view_ + 1), make_message<VoteMsg>(*vote));
 }
 
 void HotStuffNode::send_timeout(View round) {

@@ -37,6 +37,7 @@ class HotStuffNode final : public BaseNode {
  protected:
   void on_view_timer_expired() override;
   void on_block_stored(const BlockPtr& block) override;
+  void on_wal_restored(const wal::RecoveredState& state) override;
 
  private:
   void handle_qc(const QcPtr& qc, bool already_validated);

@@ -1,5 +1,7 @@
 #include "consensus/jolteon/jolteon.hpp"
 
+#include "wal/wal.hpp"
+
 namespace moonshot {
 
 namespace {
@@ -7,6 +9,12 @@ constexpr int kTimerDeltas = 4;  // Table I: HotStuff-family view length 4Δ
 }  // namespace
 
 JolteonNode::JolteonNode(NodeContext ctx) : BaseNode(std::move(ctx)) {}
+
+void JolteonNode::on_wal_restored(const wal::RecoveredState& rs) {
+  last_voted_round_ = rs.voting.last[static_cast<std::size_t>(VoteKind::kNormal)].view;
+  timeout_round_ = rs.voting.timeout_view;
+  if (rs.high_qc && rs.high_qc->rank() > high_qc_->rank()) high_qc_ = rs.high_qc;
+}
 
 void JolteonNode::start() {
   // Cold start enters view 1; a crash-recovered node (restore() set view_)
@@ -165,10 +173,11 @@ void JolteonNode::try_vote() {
   if (!direct && !via_tc) return;
   if (block->parent() != justify->block || !link_valid(block)) return;
 
+  const auto vote = make_vote(VoteKind::kNormal, view_, block->id());
+  if (!vote) return;
   last_voted_round_ = view_;
   // Linear steady state: the vote goes to the *next* leader only.
-  unicast(leader_of(view_ + 1),
-          make_message<VoteMsg>(make_vote(VoteKind::kNormal, view_, block->id())));
+  unicast(leader_of(view_ + 1), make_message<VoteMsg>(*vote));
 }
 
 void JolteonNode::send_timeout(View round) {

@@ -1,5 +1,7 @@
 #include "consensus/moonshot/commit_moonshot.hpp"
 
+#include "wal/wal.hpp"
+
 namespace moonshot {
 
 CommitMoonshotNode::CommitMoonshotNode(NodeContext ctx)
@@ -39,9 +41,11 @@ void CommitMoonshotNode::on_commit_vote(const Vote& vote) {
 }
 
 void CommitMoonshotNode::send_commit_vote(View view, const BlockId& block) {
-  const auto [it, inserted] = commit_voted_.emplace(view, block);
-  if (!inserted) return;  // at most one commit vote per view
-  multicast(make_message<VoteMsg>(make_vote(VoteKind::kCommit, view, block)));
+  if (commit_voted_.count(view)) return;  // at most one commit vote per view
+  const auto vote = make_vote(VoteKind::kCommit, view, block);
+  if (!vote) return;
+  commit_voted_.emplace(view, block);
+  multicast(make_message<VoteMsg>(*vote));
 
   // Bound memory: very old commit-vote state can no longer help (blocks
   // that miss the alternative path still commit via the two-chain rule).
@@ -49,6 +53,13 @@ void CommitMoonshotNode::send_commit_vote(View view, const BlockId& block) {
     commit_acc_.prune_below(view_ - 16);
     commit_voted_.erase(commit_voted_.begin(), commit_voted_.lower_bound(view_ - 16));
   }
+}
+
+void CommitMoonshotNode::on_wal_restored(const wal::RecoveredState& rs) {
+  PipelinedMoonshotNode::on_wal_restored(rs);
+  // Reinstate the per-view commit-vote record so the indirect rule and the
+  // one-commit-vote-per-view guard survive the crash.
+  commit_voted_ = rs.voting.commit_votes;
 }
 
 }  // namespace moonshot

@@ -30,6 +30,7 @@ class CommitMoonshotNode final : public PipelinedMoonshotNode {
  protected:
   void on_new_certificate(const QcPtr& qc) override;
   void on_commit_vote(const Vote& vote) override;
+  void on_wal_restored(const wal::RecoveredState& state) override;
 
  private:
   void send_commit_vote(View view, const BlockId& block);

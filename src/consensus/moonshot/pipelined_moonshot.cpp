@@ -1,5 +1,9 @@
 #include "consensus/moonshot/pipelined_moonshot.hpp"
 
+#include <algorithm>
+
+#include "wal/wal.hpp"
+
 namespace moonshot {
 
 namespace {
@@ -7,6 +11,17 @@ constexpr int kTimerDeltas = 3;  // view timer = 3Δ (Figure 3)
 }  // namespace
 
 PipelinedMoonshotNode::PipelinedMoonshotNode(NodeContext ctx) : BaseNode(std::move(ctx)) {}
+
+void PipelinedMoonshotNode::on_wal_restored(const wal::RecoveredState& rs) {
+  const auto& opt = rs.voting.last[static_cast<std::size_t>(VoteKind::kOptimistic)];
+  opt_voted_view_ = opt.view;
+  opt_voted_block_ = opt.block;
+  main_voted_view_ =
+      std::max(rs.voting.last[static_cast<std::size_t>(VoteKind::kNormal)].view,
+               rs.voting.last[static_cast<std::size_t>(VoteKind::kFallback)].view);
+  timeout_view_ = rs.voting.timeout_view;
+  if (rs.high_qc && rs.high_qc->rank() > lock_->rank()) lock_ = rs.high_qc;
+}
 
 void PipelinedMoonshotNode::start() {
   // Cold start enters view 1; a crash-recovered node (restore() set view_)
@@ -222,10 +237,12 @@ void PipelinedMoonshotNode::try_vote() {
     if (auto it = pending_opt_.find(view_); it != pending_opt_.end()) {
       const BlockPtr& block = it->second.block;
       if (lock_->view + 1 == view_ && lock_->block == block->parent() && link_valid(block)) {
-        opt_voted_view_ = view_;
-        opt_voted_block_ = block->id();
-        send_vote(make_vote(VoteKind::kOptimistic, view_, block->id()));
-        after_vote(block);
+        if (auto vote = make_vote(VoteKind::kOptimistic, view_, block->id())) {
+          opt_voted_view_ = view_;
+          opt_voted_block_ = block->id();
+          send_vote(*vote);
+          after_vote(block);
+        }
       }
     }
   }
@@ -242,9 +259,11 @@ void PipelinedMoonshotNode::try_vote() {
         opt_voted_view_ == view_ && opt_voted_block_ != block->id();
     if (!equivocates && justify->view + 1 == view_ && block->parent() == justify->block &&
         link_valid(block)) {
-      main_voted_view_ = view_;
-      send_vote(make_vote(VoteKind::kNormal, view_, block->id()));
-      after_vote(block);
+      if (auto vote = make_vote(VoteKind::kNormal, view_, block->id())) {
+        main_voted_view_ = view_;
+        send_vote(*vote);
+        after_vote(block);
+      }
       return;
     }
   }
@@ -257,9 +276,11 @@ void PipelinedMoonshotNode::try_vote() {
     const TcPtr& tc = it->second.tc;
     if (justify->rank() >= tc->high_qc_view() && block->parent() == justify->block &&
         link_valid(block)) {
-      main_voted_view_ = view_;
-      send_vote(make_vote(VoteKind::kFallback, view_, block->id()));
-      after_vote(block);
+      if (auto vote = make_vote(VoteKind::kFallback, view_, block->id())) {
+        main_voted_view_ = view_;
+        send_vote(*vote);
+        after_vote(block);
+      }
     }
   }
 }

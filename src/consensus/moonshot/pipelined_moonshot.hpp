@@ -39,6 +39,7 @@ class PipelinedMoonshotNode : public BaseNode {
  protected:
   void on_view_timer_expired() override;
   void on_block_stored(const BlockPtr& block) override;
+  void on_wal_restored(const wal::RecoveredState& state) override;
 
   /// Hook invoked exactly once per newly learned block certificate, before
   /// the advance step. Commit Moonshot implements pre-commit voting here.

@@ -1,5 +1,7 @@
 #include "consensus/moonshot/simple_moonshot.hpp"
 
+#include "wal/wal.hpp"
+
 namespace moonshot {
 
 namespace {
@@ -8,6 +10,13 @@ constexpr int kProposeDeltas = 2;  // leader's fallback proposal wait = 2Δ
 }  // namespace
 
 SimpleMoonshotNode::SimpleMoonshotNode(NodeContext ctx) : BaseNode(std::move(ctx)) {}
+
+void SimpleMoonshotNode::on_wal_restored(const wal::RecoveredState& rs) {
+  voted_view_ = rs.voting.last[static_cast<std::size_t>(VoteKind::kNormal)].view;
+  timeout_sent_view_ = rs.voting.timeout_view;
+  if (rs.high_qc && rs.high_qc->rank() > lock_->rank()) lock_ = rs.high_qc;
+  if (rs.high_qc && rs.high_qc->view > highest_qc_->view) highest_qc_ = rs.high_qc;
+}
 
 void SimpleMoonshotNode::start() {
   // All nodes know the genesis certificate C_0, so everyone enters view 1
@@ -236,8 +245,10 @@ void SimpleMoonshotNode::try_vote() {
 }
 
 void SimpleMoonshotNode::do_vote(const BlockPtr& block) {
+  const auto vote = make_vote(VoteKind::kNormal, view_, block->id());
+  if (!vote) return;
   voted_view_ = view_;
-  multicast(make_message<VoteMsg>(make_vote(VoteKind::kNormal, view_, block->id())));
+  multicast(make_message<VoteMsg>(*vote));
 
   // Figure 1 rule 3: optimistic proposal by the next leader.
   if (i_am_leader(view_ + 1) && opt_proposed_view_ < view_ + 1) {

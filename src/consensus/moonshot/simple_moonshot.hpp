@@ -42,6 +42,7 @@ class SimpleMoonshotNode : public BaseNode {
  protected:
   void on_view_timer_expired() override;
   void on_block_stored(const BlockPtr& block) override;
+  void on_wal_restored(const wal::RecoveredState& state) override;
 
  private:
   /// Certificate receipt pipeline: dedup → validate → record/commit →

@@ -10,6 +10,10 @@
 
 namespace moonshot {
 
+namespace wal {
+struct RecoveredState;
+}
+
 class IConsensusNode {
  public:
   virtual ~IConsensusNode() = default;
@@ -25,17 +29,24 @@ class IConsensusNode {
   /// outlive its scheduled callbacks safely.
   virtual void halt() {}
 
-  /// Crash recovery, called before start(): re-adds every block from the
-  /// persisted `store`, replays the `committed` prefix into the commit log,
-  /// and resumes at `resume_view` (0 = cold start). Per-view volatile voting
-  /// state is deliberately *not* persisted — a recovered node may re-send
-  /// votes/timeouts, which honest accumulators dedupe by voter.
+  /// Legacy in-memory recovery, called before start(): re-adds every block
+  /// from `store`, replays the `committed` prefix into the commit log, and
+  /// resumes at `resume_view` (0 = cold start). Per-view voting state is
+  /// *not* restored — a recovered node may re-send votes/timeouts, which
+  /// honest accumulators dedupe by voter. Kept as the digest-compatible
+  /// compat path; faithful recovery goes through restore_from_wal().
   virtual void restore(const BlockStore& store, const std::vector<BlockPtr>& committed,
                        View resume_view) {
     (void)store;
     (void)committed;
     (void)resume_view;
   }
+
+  /// Durable crash recovery, called before start(): rebuilds the block
+  /// store, committed prefix, certificate table AND the per-view voting
+  /// state from a replayed write-ahead log. A node restored this way
+  /// refuses to re-vote differently in any view it already voted in.
+  virtual void restore_from_wal(const wal::RecoveredState& state) { (void)state; }
 
   /// Delivers a message from `from` (authenticated channel: `from` is the
   /// true sender).

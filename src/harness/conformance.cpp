@@ -22,9 +22,13 @@ void ConformanceChecker::observe_vote(NodeId from, const Vote& vote) {
       sv.voted_blocks.insert(vote.block);
       break;
     case VoteKind::kNormal:
-    case VoteKind::kFallback:
       ++sv.main_votes;
       sv.voted_blocks.insert(vote.block);
+      break;
+    case VoteKind::kFallback:
+      // Budgeted with normal votes, but its block is allowed to differ from
+      // the optimistic vote's (post-TC recovery re-proposes a certified lock).
+      ++sv.main_votes;
       break;
     case VoteKind::kCommit:
       ++sv.commit_votes;

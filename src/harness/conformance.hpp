@@ -59,7 +59,11 @@ class ConformanceChecker {
     int timeouts = 0;
     View last_timeout_qc_view = 0;       // highest lock rank carried so far
     bool timeout_lock_regressed = false; // a later timeout carried a lower lock
-    std::set<BlockId> voted_blocks;  // blocks named by opt/main votes
+    /// Blocks named by optimistic and *normal* votes. Fallback votes are
+    /// excluded: after a TC, a node may fallback-vote a block that differs
+    /// from its optimistic vote (rule 2b allows it even when the optimistic
+    /// proposal equivocated), so only an opt/normal mismatch is a violation.
+    std::set<BlockId> voted_blocks;
     /// Proposed blocks with their parents. An honest leader may propose two
     /// *distinct* blocks in a view only when correcting a failed optimistic
     /// proposal (paper §III-B) — i.e. the two must have different parents;

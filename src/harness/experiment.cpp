@@ -44,6 +44,22 @@ const char* schedule_name(ScheduleKind s) {
   return "?";
 }
 
+const char* recovery_mode_name(RecoveryMode m) {
+  switch (m) {
+    case RecoveryMode::kInMemory: return "in-memory";
+    case RecoveryMode::kAmnesia: return "amnesia";
+    case RecoveryMode::kDurable: return "durable";
+  }
+  return "?";
+}
+
+std::optional<RecoveryMode> parse_recovery_mode(std::string_view s) {
+  if (s == "in-memory") return RecoveryMode::kInMemory;
+  if (s == "amnesia") return RecoveryMode::kAmnesia;
+  if (s == "durable") return RecoveryMode::kDurable;
+  return std::nullopt;
+}
+
 namespace {
 LeaderSchedulePtr build_schedule(const ExperimentConfig& cfg,
                                  const std::vector<NodeId>& byzantine) {
@@ -112,6 +128,18 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
     };
   }
 
+  // WALs are built before the nodes so make_node() can hand out pointers.
+  // Equivocators never get one: enforcing one-vote-per-view on the adversary
+  // would neuter the very attacks the Byzantine tests exercise.
+  if (cfg_.enable_wal) {
+    wals_.resize(cfg_.n);
+    for (NodeId id = 0; id < cfg_.n; ++id) {
+      if (is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate) continue;
+      wals_[id] = std::make_unique<wal::Wal>(id, &sched_, cfg_.seed, cfg_.wal);
+      wals_[id]->set_tracer(cfg_.tracer);
+    }
+  }
+
   nodes_.reserve(cfg_.n);
   for (NodeId id = 0; id < cfg_.n; ++id) {
     auto node = make_node(id);
@@ -152,6 +180,7 @@ std::unique_ptr<IConsensusNode> Experiment::make_node(NodeId id) {
   if (is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate) {
     return std::make_unique<EquivocatorNode>(std::move(ctx));
   }
+  ctx.wal = id < wals_.size() ? wals_[id].get() : nullptr;
   switch (cfg_.protocol) {
     case ProtocolKind::kSimpleMoonshot:
       return std::make_unique<SimpleMoonshotNode>(std::move(ctx));
@@ -180,18 +209,37 @@ void Experiment::crash_node(NodeId id) {
   down_[id] = 1;
   network_->silence(id);
   nodes_[id]->halt();
+  // The crash tears the WAL's unsynced tail (a partial in-flight write may
+  // survive); everything synced stays durable for recovery.
+  if (wal::Wal* wal = wal_of(id)) wal->crash();
 }
 
-void Experiment::recover_node(NodeId id) {
+void Experiment::recover_node(NodeId id) { recover_node(id, cfg_.recovery); }
+
+void Experiment::recover_node(NodeId id, RecoveryMode mode) {
   MOONSHOT_INVARIANT(id < cfg_.n, "recovery of unknown node");
   if (!down_[id]) return;
   IConsensusNode& dead = *nodes_[id];
 
-  // Rebuild from "persisted" state: the block store, the committed prefix
-  // and the current view survive a crash; volatile per-view voting state
-  // does not (see IConsensusNode::restore).
+  // The commit hook is attached only after restore: replayed commits must
+  // not be double-counted by the metrics collector.
   auto fresh = make_node(id);
-  fresh->restore(dead.block_store(), dead.commit_log().blocks(), dead.current_view());
+  wal::Wal* wal = wal_of(id);
+  switch (mode) {
+    case RecoveryMode::kInMemory:
+      // Legacy path: the dead instance's in-memory state stands in for disk.
+      // Volatile per-view voting state is lost (see IConsensusNode::restore).
+      fresh->restore(dead.block_store(), dead.commit_log().blocks(), dead.current_view());
+      break;
+    case RecoveryMode::kAmnesia:
+      // Disk lost too: cold start from genesis with an empty WAL.
+      if (wal) wal->wipe();
+      break;
+    case RecoveryMode::kDurable:
+      MOONSHOT_INVARIANT(wal != nullptr, "durable recovery requires enable_wal");
+      fresh->restore_from_wal(wal->replay());
+      break;
+  }
   attach_commit_hook(*fresh, id);
 
   retired_.push_back(std::move(nodes_[id]));

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "consensus/context.hpp"
@@ -14,6 +16,7 @@
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "types/validator_set.hpp"
+#include "wal/wal.hpp"
 
 namespace moonshot {
 
@@ -40,6 +43,22 @@ enum class FaultKind {
   kCrash,       // crash-silent: node sends and receives nothing
   kEquivocate,  // active adversary: conflicting proposals + double votes
 };
+
+/// How recover_node() rebuilds a crashed node's state.
+enum class RecoveryMode {
+  /// Legacy: copy the dead instance's in-memory BlockStore/CommitLog/view.
+  /// Per-view voting state is lost (the amnesia hazard), but this path keeps
+  /// every pre-WAL determinism digest reproducible, so it stays the default.
+  kInMemory,
+  /// True amnesia: the disk is gone too. The node cold-starts from genesis
+  /// and the WAL (if any) is wiped. This is the mode that can violate safety.
+  kAmnesia,
+  /// Faithful crash recovery: replay the node's write-ahead log (torn-tail
+  /// truncation included) and refuse re-votes. Requires enable_wal.
+  kDurable,
+};
+const char* recovery_mode_name(RecoveryMode m);
+std::optional<RecoveryMode> parse_recovery_mode(std::string_view s);
 
 struct ExperimentConfig {
   ProtocolKind protocol = ProtocolKind::kPipelinedMoonshot;
@@ -83,6 +102,15 @@ struct ExperimentConfig {
   /// it into every node context and the network, registers the scheduler as
   /// its clock, and samples scheduler queue depth every Δ.
   obs::Tracer* tracer = nullptr;
+  /// Give every honest node a write-ahead log (equivocators never get one:
+  /// double-voting is their job). Off by default — the WAL changes vote
+  /// admission control, so pre-WAL determinism digests require it off.
+  bool enable_wal = false;
+  /// Fsync latency model and compaction threshold for the per-node WALs.
+  wal::WalOptions wal;
+  /// Default mode for recover_node(id); chaos schedules can override
+  /// per-event via recover_node(id, mode).
+  RecoveryMode recovery = RecoveryMode::kInMemory;
 };
 
 struct ExperimentResult {
@@ -118,10 +146,12 @@ class Experiment {
   /// discards inbound deliveries. No-op on statically faulty or already-down
   /// nodes.
   void crash_node(NodeId id);
-  /// Rebuilds a previously crash_node()ed node from its persisted state
-  /// (BlockStore + CommitLog + current view), reconnects it and restarts it.
-  /// The husk of the old instance is retired, its pending callbacks inert.
+  /// Rebuilds a previously crash_node()ed node per cfg.recovery, reconnects
+  /// it and restarts it. The husk of the old instance is retired, its pending
+  /// callbacks inert.
   void recover_node(NodeId id);
+  /// Same, with an explicit recovery mode (chaos schedules route here).
+  void recover_node(NodeId id, RecoveryMode mode);
   bool is_down(NodeId id) const { return down_.at(id); }
   /// True if the node crash-recovered at least once during the run. Such
   /// nodes may re-send votes/timeouts (volatile per-view state is not
@@ -137,6 +167,9 @@ class Experiment {
     return is_faulty(id) && cfg_.fault_kind == FaultKind::kCrash;
   }
   const ExperimentConfig& config() const { return cfg_; }
+  /// The node's write-ahead log (null when enable_wal is off or the node is
+  /// an equivocator). Exposed for tests and fuzzers to corrupt/inspect.
+  wal::Wal* wal_of(NodeId id) { return id < wals_.size() ? wals_[id].get() : nullptr; }
   MetricsCollector& metrics() { return metrics_; }
   const ValidatorSetPtr& validators() const { return validators_; }
   const LeaderSchedulePtr& leaders() const { return leaders_; }
@@ -153,6 +186,9 @@ class Experiment {
   LeaderSchedulePtr leaders_;
   PayloadSource payloads_;
   std::vector<std::unique_ptr<IConsensusNode>> nodes_;
+  /// Per-node WALs (the "disks"): owned by the experiment, not the node, so
+  /// they survive a crash exactly like a file survives a process.
+  std::vector<std::unique_ptr<wal::Wal>> wals_;
   /// Halted pre-crash instances, kept alive until teardown so scheduler
   /// callbacks that still reference them stay safe.
   std::vector<std::unique_ptr<IConsensusNode>> retired_;

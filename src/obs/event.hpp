@@ -43,9 +43,15 @@ enum class EventKind : std::uint8_t {
   kSchedQueue,    // node = kNoNode;  a: pending events, b: events executed
   kFaultInjected, // node = kNoNode;  a: schedule event index, b: fault type
   kFaultHealed,   // node = kNoNode;  a: schedule event index, b: fault type
+
+  // --- write-ahead-log events (node = log owner; view unused) -------------
+  kWalAppend,     // a: record type (wal::RecordType), b: framed bytes, c: log size after
+  kWalFsync,      // a: bytes flushed, b: modelled fsync latency (ns)
+  kWalReplay,     // a: records replayed, b: log bytes after truncation, c: resume view
+  kWalTruncate,   // torn/corrupt tail dropped; a: bytes dropped, b: valid prefix bytes
 };
 
-constexpr std::size_t kEventKindCount = static_cast<std::size_t>(EventKind::kFaultHealed) + 1;
+constexpr std::size_t kEventKindCount = static_cast<std::size_t>(EventKind::kWalTruncate) + 1;
 
 /// Stable snake_case name, used by both exporters and the golden tests.
 const char* event_kind_name(EventKind k);

@@ -30,6 +30,10 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kSchedQueue: return "sched_queue";
     case EventKind::kFaultInjected: return "fault_injected";
     case EventKind::kFaultHealed: return "fault_healed";
+    case EventKind::kWalAppend: return "wal_append";
+    case EventKind::kWalFsync: return "wal_fsync";
+    case EventKind::kWalReplay: return "wal_replay";
+    case EventKind::kWalTruncate: return "wal_truncate";
   }
   return "?";
 }

@@ -45,6 +45,12 @@ struct Options {
   std::string chrome_path;
   std::string jsonl_path;
   bool timeline = false;
+  /// Attach a per-node WAL so wal_append/wal_fsync/wal_replay events appear
+  /// in the exports. Implied by --fsync-us or --recovery durable/amnesia.
+  bool wal = false;
+  /// Modelled fsync base latency (µs) — the measurable durability tax.
+  std::int64_t fsync_us = 0;
+  RecoveryMode recovery = RecoveryMode::kInMemory;
 };
 
 [[noreturn]] void usage_error(const char* what) {
@@ -54,7 +60,8 @@ struct Options {
                "                  [--duration-ms N] [--delta-ms N] [--payload BYTES]\n"
                "                  [--fixed-delay-ms N] [--schedule STR] [--observer N]\n"
                "                  [--ring-capacity N] [--chrome PATH] [--jsonl PATH]\n"
-               "                  [--timeline]\n");
+               "                  [--timeline] [--wal] [--fsync-us N]\n"
+               "                  [--recovery in-memory|amnesia|durable]\n");
   std::exit(2);
 }
 
@@ -102,6 +109,16 @@ Options parse_args(int argc, char** argv) {
       opt.jsonl_path = value();
     } else if (arg == "--timeline") {
       opt.timeline = true;
+    } else if (arg == "--wal") {
+      opt.wal = true;
+    } else if (arg == "--fsync-us") {
+      opt.fsync_us = std::strtoll(value().c_str(), nullptr, 10);
+      opt.wal = true;
+    } else if (arg == "--recovery") {
+      const auto mode = parse_recovery_mode(value());
+      if (!mode) usage_error("unknown recovery mode");
+      opt.recovery = *mode;
+      if (opt.recovery != RecoveryMode::kInMemory) opt.wal = true;
     } else {
       usage_error(("unknown argument: " + arg).c_str());
     }
@@ -140,6 +157,11 @@ int main(int argc, char** argv) {
     cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(opt.fixed_delay_ms));
     cfg.net.regions_used = 1;
     cfg.net.jitter = 0.0;
+  }
+  if (opt.wal) {
+    cfg.enable_wal = true;
+    cfg.wal.fsync_base = microseconds(opt.fsync_us);
+    cfg.recovery = opt.recovery;
   }
 
   Experiment exp(cfg);

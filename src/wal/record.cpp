@@ -1,0 +1,128 @@
+#include "wal/record.hpp"
+
+#include <algorithm>
+
+namespace moonshot::wal {
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  static const Crc32Table table;
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    c = table.entries[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void append_record(Bytes& storage, BytesView payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  const std::uint32_t words[2] = {len, crc};
+  for (const std::uint32_t w : words) {
+    storage.push_back(static_cast<std::uint8_t>(w & 0xFF));
+    storage.push_back(static_cast<std::uint8_t>((w >> 8) & 0xFF));
+    storage.push_back(static_cast<std::uint8_t>((w >> 16) & 0xFF));
+    storage.push_back(static_cast<std::uint8_t>((w >> 24) & 0xFF));
+  }
+  storage.insert(storage.end(), payload.begin(), payload.end());
+}
+
+VotingState::Check VotingState::check_vote(VoteKind kind, View view,
+                                           const BlockId& block) const {
+  if (kind == VoteKind::kCommit) {
+    const auto it = commit_votes.find(view);
+    if (it == commit_votes.end()) return Check::kAllowNew;
+    return it->second == block ? Check::kAllowDuplicate : Check::kForbid;
+  }
+  const Slot& slot = last[static_cast<std::size_t>(kind)];
+  if (view > slot.view) return Check::kAllowNew;
+  if (view == slot.view && block == slot.block) return Check::kAllowDuplicate;
+  // A vote of this kind for an older view, or for a different block in the
+  // already-voted view, would be exactly the double-vote the WAL exists to
+  // prevent.
+  return Check::kForbid;
+}
+
+void VotingState::note_vote(VoteKind kind, View view, const BlockId& block) {
+  if (kind == VoteKind::kCommit) {
+    commit_votes.emplace(view, block);
+    // Keep the map bounded: Commit Moonshot's indirect rule only reaches a
+    // bounded number of views back, mirroring its own pruning.
+    if (commit_votes.size() > 128) {
+      const View newest = commit_votes.rbegin()->first;
+      commit_votes.erase(commit_votes.begin(),
+                         commit_votes.lower_bound(newest > 64 ? newest - 64 : 0));
+    }
+    return;
+  }
+  Slot& slot = last[static_cast<std::size_t>(kind)];
+  if (view >= slot.view) {
+    slot.view = view;
+    slot.block = block;
+  }
+}
+
+bool VotingState::note_timeout(View view) {
+  if (view <= timeout_view) return false;
+  timeout_view = view;
+  return true;
+}
+
+View VotingState::max_voted_view() const {
+  View v = timeout_view;
+  for (const Slot& slot : last) v = std::max(v, slot.view);
+  if (!commit_votes.empty()) v = std::max(v, commit_votes.rbegin()->first);
+  return v;
+}
+
+void VotingState::serialize(Writer& w) const {
+  for (const Slot& slot : last) {
+    w.u64(slot.view);
+    w.raw(slot.block.view());
+  }
+  w.u32(static_cast<std::uint32_t>(commit_votes.size()));
+  for (const auto& [view, block] : commit_votes) {
+    w.u64(view);
+    w.raw(block.view());
+  }
+  w.u64(timeout_view);
+}
+
+std::optional<VotingState> VotingState::deserialize(Reader& r) {
+  VotingState vs;
+  for (Slot& slot : vs.last) {
+    const auto view = r.u64();
+    const auto block = r.raw(BlockId::size());
+    if (!view || !block) return std::nullopt;
+    slot.view = *view;
+    slot.block = BlockId::from_view(*block);
+  }
+  const auto count = r.u32();
+  if (!count) return std::nullopt;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto view = r.u64();
+    const auto block = r.raw(BlockId::size());
+    if (!view || !block) return std::nullopt;
+    vs.commit_votes.emplace(*view, BlockId::from_view(*block));
+  }
+  const auto timeout = r.u64();
+  if (!timeout) return std::nullopt;
+  vs.timeout_view = *timeout;
+  return vs;
+}
+
+}  // namespace moonshot::wal

@@ -1,0 +1,86 @@
+// Write-ahead-log records and the durable voting state they encode.
+//
+// The log is a flat byte stream of CRC32-framed records:
+//
+//   [u32 length][u32 crc32][u8 type][payload ...]
+//                          `---- length bytes, crc over them ----'
+//
+// Length and CRC are little-endian; the CRC covers the type byte and the
+// payload so a bit flip anywhere inside a record is detected. Records are
+// strictly append-ordered: a block body is always logged before any
+// certificate or commit that references it, which is what makes prefix
+// truncation (the torn-tail rule) recover a *consistent* state rather than
+// just a shorter one.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "support/bytes.hpp"
+#include "support/codec.hpp"
+#include "types/block.hpp"
+#include "types/ids.hpp"
+#include "types/vote.hpp"
+
+namespace moonshot::wal {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+std::uint32_t crc32(BytesView data);
+
+enum class RecordType : std::uint8_t {
+  kBlock = 1,     // full serialized block body
+  kQc = 2,        // a block certificate this node processed
+  kCommit = 3,    // a block id entering the commit log
+  kVote = 4,      // a voting decision — logged *before* the vote is sent
+  kTimeout = 5,   // a timeout decision — logged *before* the timeout is sent
+  kSnapshot = 6,  // full-state checkpoint written by compaction
+};
+
+/// Bytes of framing overhead per record (length + crc).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// Upper bound on a single record's payload; anything larger during replay
+/// is treated as a torn/corrupt length field.
+inline constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+/// Appends one framed record to `storage`. `payload` must already start
+/// with the RecordType byte.
+void append_record(Bytes& storage, BytesView payload);
+
+/// The per-replica voting decisions that must survive a crash (the paper's
+/// safety arguments assume a node never votes twice in a view; HotStuff and
+/// Jolteon both persist exactly this before emitting a vote).
+///
+/// Normal/optimistic/fallback votes are monotone in view across every
+/// protocol here, so one (view, block) slot per kind suffices. Commit
+/// Moonshot's indirect pre-commit legitimately commit-votes *older* views,
+/// so commit votes keep a per-view map instead of a highest-view slot.
+struct VotingState {
+  struct Slot {
+    View view = 0;
+    BlockId block{};
+  };
+
+  /// Indexed by VoteKind (kNormal, kOptimistic, kFallback).
+  Slot last[3];
+  std::map<View, BlockId> commit_votes;
+  /// Highest view a timeout was durably logged for.
+  View timeout_view = 0;
+
+  enum class Check {
+    kAllowNew,        // never voted this (kind, view): log it, then send
+    kAllowDuplicate,  // identical vote already durable: re-send, no new record
+    kForbid,          // conflicts with a durable decision: must not be sent
+  };
+  Check check_vote(VoteKind kind, View view, const BlockId& block) const;
+  void note_vote(VoteKind kind, View view, const BlockId& block);
+  /// Returns true iff `view` raises timeout_view (i.e. needs a log record).
+  bool note_timeout(View view);
+
+  /// Highest view any durable vote or timeout was cast in (0 = none).
+  View max_voted_view() const;
+
+  void serialize(Writer& w) const;
+  static std::optional<VotingState> deserialize(Reader& r);
+};
+
+}  // namespace moonshot::wal

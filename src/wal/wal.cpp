@@ -1,0 +1,352 @@
+#include "wal/wal.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "support/assert.hpp"
+
+namespace moonshot::wal {
+
+namespace {
+
+std::uint32_t read_le32(const Bytes& b, std::size_t pos) {
+  return static_cast<std::uint32_t>(b[pos]) |
+         (static_cast<std::uint32_t>(b[pos + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[pos + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[pos + 3]) << 24);
+}
+
+/// Mutable accumulator the scan feeds; flattened into RecoveredState at the
+/// end so snapshot records can wholesale-replace it.
+struct ScanState {
+  std::map<BlockId, BlockPtr> blocks;
+  std::vector<BlockId> commit_order;
+  std::unordered_set<BlockId> committed;
+  std::map<View, QcPtr> qcs;  // first certificate per view wins
+  VotingState voting;
+
+  void add_commit(const BlockId& id) {
+    if (committed.insert(id).second) commit_order.push_back(id);
+  }
+  void add_qc(QuorumCert qc) {
+    const View v = qc.view;
+    qcs.emplace(v, std::make_shared<const QuorumCert>(std::move(qc)));
+  }
+};
+
+}  // namespace
+
+Wal::Wal(NodeId owner, sim::Scheduler* sched, std::uint64_t seed, WalOptions opt)
+    : owner_(owner),
+      sched_(sched),
+      opt_(opt),
+      // Per-node stream: crash-tail and fsync-jitter draws stay independent
+      // across replicas while the whole run remains seed-reproducible.
+      prng_(Prng(seed ^ 0x77616c6c6f67ull).fork(owner).next_u64()) {
+  MOONSHOT_INVARIANT(sched_ != nullptr, "WAL needs the simulation clock");
+}
+
+void Wal::append(RecordType type, BytesView body) {
+  Bytes payload;
+  payload.reserve(body.size() + 1);
+  payload.push_back(static_cast<std::uint8_t>(type));
+  moonshot::append(payload, body);
+  append_record(storage_, payload);
+  ++stats_.appends;
+  stats_.bytes_appended += payload.size() + kFrameHeaderBytes;
+  trace(obs::EventKind::kWalAppend, static_cast<std::uint64_t>(type),
+        payload.size() + kFrameHeaderBytes, storage_.size());
+}
+
+void Wal::append_block(const Block& block) {
+  Writer w;
+  block.serialize(w);
+  append(RecordType::kBlock, w.buffer());
+}
+
+void Wal::append_qc(const QuorumCert& qc) {
+  Writer w;
+  qc.serialize(w);
+  append(RecordType::kQc, w.buffer());
+}
+
+void Wal::append_commit(const Block& block) {
+  Writer w;
+  w.u64(block.height());
+  w.raw(block.id().view());
+  append(RecordType::kCommit, w.buffer());
+  maybe_compact();
+}
+
+bool Wal::record_vote(VoteKind kind, View view, const BlockId& block) {
+  switch (voting_.check_vote(kind, view, block)) {
+    case VotingState::Check::kForbid: return false;
+    case VotingState::Check::kAllowDuplicate: return true;  // already durable
+    case VotingState::Check::kAllowNew: break;
+  }
+  voting_.note_vote(kind, view, block);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(view);
+  w.raw(block.view());
+  append(RecordType::kVote, w.buffer());
+  sync();  // persist-before-send
+  return true;
+}
+
+void Wal::record_timeout(View view) {
+  if (!voting_.note_timeout(view)) return;  // already durable at this view
+  Writer w;
+  w.u64(view);
+  append(RecordType::kTimeout, w.buffer());
+  sync();  // persist-before-send
+}
+
+void Wal::sync() {
+  const std::size_t dirty = storage_.size() - synced_size_;
+  if (dirty == 0) return;
+  Duration latency = opt_.fsync_base + opt_.fsync_per_kb * (dirty / 1024);
+  if (opt_.fsync_jitter > 0.0 && opt_.fsync_base.count() > 0) {
+    latency += Duration(static_cast<std::int64_t>(
+        prng_.next_double() * opt_.fsync_jitter *
+        static_cast<double>(opt_.fsync_base.count())));
+  }
+  // Syncs queue behind each other on the simulated device.
+  busy_until_ = std::max(busy_until_, sched_->now()) + latency;
+  synced_size_ = storage_.size();
+  ++stats_.syncs;
+  trace(obs::EventKind::kWalFsync, dirty, static_cast<std::uint64_t>(latency.count()));
+}
+
+void Wal::crash() {
+  const std::size_t tail = storage_.size() - synced_size_;
+  if (tail > 0) {
+    // The in-flight unsynced write survives only partially: a torn record
+    // the recovery scan must detect and truncate.
+    const std::size_t keep = static_cast<std::size_t>(prng_.next_below(tail + 1));
+    storage_.resize(synced_size_ + keep);
+    if (keep > 0) ++stats_.torn_crashes;
+  }
+  synced_size_ = storage_.size();
+  busy_until_ = TimePoint::zero();
+}
+
+std::size_t Wal::scan(RecoveredState& out) {
+  ScanState st;
+  std::size_t pos = 0;
+  std::size_t valid_end = 0;
+  std::uint64_t records = 0;
+  std::size_t snapshot_end = 0;
+
+  while (storage_.size() - pos >= kFrameHeaderBytes) {
+    const std::uint32_t len = read_le32(storage_, pos);
+    const std::uint32_t crc = read_le32(storage_, pos + 4);
+    if (len == 0 || len > kMaxRecordBytes ||
+        len > storage_.size() - pos - kFrameHeaderBytes) {
+      break;  // torn or corrupt length field
+    }
+    const BytesView payload(storage_.data() + pos + kFrameHeaderBytes, len);
+    if (crc32(payload) != crc) break;  // bit flip / torn write inside the record
+
+    Reader r(payload);
+    const auto type = r.u8();
+    bool ok = type.has_value();
+    if (ok) {
+      switch (static_cast<RecordType>(*type)) {
+        case RecordType::kBlock: {
+          const BlockPtr b = Block::deserialize(r);
+          if ((ok = b != nullptr)) st.blocks.emplace(b->id(), b);
+          break;
+        }
+        case RecordType::kQc: {
+          auto qc = QuorumCert::deserialize(r);
+          if ((ok = qc.has_value())) st.add_qc(std::move(*qc));
+          break;
+        }
+        case RecordType::kCommit: {
+          const auto height = r.u64();
+          const auto id = r.raw(BlockId::size());
+          if ((ok = height.has_value() && id.has_value())) {
+            st.add_commit(BlockId::from_view(*id));
+          }
+          break;
+        }
+        case RecordType::kVote: {
+          const auto kind = r.u8();
+          const auto view = r.u64();
+          const auto id = r.raw(BlockId::size());
+          if ((ok = kind.has_value() && view.has_value() && id.has_value() &&
+                    *kind <= static_cast<std::uint8_t>(VoteKind::kCommit))) {
+            st.voting.note_vote(static_cast<VoteKind>(*kind), *view,
+                                BlockId::from_view(*id));
+          }
+          break;
+        }
+        case RecordType::kTimeout: {
+          const auto view = r.u64();
+          if ((ok = view.has_value())) st.voting.note_timeout(*view);
+          break;
+        }
+        case RecordType::kSnapshot: {
+          // A checkpoint replaces everything accumulated so far.
+          ScanState snap;
+          const auto nblocks = r.u32();
+          ok = nblocks.has_value();
+          for (std::uint32_t i = 0; ok && i < *nblocks; ++i) {
+            const auto raw = r.bytes();
+            if (!(ok = raw.has_value())) break;
+            Reader br(*raw);
+            const BlockPtr b = Block::deserialize(br);
+            if ((ok = b != nullptr)) snap.blocks.emplace(b->id(), b);
+          }
+          std::optional<std::uint32_t> ncommits;
+          if (ok) ncommits = r.u32();
+          ok = ok && ncommits.has_value();
+          for (std::uint32_t i = 0; ok && i < *ncommits; ++i) {
+            const auto id = r.raw(BlockId::size());
+            if (!(ok = id.has_value())) break;
+            snap.add_commit(BlockId::from_view(*id));
+          }
+          std::optional<std::uint32_t> nqcs;
+          if (ok) nqcs = r.u32();
+          ok = ok && nqcs.has_value();
+          for (std::uint32_t i = 0; ok && i < *nqcs; ++i) {
+            const auto raw = r.bytes();
+            if (!(ok = raw.has_value())) break;
+            Reader qr(*raw);
+            auto qc = QuorumCert::deserialize(qr);
+            if ((ok = qc.has_value())) snap.add_qc(std::move(*qc));
+          }
+          if (ok) {
+            auto voting = VotingState::deserialize(r);
+            if ((ok = voting.has_value())) snap.voting = std::move(*voting);
+          }
+          if (ok) {
+            st = std::move(snap);
+            snapshot_end = pos + kFrameHeaderBytes + len;
+          }
+          break;
+        }
+        default: ok = false; break;
+      }
+    }
+    if (!ok) break;  // CRC passed but the payload does not decode: treat as corrupt
+
+    pos += kFrameHeaderBytes + len;
+    valid_end = pos;
+    ++records;
+  }
+
+  // Flatten. Blocks in height-then-id order (BlockStore::all_blocks order,
+  // so a rebuilt store iterates identically to the pre-crash one).
+  std::vector<BlockPtr> blocks;
+  blocks.reserve(st.blocks.size());
+  for (const auto& [id, b] : st.blocks) blocks.push_back(b);
+  std::sort(blocks.begin(), blocks.end(), [](const BlockPtr& a, const BlockPtr& b) {
+    if (a->height() != b->height()) return a->height() < b->height();
+    return a->id() < b->id();
+  });
+  out.blocks = std::move(blocks);
+
+  out.committed.clear();
+  for (const BlockId& id : st.commit_order) {
+    const auto it = st.blocks.find(id);
+    // A missing body or a height that does not extend the dense prefix marks
+    // a damaged commit tail: stop there — the dropped commits re-derive from
+    // the logged certificates during restore.
+    if (it == st.blocks.end()) break;
+    if (it->second->height() != out.committed.size() + 1) break;
+    out.committed.push_back(it->second);
+  }
+
+  out.certificates.clear();
+  for (const auto& [view, qc] : st.qcs) {
+    out.certificates.push_back(qc);
+    out.high_qc = qc;  // map iterates ascending: the last one is the highest
+  }
+
+  out.voting = std::move(st.voting);
+  out.resume_view = out.voting.max_voted_view();
+  if (out.high_qc) out.resume_view = std::max(out.resume_view, out.high_qc->view + 1);
+  out.records = records;
+  out.truncated_bytes = storage_.size() - valid_end;
+  snapshot_end_ = snapshot_end;
+  return valid_end;
+}
+
+RecoveredState Wal::replay() {
+  RecoveredState rs;
+  const std::size_t valid_end = scan(rs);
+  if (rs.truncated_bytes > 0) {
+    storage_.resize(valid_end);
+    trace(obs::EventKind::kWalTruncate, rs.truncated_bytes, valid_end);
+  }
+  synced_size_ = storage_.size();
+  busy_until_ = TimePoint::zero();
+  voting_ = rs.voting;
+  ++stats_.replays;
+  stats_.replayed_records += rs.records;
+  stats_.truncated_bytes += rs.truncated_bytes;
+  trace(obs::EventKind::kWalReplay, rs.records, storage_.size(), rs.resume_view);
+  return rs;
+}
+
+void Wal::write_snapshot(const RecoveredState& rs, Bytes& out) const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(rs.blocks.size()));
+  for (const BlockPtr& b : rs.blocks) {
+    Writer bw;
+    b->serialize(bw);
+    w.bytes(bw.buffer());
+  }
+  w.u32(static_cast<std::uint32_t>(rs.committed.size()));
+  for (const BlockPtr& b : rs.committed) w.raw(b->id().view());
+  w.u32(static_cast<std::uint32_t>(rs.certificates.size()));
+  for (const QcPtr& qc : rs.certificates) {
+    Writer qw;
+    qc->serialize(qw);
+    w.bytes(qw.buffer());
+  }
+  rs.voting.serialize(w);
+
+  Bytes payload;
+  payload.reserve(w.size() + 1);
+  payload.push_back(static_cast<std::uint8_t>(RecordType::kSnapshot));
+  moonshot::append(payload, w.buffer());
+  append_record(out, payload);
+}
+
+void Wal::compact() {
+  RecoveredState rs;
+  scan(rs);
+  // Only checkpoint the durable prefix: compaction must never promote
+  // unsynced appends to durability for free, so sync first.
+  sync();
+
+  Bytes fresh;
+  write_snapshot(rs, fresh);
+  storage_ = std::move(fresh);
+  synced_size_ = storage_.size();
+  snapshot_end_ = storage_.size();
+  ++stats_.snapshots;
+  trace(obs::EventKind::kWalAppend,
+        static_cast<std::uint64_t>(RecordType::kSnapshot), storage_.size(),
+        storage_.size());
+}
+
+void Wal::maybe_compact() {
+  if (opt_.snapshot_threshold == 0) return;
+  if (storage_.size() - snapshot_end_ <= opt_.snapshot_threshold) return;
+  compact();
+}
+
+void Wal::wipe() {
+  storage_.clear();
+  synced_size_ = 0;
+  snapshot_end_ = 0;
+  busy_until_ = TimePoint::zero();
+  voting_ = VotingState{};
+}
+
+}  // namespace moonshot::wal

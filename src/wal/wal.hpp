@@ -1,0 +1,158 @@
+// Per-node write-ahead log (DESIGN.md §5.3).
+//
+// An append-only, CRC32-framed binary log recording the node's blocks,
+// certificates, committed prefix and — critically — its per-view voting
+// decisions, with a persist-before-send contract: BaseNode logs and syncs a
+// vote or timeout *before* the message leaves the node, so a crash can never
+// forget a vote that a peer may already hold.
+//
+// The "disk" is an in-memory byte buffer owned by the harness: it survives
+// the node object across a crash exactly like a file would survive a process.
+// Durability is modelled faithfully:
+//  * append() is cheap and buffered; data is durable only after sync();
+//  * sync() advances a busy-until horizon by a seeded, deterministic fsync
+//    latency (base + per-KB + jitter), which BaseNode uses to defer the sends
+//    the sync gates — the measurable "durability tax" on ω and λ;
+//  * crash() drops the unsynced tail, keeping a seeded-random prefix of it
+//    to simulate a torn in-flight write;
+//  * replay() scans the log tolerating a torn or corrupt tail (truncating at
+//    the first bad frame) and reconstructs the full recovered state;
+//  * periodic snapshot + compaction rewrites the log as one checkpoint
+//    record, bounding replay cost.
+#pragma once
+
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/scheduler.hpp"
+#include "support/prng.hpp"
+#include "types/certs.hpp"
+#include "wal/record.hpp"
+
+namespace moonshot::wal {
+
+struct WalOptions {
+  /// Fixed latency charged per sync() (0 = free, the default: enabling the
+  /// WAL then changes no message timing).
+  Duration fsync_base = Duration(0);
+  /// Additional latency per KiB flushed (throughput model).
+  Duration fsync_per_kb = Duration(0);
+  /// Uniform jitter as a fraction of fsync_base, drawn from the log's seeded
+  /// PRNG (deterministic per run).
+  double fsync_jitter = 0.0;
+  /// Rewrite the log as a single snapshot record once more than this many
+  /// bytes follow the last snapshot. 0 disables compaction.
+  std::uint64_t snapshot_threshold = 0;
+};
+
+struct WalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t replayed_records = 0;
+  std::uint64_t truncated_bytes = 0;  // torn/corrupt tail dropped by replay
+  std::uint64_t torn_crashes = 0;     // crashes that left a partial record
+  std::uint64_t snapshots = 0;
+};
+
+/// Everything replay() can reconstruct for a recovering node.
+struct RecoveredState {
+  std::vector<BlockPtr> blocks;     // height-then-id order (BlockStore order)
+  std::vector<BlockPtr> committed;  // the committed prefix, in commit order
+  std::vector<QcPtr> certificates;  // one per view, ascending
+  QcPtr high_qc;                    // highest-view certificate (null if none)
+  VotingState voting;
+  /// View to resume in: max over voted views, the timeout view and
+  /// high_qc.view + 1. Zero = empty log, cold start.
+  View resume_view = 0;
+  std::uint64_t records = 0;
+  std::uint64_t truncated_bytes = 0;
+};
+
+class Wal {
+ public:
+  Wal(NodeId owner, sim::Scheduler* sched, std::uint64_t seed, WalOptions opt = {});
+
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  const WalOptions& options() const { return opt_; }
+
+  // --- appends (buffered; durable only after sync()) ------------------------
+  void append_block(const Block& block);
+  void append_qc(const QuorumCert& qc);
+  void append_commit(const Block& block);
+
+  /// Voting-decision gate, called by BaseNode *before* a vote is emitted.
+  /// Returns false when the vote conflicts with a durable decision (the vote
+  /// must not be sent). Otherwise logs the decision if it is new, syncs, and
+  /// returns true — the persist-before-send contract.
+  bool record_vote(VoteKind kind, View view, const BlockId& block);
+  /// Same contract for timeouts. Timeouts are never refused (re-multicast of
+  /// the current view's timeout is legitimate pacemaker behaviour); a record
+  /// is written and synced only when `view` raises the durable timeout view.
+  void record_timeout(View view);
+
+  // --- durability barrier ----------------------------------------------------
+  /// Flushes all appended bytes. Advances the busy-until horizon by the
+  /// modelled fsync latency; messages gated on this sync leave at or after
+  /// busy_until().
+  void sync();
+  TimePoint busy_until() const { return busy_until_; }
+
+  // --- crash & recovery ------------------------------------------------------
+  /// Models the crash: the unsynced tail is lost, except for a seeded-random
+  /// prefix of it (a torn in-flight write) that replay() will truncate.
+  void crash();
+
+  /// Corruption-tolerant scan: decodes records until the first bad frame
+  /// (short, oversized or CRC-mismatching), truncates the log there, and
+  /// returns the reconstructed state. Never throws on corrupt input.
+  RecoveredState replay();
+
+  /// Rewrites the log as one snapshot record when the post-snapshot tail
+  /// exceeds the configured threshold (no-op otherwise). Called by BaseNode
+  /// after commits; may also be called directly by tests.
+  void maybe_compact();
+  /// Unconditional snapshot + compaction.
+  void compact();
+
+  /// Amnesia: discards all durable state (a node recovered without its disk).
+  void wipe();
+
+  /// Durable voting state mirror (what replay would reconstruct).
+  const VotingState& voting() const { return voting_; }
+
+  // --- raw storage (fuzzing & tests) ----------------------------------------
+  const Bytes& data() const { return storage_; }
+  Bytes& data_mutable() { return storage_; }
+  std::uint64_t size() const { return storage_.size(); }
+  std::uint64_t synced_size() const { return synced_size_; }
+
+  const WalStats& stats() const { return stats_; }
+
+ private:
+  void append(RecordType type, BytesView body);
+  /// Shared scan used by replay() and compact(). Returns the byte offset of
+  /// the first bad frame (== storage size when the log is clean).
+  std::size_t scan(RecoveredState& out);
+  void write_snapshot(const RecoveredState& rs, Bytes& out) const;
+  void trace(obs::EventKind kind, std::uint64_t a, std::uint64_t b,
+             std::uint64_t c = 0) const {
+    if (tracer_) tracer_->record(owner_, kind, 0, a, b, c);
+  }
+
+  NodeId owner_;
+  sim::Scheduler* sched_;
+  WalOptions opt_;
+  Prng prng_;
+  obs::Tracer* tracer_ = nullptr;
+
+  Bytes storage_;
+  std::size_t synced_size_ = 0;        // bytes guaranteed to survive a crash
+  std::size_t snapshot_end_ = 0;       // end offset of the last snapshot record
+  TimePoint busy_until_ = TimePoint::zero();
+  VotingState voting_;
+  WalStats stats_;
+};
+
+}  // namespace moonshot::wal

@@ -23,9 +23,11 @@ namespace {
 #endif
 
 constexpr const char* kGoldenPath = MOONSHOT_OBS_TEST_DIR "/golden/trace_pm_n4.jsonl";
+constexpr const char* kGoldenWalPath =
+    MOONSHOT_OBS_TEST_DIR "/golden/trace_pm_n4_wal.jsonl";
 constexpr std::size_t kGoldenEvents = 256;  // enough for several full views
 
-std::string render_trace() {
+std::string render_trace(bool with_wal = false) {
   obs::Tracer tracer(4);
   ExperimentConfig cfg;
   cfg.protocol = ProtocolKind::kPipelinedMoonshot;
@@ -38,12 +40,19 @@ std::string render_trace() {
   cfg.net.jitter = 0.0;
   cfg.net.adversarial_before_gst = false;
   cfg.tracer = &tracer;
+  if (with_wal) {
+    // Non-zero fsync so wal_fsync carries a visible latency and the gated
+    // sends shift: the WAL golden is a distinct stream, not a superset.
+    cfg.enable_wal = true;
+    cfg.wal.fsync_base = microseconds(200);
+  }
   run_experiment(cfg);
 
   auto events = tracer.merged();
   if (events.size() > kGoldenEvents) events.resize(kGoldenEvents);
   return obs::to_jsonl(events);
 }
+
 
 std::string read_file(const char* path) {
   std::FILE* f = std::fopen(path, "rb");
@@ -56,20 +65,19 @@ std::string read_file(const char* path) {
   return out;
 }
 
-TEST(TraceGolden, JsonlMatchesCheckedInTrace) {
-  const std::string got = render_trace();
+void check_against_golden(const std::string& got, const char* path) {
   ASSERT_FALSE(got.empty());
 
   if (std::getenv("MOONSHOT_UPDATE_GOLDEN")) {
-    std::FILE* f = std::fopen(kGoldenPath, "wb");
-    ASSERT_NE(f, nullptr) << "cannot write " << kGoldenPath;
+    std::FILE* f = std::fopen(path, "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
     std::fwrite(got.data(), 1, got.size(), f);
     std::fclose(f);
-    GTEST_SKIP() << "golden file regenerated at " << kGoldenPath;
+    GTEST_SKIP() << "golden file regenerated at " << path;
   }
 
-  const std::string want = read_file(kGoldenPath);
-  ASSERT_FALSE(want.empty()) << "missing golden file " << kGoldenPath
+  const std::string want = read_file(path);
+  ASSERT_FALSE(want.empty()) << "missing golden file " << path
                              << " — regenerate with MOONSHOT_UPDATE_GOLDEN=1";
   if (got != want) {
     // Locate the first differing line for a readable failure.
@@ -83,6 +91,20 @@ TEST(TraceGolden, JsonlMatchesCheckedInTrace) {
            << " (byte " << i << "); if the change is intentional, regenerate with "
            << "MOONSHOT_UPDATE_GOLDEN=1";
   }
+}
+
+TEST(TraceGolden, JsonlMatchesCheckedInTrace) {
+  check_against_golden(render_trace(), kGoldenPath);
+}
+
+TEST(TraceGolden, WalJsonlMatchesCheckedInTrace) {
+  // Same run with per-node WALs and a 200µs modelled fsync: the stream now
+  // interleaves wal_append / wal_fsync events with the consensus events, and
+  // the fsync-gated sends shift deterministically.
+  const std::string got = render_trace(/*with_wal=*/true);
+  EXPECT_NE(got.find("\"kind\":\"wal_append\""), std::string::npos);
+  EXPECT_NE(got.find("\"kind\":\"wal_fsync\""), std::string::npos);
+  check_against_golden(got, kGoldenWalPath);
 }
 
 TEST(TraceGolden, JsonlLinesAreWellFormed) {
