@@ -10,8 +10,12 @@
 
 #include "consensus/accumulators.hpp"
 #include "crypto/ed25519.hpp"
+#include "crypto/ed25519_group.hpp"
+#include "crypto/ed25519_scalar.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
 #include "crypto/signature.hpp"
+#include "types/cert_cache.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "types/certs.hpp"
@@ -45,6 +49,72 @@ void BM_Ed25519_Verify(benchmark::State& state) {
 }
 BENCHMARK(BM_Ed25519_Verify);
 
+// Reference verification with plain double-and-add (two separate generic
+// scalar multiplications) — the shape of the code before the comb tables and
+// the Straus/wNAF multi-scalar kernel. Kept as a benchmark so the speedup of
+// BM_Ed25519_Verify over this baseline is measured, not remembered.
+bool ed25519_verify_reference(const crypto::Ed25519PublicKey& pub, BytesView message,
+                              const crypto::Ed25519Signature& sig) {
+  using namespace moonshot::crypto;
+  const std::uint8_t* r_enc = sig.data.data();
+  const std::uint8_t* s_enc = sig.data.data() + 32;
+  if (!sc_is_canonical(s_enc)) return false;
+  const auto A = ge_frombytes(pub.data.data());
+  if (!A) return false;
+  const auto R = ge_frombytes(r_enc);
+  if (!R) return false;
+  Sha512 h;
+  h.update(BytesView(r_enc, 32));
+  h.update(pub.view());
+  h.update(message);
+  const auto k_hash = h.finish();
+  std::uint8_t challenge[32];
+  sc_reduce512(challenge, k_hash.data.data());
+  const GePoint sB = ge_scalarmult(s_enc, ge_basepoint());
+  const GePoint kA = ge_scalarmult(challenge, *A);
+  return ge_equal(ge_add(sB, ge_neg(kA)), *R);
+}
+
+void BM_Ed25519_VerifyRef(benchmark::State& state) {
+  const auto kp = crypto::ed25519_scheme()->derive_keypair(1);
+  const Bytes msg(32, 0x42);
+  const auto sig = crypto::ed25519_scheme()->sign(kp.priv, msg);
+  crypto::Ed25519PublicKey pub;
+  std::memcpy(pub.data.data(), kp.pub.data.data(), 32);
+  crypto::Ed25519Signature s;
+  std::memcpy(s.data.data(), sig.data.data(), 64);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ed25519_verify_reference(pub, msg, s));
+}
+BENCHMARK(BM_Ed25519_VerifyRef);
+
+void BM_Ed25519_BatchVerify(benchmark::State& state) {
+  // n distinct keys signing the same digest — the exact shape of QC
+  // validation. 67 = quorum of n=100; per-signature cost (items/s) is the
+  // number to compare against BM_Ed25519_Verify.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Bytes msg(32, 0x42);
+  std::vector<crypto::Ed25519Seed> seeds(n);
+  std::vector<crypto::Ed25519PublicKey> pubs(n);
+  std::vector<crypto::Ed25519Signature> sigs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seeds[i].data[0] = static_cast<std::uint8_t>(i + 1);
+    seeds[i].data[1] = static_cast<std::uint8_t>(i >> 8);
+    pubs[i] = crypto::ed25519_public_key(seeds[i]);
+    sigs[i] = crypto::ed25519_sign(seeds[i], msg);
+  }
+  std::vector<crypto::Ed25519BatchItem> items;
+  for (std::size_t i = 0; i < n; ++i)
+    items.push_back({&pubs[i], BytesView(msg), &sigs[i]});
+  // Warm the per-key wNAF table cache so steady-state cost is measured.
+  benchmark::DoNotOptimize(crypto::ed25519_verify_batch(items));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::ed25519_verify_batch(items));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Ed25519_BatchVerify)->Arg(16)->Arg(67);
+
 void BM_FastScheme_Verify(benchmark::State& state) {
   const auto kp = crypto::fast_scheme()->derive_keypair(1);
   const Bytes msg(32, 0x42);
@@ -68,6 +138,57 @@ void BM_QcAssembleValidate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QcAssembleValidate)->Arg(4)->Arg(100);
+
+void BM_QcValidateEd25519(benchmark::State& state) {
+  // Real-crypto certificate validation: quorum of 67 Ed25519 signatures
+  // checked as one batch (the ed25519_verify_batch path behind validate()).
+  const auto gen = ValidatorSet::generate(100, crypto::ed25519_scheme(), 1);
+  const auto block = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(0, 1));
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < gen.set->quorum_size(); ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block->id(), i, gen.private_keys[i],
+                               gen.set->scheme()));
+  const auto qc = QuorumCert::assemble(votes, 1, *gen.set);
+  benchmark::DoNotOptimize(qc->validate(*gen.set, true));  // warm key tables
+  for (auto _ : state) benchmark::DoNotOptimize(qc->validate(*gen.set, true));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(gen.set->quorum_size()));
+}
+BENCHMARK(BM_QcValidateEd25519);
+
+void BM_QcValidateCached(benchmark::State& state) {
+  // Re-validation of an already-seen certificate: structural checks plus one
+  // SHA-256 of the serialization and a set lookup — no curve arithmetic.
+  const auto gen = ValidatorSet::generate(100, crypto::ed25519_scheme(), 1);
+  const auto block = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(0, 1));
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < gen.set->quorum_size(); ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block->id(), i, gen.private_keys[i],
+                               gen.set->scheme()));
+  const auto qc = QuorumCert::assemble(votes, 1, *gen.set);
+  CertVerifyCache cache;
+  benchmark::DoNotOptimize(qc->validate(*gen.set, true, &cache));  // populate
+  for (auto _ : state)
+    benchmark::DoNotOptimize(qc->validate(*gen.set, true, &cache));
+}
+BENCHMARK(BM_QcValidateCached);
+
+void BM_WireSizeMemo(benchmark::State& state) {
+  // Steady-state size_of() on a proposal already in the memo, vs the full
+  // re-serialization BM_MessageSerialize measures.
+  const auto gen = ValidatorSet::generate(100, crypto::fast_scheme(), 1);
+  const auto block = Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(1800, 1));
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < gen.set->quorum_size(); ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block->id(), i, gen.private_keys[i],
+                               gen.set->scheme()));
+  const auto qc = QuorumCert::assemble(votes, 1, *gen.set);
+  const auto m = make_message<ProposalMsg>(block, qc, nullptr, NodeId{0});
+  WireSizeMemo memo;
+  benchmark::DoNotOptimize(memo.size_of(m));
+  for (auto _ : state) benchmark::DoNotOptimize(memo.size_of(m));
+}
+BENCHMARK(BM_WireSizeMemo);
 
 void BM_MessageSerialize(benchmark::State& state) {
   const auto gen = ValidatorSet::generate(100, crypto::fast_scheme(), 1);

@@ -4,12 +4,19 @@ namespace moonshot {
 
 QcPtr VoteAccumulator::add(const Vote& vote, Height block_height) {
   if (!validators_->contains(vote.voter)) return nullptr;
-  if (verify_ && !vote.verify(*validators_)) return nullptr;
 
-  auto& bucket = by_view_[vote.view][Key{vote.kind, vote.block}];
+  // Dedupe first: replays never reach signature verification.
+  auto& per_view = by_view_[vote.view];
+  auto& bucket = per_view.buckets[Key{vote.kind, vote.block}];
   if (bucket.emitted) return nullptr;
   for (const auto& v : bucket.votes)
     if (v.voter == vote.voter) return nullptr;  // duplicate
+
+  if (verify_ && !vote.verify(*validators_)) return nullptr;
+
+  auto [it, fresh] =
+      per_view.first_block.try_emplace({vote.kind, vote.voter}, vote.block);
+  if (!fresh && it->second != vote.block) ++equivocations_seen_;
   bucket.votes.push_back(vote);
 
   if (bucket.votes.size() >= validators_->quorum_size()) {
@@ -22,8 +29,8 @@ QcPtr VoteAccumulator::add(const Vote& vote, Height block_height) {
 std::size_t VoteAccumulator::count(View view, VoteKind kind, const BlockId& block) const {
   auto vit = by_view_.find(view);
   if (vit == by_view_.end()) return 0;
-  auto kit = vit->second.find(Key{kind, block});
-  return kit == vit->second.end() ? 0 : kit->second.votes.size();
+  auto kit = vit->second.buckets.find(Key{kind, block});
+  return kit == vit->second.buckets.end() ? 0 : kit->second.votes.size();
 }
 
 void VoteAccumulator::prune_below(View view) {
@@ -33,11 +40,13 @@ void VoteAccumulator::prune_below(View view) {
 TimeoutAccumulator::Result TimeoutAccumulator::add(const TimeoutMsg& timeout) {
   Result result;
   if (!validators_->contains(timeout.sender)) return result;
-  if (!timeout.verify(*validators_, verify_)) return result;
 
+  // Dedupe first: replays never reach signature verification.
   auto& bucket = by_view_[timeout.view];
   for (const auto& t : bucket.timeouts)
     if (t.sender == timeout.sender) return result;  // duplicate
+
+  if (!timeout.verify(*validators_, verify_, cert_cache_)) return result;
   bucket.timeouts.push_back(timeout);
 
   if (!bucket.f1_emitted && bucket.timeouts.size() >= validators_->honest_evidence_size()) {

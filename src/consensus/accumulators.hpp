@@ -4,11 +4,18 @@
 // no designated aggregator. Accumulators deduplicate by sender, reject
 // invalid signatures, emit each certificate exactly once, and prune state
 // for old views as the node advances.
+//
+// Deduplication runs BEFORE signature verification: a vote or timeout from a
+// sender already counted for that key is dropped without touching the
+// (expensive) signature path, so replayed traffic costs a map lookup rather
+// than a curve operation.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "types/certs.hpp"
@@ -34,6 +41,13 @@ class VoteAccumulator {
   /// Number of distinct voters collected for a key (testing/diagnostics).
   std::size_t count(View view, VoteKind kind, const BlockId& block) const;
 
+  /// Number of equivocations observed: votes whose (view, kind, voter) was
+  /// already seen for a DIFFERENT block. Such votes are still counted toward
+  /// their own block's quorum (safety does not depend on suppressing them —
+  /// quorum intersection does the work); the counter is diagnostic evidence
+  /// of Byzantine behaviour.
+  std::uint64_t equivocations_seen() const { return equivocations_seen_; }
+
   /// Drops all state for views < `view`.
   void prune_below(View view);
 
@@ -50,11 +64,17 @@ class VoteAccumulator {
     std::vector<Vote> votes;  // distinct voters
     bool emitted = false;
   };
+  struct PerView {
+    std::map<Key, Bucket> buckets;
+    // First block each (kind, voter) voted for this view — equivocation probe.
+    std::map<std::pair<VoteKind, NodeId>, BlockId> first_block;
+  };
 
   ValidatorSetPtr validators_;
   bool verify_;
   bool aggregate_;
-  std::map<View, std::map<Key, Bucket>> by_view_;
+  std::map<View, PerView> by_view_;
+  std::uint64_t equivocations_seen_ = 0;
 };
 
 /// Accumulates timeout messages per view. Emits two one-shot events per
@@ -72,6 +92,11 @@ class TimeoutAccumulator {
 
   Result add(const TimeoutMsg& timeout);
 
+  /// Installs a verified-certificate cache consulted when validating the
+  /// locks attached to incoming timeouts (2f+1 timeouts usually carry the
+  /// same few QCs). Borrowed pointer; must outlive the accumulator.
+  void set_cert_cache(CertVerifyCache* cache) { cert_cache_ = cache; }
+
   std::size_t count(View view) const;
   void prune_below(View view);
 
@@ -84,6 +109,7 @@ class TimeoutAccumulator {
 
   ValidatorSetPtr validators_;
   bool verify_;
+  CertVerifyCache* cert_cache_ = nullptr;
   std::map<View, Bucket> by_view_;
 };
 

@@ -14,6 +14,9 @@ BaseNode::BaseNode(NodeContext ctx)
       timeout_acc_(ctx_.validators, ctx_.verify_signatures) {
   MOONSHOT_INVARIANT(ctx_.network && ctx_.sched && ctx_.validators && ctx_.leaders,
                      "node context incomplete");
+  // Locks attached to timeouts are validated through the same cache as
+  // check_qc/check_tc, so a QC seen in a proposal is free in the timeouts.
+  timeout_acc_.set_cert_cache(&cert_cache_);
 }
 
 void BaseNode::halt() {
@@ -345,11 +348,11 @@ void BaseNode::note_timeout() {
 }
 
 bool BaseNode::check_qc(const QuorumCert& qc) const {
-  return qc.validate(*ctx_.validators, ctx_.verify_signatures);
+  return qc.validate(*ctx_.validators, ctx_.verify_signatures, &cert_cache_);
 }
 
 bool BaseNode::check_tc(const TimeoutCert& tc) const {
-  return tc.validate(*ctx_.validators, ctx_.verify_signatures);
+  return tc.validate(*ctx_.validators, ctx_.verify_signatures, &cert_cache_);
 }
 
 }  // namespace moonshot

@@ -19,6 +19,7 @@
 #include "consensus/node.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
+#include "types/cert_cache.hpp"
 
 namespace moonshot {
 
@@ -181,6 +182,11 @@ class BaseNode : public IConsensusNode {
   CommitLog commit_log_;
   VoteAccumulator vote_acc_;
   TimeoutAccumulator timeout_acc_;
+  /// Digests of certificates whose signatures this node already verified.
+  /// The same QC arrives embedded in proposals, timeouts, and catch-up
+  /// responses; only the first sighting pays for the cryptography. Mutable
+  /// because check_qc/check_tc are const observers of consensus state.
+  mutable CertVerifyCache cert_cache_;
 
  private:
   std::map<View, QcPtr> qc_by_view_;

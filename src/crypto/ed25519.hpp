@@ -3,7 +3,9 @@
 // Not constant-time (see ed25519_fe.hpp); suitable for this research library.
 #pragma once
 
+#include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "support/bytes.hpp"
 
@@ -25,5 +27,29 @@ Ed25519Signature ed25519_sign(const Ed25519Seed& seed, BytesView message);
 /// Verifies a signature. Rejects non-canonical S and invalid point encodings.
 bool ed25519_verify(const Ed25519PublicKey& pub, BytesView message,
                     const Ed25519Signature& sig);
+
+/// One (public key, message, signature) triple for ed25519_verify_batch.
+/// Pointers are borrowed and must stay valid for the duration of the call.
+struct Ed25519BatchItem {
+  const Ed25519PublicKey* pub = nullptr;
+  BytesView message{};
+  const Ed25519Signature* sig = nullptr;
+};
+
+/// Batch verification (Bernstein et al.): checks the random linear
+/// combination  (-sum z_i S_i) B + sum z_i R_i + sum (z_i h_i) A_i == 0  with
+/// one multi-scalar multiplication instead of n separate verifies. The
+/// coefficients z_i are sparse signed 128-bit values (16 random signed bits,
+/// so z_i R_i is 16 mixed additions; see the soundness note in the .cpp)
+/// drawn from the repo's seeded PRNG, keyed off a hash of the batch itself,
+/// so results are deterministic for deterministic inputs.
+///
+/// Returns true iff EVERY signature verifies. On batch failure, falls back to
+/// per-signature verification; the indices of the failing items are appended
+/// (sorted) to `bad` when it is non-null. The accept/reject outcome per item
+/// always matches ed25519_verify exactly — single verification is cofactorless
+/// and exact, so valid signatures satisfy the batch equation identically.
+bool ed25519_verify_batch(const std::vector<Ed25519BatchItem>& items,
+                          std::vector<std::size_t>* bad = nullptr);
 
 }  // namespace moonshot::crypto

@@ -7,6 +7,7 @@
 // trade-off is appropriate and documented.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "support/bytes.hpp"
@@ -27,9 +28,16 @@ Fe fe_add(const Fe& a, const Fe& b);
 Fe fe_sub(const Fe& a, const Fe& b);
 Fe fe_neg(const Fe& a);
 Fe fe_mul(const Fe& a, const Fe& b);
+/// Dedicated squaring: ~40% fewer word multiplies than fe_mul(a, a). Point
+/// doubling is squaring-heavy, so this carries the scalar-mult hot path.
 Fe fe_sq(const Fe& a);
 /// a^(p-2) — the multiplicative inverse (0 maps to 0).
 Fe fe_invert(const Fe& a);
+/// Inverts n nonzero elements with a single fe_invert (Montgomery's trick:
+/// prefix products, one inversion, unwind). Used when building precomputed
+/// point tables, where hundreds of Z coordinates need inverting at once.
+/// Precondition: every input is nonzero.
+void fe_batch_invert(Fe* out, const Fe* in, std::size_t n);
 /// a^((p-5)/8) — used during square-root extraction for point decompression.
 Fe fe_pow_p58(const Fe& a);
 /// sqrt(-1) = 2^((p-1)/4) mod p; computed once and cached.

@@ -2,13 +2,10 @@
 
 namespace moonshot::crypto {
 
-namespace {
-/// 2*d, used by the addition formula.
 const Fe& ge_2d() {
   static const Fe cached = fe_add(ge_d(), ge_d());
   return cached;
 }
-}  // namespace
 
 GePoint ge_identity() {
   return GePoint{fe_zero(), fe_one(), fe_one(), fe_zero()};
@@ -49,22 +46,86 @@ GePoint ge_add(const GePoint& p, const GePoint& q) {
   return GePoint{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
 }
 
-GePoint ge_double(const GePoint& p) {
-  // dbl-2008-hwcd with a = -1.
+GePoint ge_double_partial(const GePoint& p, bool need_t) {
+  // dbl-2008-hwcd with a = -1. Reads only X, Y, Z — never T — so chained
+  // doublings may start from a point whose T was elided.
   const Fe A = fe_sq(p.X);
   const Fe B = fe_sq(p.Y);
-  const Fe C = fe_add(fe_sq(p.Z), fe_sq(p.Z));
+  const Fe zz = fe_sq(p.Z);
+  const Fe C = fe_add(zz, zz);
   const Fe D = fe_neg(A);
   const Fe xy = fe_add(p.X, p.Y);
   const Fe E = fe_sub(fe_sub(fe_sq(xy), A), B);
   const Fe G = fe_add(D, B);
   const Fe F = fe_sub(G, C);
   const Fe H = fe_sub(D, B);
-  return GePoint{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
+  GePoint r;
+  r.X = fe_mul(E, F);
+  r.Y = fe_mul(G, H);
+  r.Z = fe_mul(F, G);
+  r.T = need_t ? fe_mul(E, H) : fe_zero();
+  return r;
 }
+
+GePoint ge_double(const GePoint& p) { return ge_double_partial(p, true); }
 
 GePoint ge_neg(const GePoint& p) {
   return GePoint{fe_neg(p.X), p.Y, p.Z, fe_neg(p.T)};
+}
+
+GeCached ge_to_cached(const GePoint& p) {
+  return GeCached{fe_add(p.Y, p.X), fe_sub(p.Y, p.X), p.Z, fe_mul(p.T, ge_2d())};
+}
+
+GePoint ge_add_cached(const GePoint& p, const GeCached& q) {
+  const Fe A = fe_mul(fe_sub(p.Y, p.X), q.YminusX);
+  const Fe B = fe_mul(fe_add(p.Y, p.X), q.YplusX);
+  const Fe C = fe_mul(p.T, q.T2d);
+  const Fe D = fe_mul(fe_add(p.Z, p.Z), q.Z);
+  const Fe E = fe_sub(B, A);
+  const Fe F = fe_sub(D, C);
+  const Fe G = fe_add(D, C);
+  const Fe H = fe_add(B, A);
+  return GePoint{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
+}
+
+GePoint ge_sub_cached(const GePoint& p, const GeCached& q) {
+  // p + (-q): negating q swaps Y±X and flips the sign of T, so C is
+  // subtracted where ge_add_cached adds it.
+  const Fe A = fe_mul(fe_sub(p.Y, p.X), q.YplusX);
+  const Fe B = fe_mul(fe_add(p.Y, p.X), q.YminusX);
+  const Fe C = fe_mul(p.T, q.T2d);
+  const Fe D = fe_mul(fe_add(p.Z, p.Z), q.Z);
+  const Fe E = fe_sub(B, A);
+  const Fe F = fe_add(D, C);
+  const Fe G = fe_sub(D, C);
+  const Fe H = fe_add(B, A);
+  return GePoint{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
+}
+
+GePoint ge_madd(const GePoint& p, const GePrecomp& q) {
+  // Mixed addition: q.Z == 1, so D = 2*Z1 needs no multiplication.
+  const Fe A = fe_mul(fe_sub(p.Y, p.X), q.ymx);
+  const Fe B = fe_mul(fe_add(p.Y, p.X), q.ypx);
+  const Fe C = fe_mul(p.T, q.xy2d);
+  const Fe D = fe_add(p.Z, p.Z);
+  const Fe E = fe_sub(B, A);
+  const Fe F = fe_sub(D, C);
+  const Fe G = fe_add(D, C);
+  const Fe H = fe_add(B, A);
+  return GePoint{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
+}
+
+GePoint ge_msub(const GePoint& p, const GePrecomp& q) {
+  const Fe A = fe_mul(fe_sub(p.Y, p.X), q.ypx);
+  const Fe B = fe_mul(fe_add(p.Y, p.X), q.ymx);
+  const Fe C = fe_mul(p.T, q.xy2d);
+  const Fe D = fe_add(p.Z, p.Z);
+  const Fe E = fe_sub(B, A);
+  const Fe F = fe_add(D, C);
+  const Fe G = fe_sub(D, C);
+  const Fe H = fe_add(B, A);
+  return GePoint{fe_mul(E, F), fe_mul(G, H), fe_mul(F, G), fe_mul(E, H)};
 }
 
 GePoint ge_scalarmult(const std::uint8_t n_le[32], const GePoint& p) {
@@ -74,10 +135,6 @@ GePoint ge_scalarmult(const std::uint8_t n_le[32], const GePoint& p) {
     if ((n_le[bit >> 3] >> (bit & 7)) & 1) r = ge_add(r, p);
   }
   return r;
-}
-
-GePoint ge_scalarmult_base(const std::uint8_t n_le[32]) {
-  return ge_scalarmult(n_le, ge_basepoint());
 }
 
 bool ge_equal(const GePoint& p, const GePoint& q) {

@@ -16,22 +16,53 @@ struct GePoint {
   Fe X, Y, Z, T;
 };
 
+/// A point pre-arranged for repeated addition: (Y+X, Y-X, Z, 2dT). Saves the
+/// per-addition sums/products that depend only on the table entry.
+struct GeCached {
+  Fe YplusX, YminusX, Z, T2d;
+};
+
+/// An affine (Z = 1) table entry: (y+x, y-x, 2dxy). Mixed addition against
+/// one of these (ge_madd) drops another field multiplication.
+struct GePrecomp {
+  Fe ypx, ymx, xy2d;
+};
+
 /// The identity element (0 : 1 : 1 : 0).
 GePoint ge_identity();
 /// The standard base point B (y = 4/5, x even); derived once at startup.
 const GePoint& ge_basepoint();
 /// Curve constant d = -121665/121666; derived once at startup.
 const Fe& ge_d();
+/// Curve constant 2d, used by the addition formulas; derived once at startup.
+const Fe& ge_2d();
 
 /// Unified point addition (works for doubling too, but ge_double is faster).
 GePoint ge_add(const GePoint& p, const GePoint& q);
 /// Point doubling.
 GePoint ge_double(const GePoint& p);
+/// Point doubling that skips the T coordinate unless need_t is set. The
+/// doubling formula never reads T, so runs of doublings (between additions in
+/// a scalar-mult ladder) can elide one field multiplication each.
+GePoint ge_double_partial(const GePoint& p, bool need_t);
 /// Point negation.
 GePoint ge_neg(const GePoint& p);
-/// Scalar multiplication n*P; n is a 256-bit little-endian scalar.
+
+/// Converts to the cached form used by the addition kernels below.
+GeCached ge_to_cached(const GePoint& p);
+/// p + q with q pre-cached (add-2008-hwcd-3, shared subexpressions hoisted).
+GePoint ge_add_cached(const GePoint& p, const GeCached& q);
+/// p - q with q pre-cached.
+GePoint ge_sub_cached(const GePoint& p, const GeCached& q);
+/// Mixed addition p + q with affine q (Z = 1).
+GePoint ge_madd(const GePoint& p, const GePrecomp& q);
+/// Mixed subtraction p - q with affine q (Z = 1).
+GePoint ge_msub(const GePoint& p, const GePrecomp& q);
+/// Scalar multiplication n*P; n is a 256-bit little-endian scalar. Plain
+/// double-and-add reference ladder; the fast paths live in ed25519_straus.hpp.
 GePoint ge_scalarmult(const std::uint8_t n_le[32], const GePoint& p);
-/// n*B for the standard base point.
+/// n*B for the standard base point, via a precomputed radix-16 comb table
+/// (implemented in ed25519_straus.cpp).
 GePoint ge_scalarmult_base(const std::uint8_t n_le[32]);
 
 /// Projective equality: same affine point?

@@ -49,23 +49,102 @@ void store_le(std::uint8_t* out, const std::uint64_t in[4]) {
     for (int b = 0; b < 8; ++b) out[8 * i + b] = static_cast<std::uint8_t>(in[i] >> (8 * b));
 }
 
-/// Reduces an 8-limb (512-bit) value modulo L into 4 limbs via binary long
-/// division: scan from the most significant bit, shifting into a remainder.
-void reduce_limbs(std::uint64_t out[4], const std::uint64_t in[8]) {
-  std::uint64_t r[4] = {0, 0, 0, 0};
-  for (int bit = 511; bit >= 0; --bit) {
-    // r = (r << 1) | in_bit
-    std::uint64_t carry = (in[bit >> 6] >> (bit & 63)) & 1;
-    for (int i = 0; i < 4; ++i) {
-      const std::uint64_t next = r[i] >> 63;
-      r[i] = (r[i] << 1) | carry;
-      carry = next;
-    }
-    // r < 2L always holds here (r was < L before the shift), so one
-    // conditional subtraction restores r < L. The shifted-out carry bit is
-    // zero because r < L < 2^253.
-    if (ge_l(r)) sub_l(r);
+// c = L - 2^252 (125 bits); the key to fast reduction is the sparse form
+// 2^252 ≡ -c (mod L).
+constexpr std::uint64_t kC[2] = {0x5812631a5cf5d3edull, 0x14def9dea2f79cd6ull};
+
+/// out = in >> 252 for an n-limb value; returns the result's limb count.
+int shr252(std::uint64_t* out, const std::uint64_t* in, int n) {
+  const int rn = n - 3;
+  for (int i = 0; i < rn; ++i) {
+    std::uint64_t v = in[3 + i] >> 60;
+    if (4 + i < n) v |= in[4 + i] << 4;
+    out[i] = v;
   }
+  return rn;
+}
+
+/// out = low 252 bits of in (4 limbs).
+void lo252(std::uint64_t out[4], const std::uint64_t* in) {
+  std::memcpy(out, in, 4 * sizeof(std::uint64_t));
+  out[3] &= (1ull << 60) - 1;
+}
+
+/// out = h * c for an nh-limb h; returns the result's limb count (nh + 2).
+int mul_c(std::uint64_t* out, const std::uint64_t* h, int nh) {
+  std::memset(out, 0, (nh + 2) * sizeof(std::uint64_t));
+  for (int i = 0; i < nh; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 2; ++j) {
+      const u128 cur = static_cast<u128>(h[i]) * kC[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    out[i + 2] += static_cast<std::uint64_t>(carry);  // cannot overflow: out[i+2] was 0 or a prior carry < 2^64 - 1
+  }
+  return nh + 2;
+}
+
+/// a += b over 4 limbs (no overflow past limb 3 for the ranges used here).
+void add4(std::uint64_t a[4], const std::uint64_t b[4]) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 cur = static_cast<u128>(a[i]) + b[i] + carry;
+    a[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+}
+
+/// a >= b over 4 limbs?
+bool ge4(const std::uint64_t a[4], const std::uint64_t b[4]) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] > b[i]) return true;
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+/// a -= b over 4 limbs (requires a >= b).
+void sub4(std::uint64_t a[4], const std::uint64_t b[4]) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(a[i]) - b[i] - borrow;
+    a[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+}
+
+/// Reduces an 8-limb (512-bit) value modulo L into 4 limbs. Uses three folds
+/// of the identity 2^252 ≡ -c: writing x = x1 + 2^252*h1 gives
+/// x ≡ x1 - h1*c, and h1*c (≤ 385 bits) folds the same way twice more, so
+///   x ≡ x1 - l1 + l2 - t3 (mod L)
+/// with every term below 2^252 (t3 ≤ 131 bits). Signs alternate, so the terms
+/// are combined as (x1 + l2) - (l1 + t3) with at most two corrective
+/// additions/subtractions of L — a few dozen word operations total, versus
+/// 512 shift-compare-subtract rounds for binary long division.
+void reduce_limbs(std::uint64_t out[4], const std::uint64_t in[8]) {
+  std::uint64_t h[5], t1[7], t2[6], t3[5];
+  std::uint64_t x1[4], l1[4], l2[4];
+
+  lo252(x1, in);
+  int n = shr252(h, in, 8);          // h1, 5 limbs
+  n = mul_c(t1, h, n);               // t1 = h1*c, ≤ 385 bits
+  lo252(l1, t1);
+  n = shr252(h, t1, n);              // h2, ≤ 133 bits
+  n = mul_c(t2, h, n);               // t2 = h2*c, ≤ 258 bits
+  lo252(l2, t2);
+  n = shr252(h, t2, n);              // h3, ≤ 6 bits
+  mul_c(t3, h, n);                   // t3 = h3*c, ≤ 131 bits
+
+  // r = (x1 + l2) - (l1 + t3) mod L; both sides < 2^253.
+  std::uint64_t r[4], s[4];
+  std::memcpy(r, x1, sizeof(r));
+  add4(r, l2);
+  std::memcpy(s, l1, sizeof(s));
+  add4(s, t3);
+  while (!ge4(r, s)) add4(r, kL);
+  sub4(r, s);
+  while (ge_l(r)) sub_l(r);
   std::memcpy(out, r, 4 * sizeof(std::uint64_t));
 }
 
@@ -109,6 +188,49 @@ void sc_muladd(std::uint8_t out[32], const std::uint8_t a[32], const std::uint8_
   std::uint64_t r[4];
   reduce_limbs(r, prod);
   store_le(out, r);
+}
+
+void sc_mul(std::uint8_t out[32], const std::uint8_t a[32], const std::uint8_t b[32]) {
+  static constexpr std::uint8_t kZero[32] = {};
+  sc_muladd(out, a, b, kZero);
+}
+
+void sc_neg(std::uint8_t out[32], const std::uint8_t a[32]) {
+  std::uint64_t al[4];
+  load_le(al, a, 4);
+  if ((al[0] | al[1] | al[2] | al[3]) == 0) {
+    std::memset(out, 0, 32);
+    return;
+  }
+  std::uint64_t r[4];
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(kL[i]) - al[i] - borrow;
+    r[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+  store_le(out, r);
+}
+
+void sc_from_sparse(std::uint8_t out[32], const std::uint16_t* pos,
+                    const signed char* sign, int n) {
+  std::uint64_t p4[4] = {0, 0, 0, 0}, n4[4] = {0, 0, 0, 0};
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t* t = sign[i] >= 0 ? p4 : n4;
+    std::uint64_t carry = std::uint64_t{1} << (pos[i] & 63);
+    for (int j = pos[i] >> 6; j < 4 && carry; ++j) {
+      const std::uint64_t prev = t[j];
+      t[j] += carry;
+      carry = t[j] < prev ? 1 : 0;
+    }
+  }
+  // Reduce both partial sums below L first so that p4 - n4 mod L needs at
+  // most one corrective addition of L and add4 cannot overflow 256 bits.
+  while (ge_l(p4)) sub_l(p4);
+  while (ge_l(n4)) sub_l(n4);
+  if (!ge4(p4, n4)) add4(p4, kL);
+  sub4(p4, n4);
+  store_le(out, p4);
 }
 
 bool sc_is_canonical(const std::uint8_t s[32]) {

@@ -1,9 +1,9 @@
 // Scalar arithmetic modulo the Ed25519 group order
 // L = 2^252 + 27742317777372353535851937790883648493.
 //
-// Scalars are 32-byte little-endian values. Reduction uses straightforward
-// binary long division — clear and obviously correct; speed is irrelevant at
-// the handful of reductions per signature this library performs.
+// Scalars are 32-byte little-endian values. Reduction exploits the sparse
+// shape of L: 2^252 ≡ -c (mod L) with c only 125 bits, so a 512-bit value
+// folds down in three cheap multiply-by-c steps (see reduce_limbs).
 #pragma once
 
 #include <cstdint>
@@ -19,7 +19,20 @@ void sc_reduce512(std::uint8_t out[32], const std::uint8_t in[64]);
 void sc_muladd(std::uint8_t out[32], const std::uint8_t a[32], const std::uint8_t b[32],
                const std::uint8_t c[32]);
 
+/// out = (a * b) mod L.
+void sc_mul(std::uint8_t out[32], const std::uint8_t a[32], const std::uint8_t b[32]);
+
+/// out = (-a) mod L, i.e. L - a (and 0 for a = 0). Requires a < L.
+void sc_neg(std::uint8_t out[32], const std::uint8_t a[32]);
+
 /// True iff the 32-byte little-endian value is < L (canonical scalar).
 bool sc_is_canonical(const std::uint8_t s[32]);
+
+/// out = sum_i sign(sign[i]) * 2^pos[i] (mod L) — a scalar from a sparse
+/// signed-bit representation. Positions must be < 256, and the positive and
+/// negative partial sums must each fit in 256 bits; only the sign of sign[i]
+/// matters. Backs the sparse batch-verification coefficients.
+void sc_from_sparse(std::uint8_t out[32], const std::uint16_t* pos,
+                    const signed char* sign, int n);
 
 }  // namespace moonshot::crypto

@@ -40,6 +40,17 @@ class Ed25519Scheme final : public SignatureScheme {
   }
 
   std::string name() const override { return "ed25519"; }
+
+  bool verify_batch(const std::vector<BatchItem>& items,
+                    std::vector<std::size_t>* bad) const override {
+    // PublicKey/Signature are the same FixedBytes types as the Ed25519
+    // aliases, so items translate by pointer without copying key material.
+    std::vector<Ed25519BatchItem> ed;
+    ed.reserve(items.size());
+    for (const auto& item : items)
+      ed.push_back(Ed25519BatchItem{item.pub, item.message, item.sig});
+    return ed25519_verify_batch(ed, bad);
+  }
 };
 
 /// The FastScheme global secret. Its only purpose is to let verify() rederive
@@ -109,6 +120,18 @@ class FastScheme final : public SignatureScheme {
 };
 
 }  // namespace
+
+bool SignatureScheme::verify_batch(const std::vector<BatchItem>& items,
+                                   std::vector<std::size_t>* bad) const {
+  bool ok = true;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!verify(*items[i].pub, items[i].message, *items[i].sig)) {
+      ok = false;
+      if (bad) bad->push_back(i);
+    }
+  }
+  return ok;
+}
 
 std::shared_ptr<const SignatureScheme> ed25519_scheme() {
   static const auto instance = std::make_shared<const Ed25519Scheme>();

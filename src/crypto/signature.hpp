@@ -15,9 +15,11 @@
 //    *experiment* is preserved. Tests exercise both schemes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "support/bytes.hpp"
 
@@ -35,6 +37,14 @@ struct KeyPair {
   PublicKey pub;
 };
 
+/// One (public key, message, signature) triple for verify_batch. Pointers are
+/// borrowed; they must stay valid for the duration of the call.
+struct BatchItem {
+  const PublicKey* pub = nullptr;
+  BytesView message{};
+  const Signature* sig = nullptr;
+};
+
 /// Polymorphic signature scheme. Implementations must be stateless and
 /// thread-compatible; all methods are const.
 class SignatureScheme {
@@ -49,6 +59,15 @@ class SignatureScheme {
   virtual bool verify(const PublicKey& pub, BytesView message,
                       const Signature& sig) const = 0;
   virtual std::string name() const = 0;
+
+  /// Verifies a batch of independent signatures. Returns true iff every one
+  /// verifies; on failure, appends the (sorted) indices of the failing items
+  /// to `bad` when non-null. The per-item verdicts always match verify()
+  /// exactly — batching is an optimization, never a semantic change. The
+  /// default implementation loops over verify(); Ed25519 overrides it with
+  /// Bernstein-style random-linear-combination batch verification.
+  virtual bool verify_batch(const std::vector<BatchItem>& items,
+                            std::vector<std::size_t>* bad = nullptr) const;
 
   /// Aggregation support (BLS-style constant-size multi-signatures over a
   /// common message). Table I's communication-complexity column assumes

@@ -47,7 +47,7 @@ Duration SimNetwork::proc_cost(const Message& m, std::uint64_t wire_size) const 
 void SimNetwork::multicast(NodeId from, MessagePtr m) {
   if (silenced_.at(from)) return;
   if (tap_) tap_(from, *m);
-  const std::uint64_t wire = message_wire_size(*m);
+  const std::uint64_t wire = wire_memo_.size_of(m);
   if (tracer_) {
     tracer_->record(from, obs::EventKind::kMsgSent, 0, m->index(), wire, kNoNode);
   }
@@ -72,7 +72,7 @@ void SimNetwork::multicast(NodeId from, MessagePtr m) {
 void SimNetwork::unicast(NodeId from, NodeId to, MessagePtr m) {
   if (silenced_.at(from)) return;
   if (tap_) tap_(from, *m);
-  const std::uint64_t wire = message_wire_size(*m);
+  const std::uint64_t wire = wire_memo_.size_of(m);
   if (tracer_) {
     tracer_->record(from, obs::EventKind::kMsgSent, 0, m->index(), wire, to);
   }

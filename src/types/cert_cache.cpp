@@ -1,0 +1,26 @@
+#include "types/cert_cache.hpp"
+
+namespace moonshot {
+
+bool CertVerifyCache::contains(const crypto::Sha256Digest& key) {
+  if (keys_.count(key) > 0) {
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void CertVerifyCache::insert(const crypto::Sha256Digest& key) {
+  if (capacity_ == 0) return;
+  if (!keys_.insert(key).second) return;  // already present
+  fifo_.push_back(key);
+  ++stats_.insertions;
+  if (fifo_.size() > capacity_) {
+    keys_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace moonshot

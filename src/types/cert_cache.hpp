@@ -1,0 +1,53 @@
+// A digest-keyed cache of certificates whose signatures have already been
+// verified.
+//
+// Moonshot re-encounters the same QC/TC many times: embedded in a proposal,
+// attached to each of 2f+1 timeouts, forwarded in CertMsg/TcMsg on view
+// entry, and inside ancestor batches during catch-up. Signature verification
+// is by far the most expensive part of validation, so each node remembers
+// the canonical digest of every certificate that has passed full signature
+// checking and skips the cryptography on re-validation. Structural checks
+// (quorum size, known voters, ordering) are still performed by the caller on
+// every pass — the cache answers only "were these exact signatures already
+// verified against this exact content?", which is sound because the key is a
+// collision-resistant hash of the certificate's canonical serialization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
+
+namespace moonshot {
+
+class CertVerifyCache {
+ public:
+  /// FIFO-evicting cache holding up to `capacity` digests. The default keeps
+  /// ~128 KiB of digests — thousands of views of certificates — per node.
+  explicit CertVerifyCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// True iff a certificate with this digest already passed signature checks.
+  bool contains(const crypto::Sha256Digest& key);
+
+  /// Records a certificate digest after successful signature verification.
+  void insert(const crypto::Sha256Digest& key);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return fifo_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<crypto::Sha256Digest> keys_;
+  std::deque<crypto::Sha256Digest> fifo_;  // insertion order, for eviction
+  Stats stats_;
+};
+
+}  // namespace moonshot

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "types/cert_cache.hpp"
 
 namespace moonshot {
 
@@ -53,11 +54,13 @@ QcPtr QuorumCert::assemble(const std::vector<Vote>& votes, Height block_height,
   return qc;
 }
 
-bool QuorumCert::validate(const ValidatorSet& validators, bool check_sigs) const {
+bool QuorumCert::validate(const ValidatorSet& validators, bool check_sigs,
+                          CertVerifyCache* cache) const {
   if (is_genesis()) {
     // The genesis certificate is axiomatic: correct iff it names genesis.
     return block == Block::genesis()->id();
   }
+  // Structural checks run unconditionally; only signature work is skippable.
   if (!aggregated && voters.size() != sigs.size()) return false;
   if (aggregated && !sigs.empty()) return false;
   if (voters.size() < validators.quorum_size()) return false;
@@ -67,21 +70,40 @@ bool QuorumCert::validate(const ValidatorSet& validators, bool check_sigs) const
     if (!validators.contains(id)) return false;
     if (i > 0 && id <= prev) return false;  // must be strictly increasing
     prev = id;
-    if (!aggregated && check_sigs) {
-      const auto digest = Vote::signing_digest(kind, view, block);
-      if (!validators.scheme().verify(validators.key(id), digest.view(), sigs[i]))
-        return false;
-    }
   }
-  if (aggregated && check_sigs) {
+  if (!check_sigs) return true;
+
+  crypto::Sha256Digest key{};
+  if (cache) {
+    key = cache_key(validators);
+    if (cache->contains(key)) return true;
+  }
+  const auto digest = Vote::signing_digest(kind, view, block);
+  if (aggregated) {
     if (!validators.scheme().supports_aggregation()) return false;
     std::vector<crypto::PublicKey> pubs;
     pubs.reserve(voters.size());
     for (const NodeId id : voters) pubs.push_back(validators.key(id));
-    const auto digest = Vote::signing_digest(kind, view, block);
     if (!validators.scheme().verify_aggregate(pubs, digest.view(), agg_sig)) return false;
+  } else {
+    std::vector<crypto::BatchItem> items;
+    items.reserve(voters.size());
+    for (std::size_t i = 0; i < voters.size(); ++i) {
+      items.push_back(crypto::BatchItem{&validators.key(voters[i]),
+                                        digest.view(), &sigs[i]});
+    }
+    if (!validators.scheme().verify_batch(items)) return false;
   }
+  if (cache) cache->insert(key);
   return true;
+}
+
+crypto::Sha256Digest QuorumCert::cache_key(const ValidatorSet& validators) const {
+  Writer w;
+  w.str("moonshot-qc-key");
+  w.raw(validators.digest().view());  // a cache entry is key-set specific
+  serialize(w);
+  return crypto::sha256(w.buffer());
 }
 
 void QuorumCert::serialize(Writer& w) const {
@@ -170,11 +192,12 @@ TimeoutMsg TimeoutMsg::make(View view, NodeId sender, QcPtr lock,
   return t;
 }
 
-bool TimeoutMsg::verify(const ValidatorSet& validators, bool check_sigs) const {
+bool TimeoutMsg::verify(const ValidatorSet& validators, bool check_sigs,
+                        CertVerifyCache* cache) const {
   if (!validators.contains(sender)) return false;
   if (high_qc) {
     if (high_qc->view != high_qc_view) return false;
-    if (!high_qc->validate(validators, check_sigs)) return false;
+    if (!high_qc->validate(validators, check_sigs, cache)) return false;
   } else if (high_qc_view != 0) {
     return false;  // claims a lock it does not attach
   }
@@ -244,7 +267,8 @@ TcPtr TimeoutCert::assemble(const std::vector<TimeoutMsg>& timeouts,
   return tc;
 }
 
-bool TimeoutCert::validate(const ValidatorSet& validators, bool check_sigs) const {
+bool TimeoutCert::validate(const ValidatorSet& validators, bool check_sigs,
+                           CertVerifyCache* cache) const {
   if (entries.size() < validators.quorum_size()) return false;
   NodeId prev = kNoNode;
   View best_claim = 0;
@@ -254,20 +278,49 @@ bool TimeoutCert::validate(const ValidatorSet& validators, bool check_sigs) cons
     if (i > 0 && e.sender <= prev) return false;
     prev = e.sender;
     best_claim = std::max(best_claim, e.high_qc_view);
-    if (check_sigs) {
-      const auto digest = TimeoutMsg::signing_digest(view, e.high_qc_view);
-      if (!validators.scheme().verify(validators.key(e.sender), digest.view(), e.sig))
-        return false;
+  }
+
+  // A cache hit covers both the entry signatures and the embedded lock's
+  // signatures (the key hashes the full serialization, lock included), so the
+  // lock's own validation degrades to its structural checks.
+  crypto::Sha256Digest key{};
+  bool sigs_needed = check_sigs;
+  if (check_sigs && cache) {
+    key = cache_key(validators);
+    if (cache->contains(key)) sigs_needed = false;
+  }
+  if (sigs_needed) {
+    // Each entry signs a digest of (view, claimed lock view); the digests
+    // differ per entry, so keep them alive alongside the batch views.
+    std::vector<crypto::Sha256Digest> digests;
+    digests.reserve(entries.size());
+    for (const auto& e : entries)
+      digests.push_back(TimeoutMsg::signing_digest(view, e.high_qc_view));
+    std::vector<crypto::BatchItem> items;
+    items.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      items.push_back(crypto::BatchItem{&validators.key(entries[i].sender),
+                                        digests[i].view(), &entries[i].sig});
     }
+    if (!validators.scheme().verify_batch(items)) return false;
   }
   if (best_claim > 0) {
     // Must attach the highest claimed lock so voters can check fb proposals.
     if (!high_qc || high_qc->view != best_claim) return false;
-    if (!high_qc->validate(validators, check_sigs)) return false;
+    if (!high_qc->validate(validators, sigs_needed, cache)) return false;
   } else if (high_qc && !high_qc->is_genesis()) {
     return false;
   }
+  if (sigs_needed && cache) cache->insert(key);
   return true;
+}
+
+crypto::Sha256Digest TimeoutCert::cache_key(const ValidatorSet& validators) const {
+  Writer w;
+  w.str("moonshot-tc-key");
+  w.raw(validators.digest().view());  // a cache entry is key-set specific
+  serialize(w);
+  return crypto::sha256(w.buffer());
 }
 
 void TimeoutCert::serialize(Writer& w) const {

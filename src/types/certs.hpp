@@ -23,6 +23,8 @@
 
 namespace moonshot {
 
+class CertVerifyCache;
+
 struct QuorumCert;
 using QcPtr = std::shared_ptr<const QuorumCert>;
 
@@ -56,8 +58,17 @@ struct QuorumCert {
 
   /// Full validation: quorum of distinct known voters with valid signatures.
   /// `check_sigs` can be disabled when the caller models signature cost
-  /// elsewhere (large simulations).
-  bool validate(const ValidatorSet& validators, bool check_sigs = true) const;
+  /// elsewhere (large simulations). Signatures are checked as one batch
+  /// (SignatureScheme::verify_batch); a non-null `cache` skips the signature
+  /// work entirely for certificates whose digest it already holds and records
+  /// newly verified ones. Structural checks always run.
+  bool validate(const ValidatorSet& validators, bool check_sigs = true,
+                CertVerifyCache* cache = nullptr) const;
+
+  /// Collision-resistant digest of the canonical serialization, bound to the
+  /// validator set the signatures were checked against; the key under which
+  /// CertVerifyCache remembers this certificate.
+  crypto::Sha256Digest cache_key(const ValidatorSet& validators) const;
 
   void serialize(Writer& w) const;
   static std::optional<QuorumCert> deserialize(Reader& r);
@@ -84,8 +95,10 @@ struct TimeoutMsg {
                          const crypto::SignatureScheme& scheme);
 
   /// Signature check plus, when a lock is attached, consistency of the
-  /// claimed view with the attached certificate.
-  bool verify(const ValidatorSet& validators, bool check_sigs = true) const;
+  /// claimed view with the attached certificate. A non-null `cache` is used
+  /// for (and updated with) the attached lock's validation.
+  bool verify(const ValidatorSet& validators, bool check_sigs = true,
+              CertVerifyCache* cache = nullptr) const;
 
   void serialize(Writer& w) const;
   static std::optional<TimeoutMsg> deserialize(Reader& r);
@@ -116,7 +129,13 @@ struct TimeoutCert {
   static TcPtr assemble(const std::vector<TimeoutMsg>& timeouts,
                         const ValidatorSet& validators);
 
-  bool validate(const ValidatorSet& validators, bool check_sigs = true) const;
+  /// Entry signatures are batch-verified; `cache` (optional) short-circuits
+  /// both this TC and its embedded high_qc, as in QuorumCert::validate.
+  bool validate(const ValidatorSet& validators, bool check_sigs = true,
+                CertVerifyCache* cache = nullptr) const;
+
+  /// Digest of the canonical serialization (see QuorumCert::cache_key).
+  crypto::Sha256Digest cache_key(const ValidatorSet& validators) const;
 
   void serialize(Writer& w) const;
   static std::optional<TimeoutCert> deserialize(Reader& r);

@@ -9,6 +9,10 @@ ValidatorSet::ValidatorSet(std::vector<crypto::PublicKey> keys,
     : keys_(std::move(keys)), scheme_(std::move(scheme)) {
   MOONSHOT_INVARIANT(!keys_.empty(), "validator set must be non-empty");
   MOONSHOT_INVARIANT(scheme_ != nullptr, "signature scheme required");
+  crypto::Sha256 h;
+  h.update(to_bytes(scheme_->name()));
+  for (const auto& k : keys_) h.update(k.view());
+  digest_ = h.finish();
 }
 
 ValidatorSet::Generated ValidatorSet::generate(

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "crypto/sha256.hpp"
 #include "crypto/signature.hpp"
 #include "types/ids.hpp"
 
@@ -34,6 +35,11 @@ class ValidatorSet {
   const crypto::SignatureScheme& scheme() const { return *scheme_; }
   std::shared_ptr<const crypto::SignatureScheme> scheme_ptr() const { return scheme_; }
 
+  /// Hash of (scheme name, all public keys in order), computed once at
+  /// construction. Binds verified-certificate cache entries to the exact key
+  /// set they were verified against.
+  const crypto::Sha256Digest& digest() const { return digest_; }
+
   /// Deterministically generates a set of n validators (and their private
   /// keys) for tests and simulations.
   struct Generated {
@@ -47,6 +53,7 @@ class ValidatorSet {
  private:
   std::vector<crypto::PublicKey> keys_;
   std::shared_ptr<const crypto::SignatureScheme> scheme_;
+  crypto::Sha256Digest digest_{};
 };
 
 using ValidatorSetPtr = std::shared_ptr<const ValidatorSet>;

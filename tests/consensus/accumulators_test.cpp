@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "types/cert_cache.hpp"
+
 namespace moonshot {
 namespace {
 
@@ -107,6 +109,67 @@ TEST_F(AccumulatorTest, TimeoutDuplicateSenderIgnored) {
   const auto r = acc.add(timeout_from(0, 2));
   EXPECT_FALSE(r.reached_f_plus_1);
   EXPECT_EQ(acc.count(2), 1u);
+}
+
+TEST_F(AccumulatorTest, DuplicateVoteSkipsSignatureCheck) {
+  // Dedupe happens before verification: a replay with a corrupted signature
+  // is dropped as a duplicate, and the original vote survives.
+  VoteAccumulator acc(gen_.set, true);
+  acc.add(vote_from(0), 1);
+  auto replay = vote_from(0);
+  replay.sig.data[0] ^= 1;  // would fail verification if it were checked
+  EXPECT_EQ(acc.add(replay, 1), nullptr);
+  EXPECT_EQ(acc.count(1, VoteKind::kNormal, block_->id()), 1u);
+}
+
+TEST_F(AccumulatorTest, CountsEquivocations) {
+  VoteAccumulator acc(gen_.set, true);
+  const auto other =
+      Block::create(1, 1, Block::genesis()->id(), Payload::synthetic(20, 2));
+  acc.add(vote_from(0), 1);
+  acc.add(vote_from(1), 1);
+  EXPECT_EQ(acc.equivocations_seen(), 0u);
+  // Node 0 votes again in view 1, same kind, different block: equivocation.
+  const auto eq = Vote::make(VoteKind::kNormal, 1, other->id(), 0,
+                             gen_.private_keys[0], gen_.set->scheme());
+  acc.add(eq, 1);
+  EXPECT_EQ(acc.equivocations_seen(), 1u);
+  // The equivocating vote still counts toward its own block's bucket.
+  EXPECT_EQ(acc.count(1, VoteKind::kNormal, other->id()), 1u);
+  EXPECT_EQ(acc.count(1, VoteKind::kNormal, block_->id()), 2u);
+  // Different kinds for different blocks are not equivocation.
+  acc.add(vote_from(2, VoteKind::kOptimistic), 1);
+  EXPECT_EQ(acc.equivocations_seen(), 1u);
+}
+
+TEST_F(AccumulatorTest, DuplicateTimeoutSkipsSignatureCheck) {
+  TimeoutAccumulator acc(gen_.set, true);
+  acc.add(timeout_from(0, 2));
+  auto replay = timeout_from(0, 2);
+  replay.sig.data[0] ^= 1;
+  const auto r = acc.add(replay);
+  EXPECT_FALSE(r.reached_f_plus_1);
+  EXPECT_EQ(acc.count(2), 1u);
+}
+
+TEST_F(AccumulatorTest, TimeoutLockValidationUsesCertCache) {
+  // Timeouts carrying the same lock should verify its signatures once.
+  const auto ed = ValidatorSet::generate(4, crypto::ed25519_scheme(), 5);
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < ed.set->quorum_size(); ++i)
+    votes.push_back(Vote::make(VoteKind::kNormal, 1, block_->id(), i,
+                               ed.private_keys[i], ed.set->scheme()));
+  const auto qc = QuorumCert::assemble(votes, 1, *ed.set);
+  ASSERT_TRUE(qc);
+
+  TimeoutAccumulator acc(ed.set, true);
+  CertVerifyCache cache;
+  acc.set_cert_cache(&cache);
+  for (NodeId i = 0; i < 3; ++i)
+    acc.add(TimeoutMsg::make(2, i, qc, ed.private_keys[i], ed.set->scheme()));
+  EXPECT_EQ(acc.count(2), 3u);
+  EXPECT_EQ(cache.stats().insertions, 1u);  // lock verified exactly once
+  EXPECT_EQ(cache.stats().hits, 2u);        // the other two timeouts hit
 }
 
 TEST_F(AccumulatorTest, TimeoutViewsIndependent) {

@@ -65,6 +65,28 @@ TEST(Determinism, SchemeChoiceDoesNotChangeOutcomes) {
   EXPECT_EQ(fast.net_stats.bytes_sent, ed.net_stats.bytes_sent);
 }
 
+TEST(Determinism, Ed25519RunsAreBitReproducible) {
+  // Real crypto with signature checking on: the batch-verification
+  // coefficients derive from the batch transcript and the cert cache only
+  // skips work, so two identical runs must produce identical event streams.
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kPipelinedMoonshot;
+  cfg.n = 4;
+  cfg.crashed = 1;  // exercise the timeout/TC (batched + cached) path too
+  cfg.duration = seconds(2);
+  cfg.seed = 13;
+  cfg.verify_signatures = true;
+  cfg.use_ed25519 = true;
+  cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(10), 1);
+  cfg.net.regions_used = 1;
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.summary.committed_blocks, b.summary.committed_blocks);
+  EXPECT_GT(a.summary.committed_blocks, 0u);
+  EXPECT_EQ(a.max_view, b.max_view);
+}
+
 TEST(Determinism, EquivocatorRunsReproducible) {
   auto cfg = wan_faulty(9);
   cfg.fault_kind = FaultKind::kEquivocate;

@@ -1,0 +1,233 @@
+// Batch verification (ed25519_verify_batch / SignatureScheme::verify_batch).
+//
+// The contract under test: the batch path is an optimization, never a
+// semantic change — for every input, accept/reject per item matches
+// ed25519_verify exactly, and on rejection the culprit indices are
+// identified. The fuzz tests flip single bits across signatures, messages
+// and keys to probe that the random-linear-combination check cannot be
+// satisfied by any tampered batch.
+#include "crypto/ed25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "support/prng.hpp"
+
+namespace moonshot::crypto {
+namespace {
+
+struct Fixture {
+  std::vector<Ed25519Seed> seeds;
+  std::vector<Ed25519PublicKey> pubs;
+  std::vector<Bytes> msgs;
+  std::vector<Ed25519Signature> sigs;
+
+  // `shared_msg` mimics QC shape (all sign the same digest); otherwise each
+  // item gets a distinct message.
+  explicit Fixture(std::size_t n, std::uint64_t seed0, bool shared_msg = false) {
+    Prng prng(seed0);
+    seeds.resize(n);
+    pubs.resize(n);
+    msgs.resize(n);
+    sigs.resize(n);
+    Bytes shared(32);
+    prng.fill(shared);
+    for (std::size_t i = 0; i < n; ++i) {
+      Bytes sb(32);
+      prng.fill(sb);
+      seeds[i] = Ed25519Seed::from_view(sb);
+      pubs[i] = ed25519_public_key(seeds[i]);
+      if (shared_msg) {
+        msgs[i] = shared;
+      } else {
+        msgs[i] = Bytes(1 + prng.next_below(64));
+        prng.fill(msgs[i]);
+      }
+      sigs[i] = ed25519_sign(seeds[i], msgs[i]);
+    }
+  }
+
+  std::vector<Ed25519BatchItem> items() const {
+    std::vector<Ed25519BatchItem> v;
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+      v.push_back({&pubs[i], BytesView(msgs[i]), &sigs[i]});
+    return v;
+  }
+};
+
+TEST(Ed25519Batch, AcceptsValidBatchesOfVariousSizes) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{16}, std::size_t{67}}) {
+    Fixture f(n, 1000 + n);
+    std::vector<std::size_t> bad;
+    EXPECT_TRUE(ed25519_verify_batch(f.items(), &bad)) << "n=" << n;
+    EXPECT_TRUE(bad.empty());
+  }
+}
+
+TEST(Ed25519Batch, AcceptsSharedMessageBatch) {
+  // The QC shape: 67 distinct keys over one digest.
+  Fixture f(67, 7, /*shared_msg=*/true);
+  EXPECT_TRUE(ed25519_verify_batch(f.items()));
+}
+
+TEST(Ed25519Batch, EmptyBatchIsVacuouslyTrue) {
+  EXPECT_TRUE(ed25519_verify_batch({}));
+}
+
+TEST(Ed25519Batch, FlippedSignatureBitIsCaughtAndAttributed) {
+  // Any single flipped bit anywhere in any signature must fail the batch and
+  // name exactly that item. Sweep item index and bit position pseudo-randomly.
+  Fixture f(16, 42);
+  Prng prng(43);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t victim = prng.next_below(16);
+    const std::size_t byte = prng.next_below(64);
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << prng.next_below(8));
+    auto tampered = f.sigs;
+    tampered[victim].data[byte] ^= bit;
+    std::vector<Ed25519BatchItem> items;
+    for (std::size_t i = 0; i < 16; ++i)
+      items.push_back({&f.pubs[i], BytesView(f.msgs[i]), &tampered[i]});
+    std::vector<std::size_t> bad;
+    EXPECT_FALSE(ed25519_verify_batch(items, &bad))
+        << "victim=" << victim << " byte=" << byte << " bit=" << int(bit);
+    EXPECT_EQ(bad, std::vector<std::size_t>{victim});
+  }
+}
+
+TEST(Ed25519Batch, FlippedMessageBitIsCaughtAndAttributed) {
+  Fixture f(8, 52);
+  Prng prng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t victim = prng.next_below(8);
+    auto msgs = f.msgs;
+    msgs[victim][prng.next_below(msgs[victim].size())] ^=
+        static_cast<std::uint8_t>(1u << prng.next_below(8));
+    std::vector<Ed25519BatchItem> items;
+    for (std::size_t i = 0; i < 8; ++i)
+      items.push_back({&f.pubs[i], BytesView(msgs[i]), &f.sigs[i]});
+    std::vector<std::size_t> bad;
+    EXPECT_FALSE(ed25519_verify_batch(items, &bad));
+    EXPECT_EQ(bad, std::vector<std::size_t>{victim});
+  }
+}
+
+TEST(Ed25519Batch, SwappedKeyIsCaught) {
+  // Signature i verified against key j (both individually valid material).
+  Fixture f(8, 62);
+  auto items = f.items();
+  items[3].pub = &f.pubs[4];
+  std::vector<std::size_t> bad;
+  EXPECT_FALSE(ed25519_verify_batch(items, &bad));
+  EXPECT_EQ(bad, std::vector<std::size_t>{3});
+}
+
+TEST(Ed25519Batch, MultipleCulpritsAllAttributedSorted) {
+  Fixture f(16, 72);
+  auto tampered = f.sigs;
+  tampered[2].data[10] ^= 0x80;
+  tampered[9].data[40] ^= 0x01;
+  tampered[15].data[0] ^= 0x10;
+  std::vector<Ed25519BatchItem> items;
+  for (std::size_t i = 0; i < 16; ++i)
+    items.push_back({&f.pubs[i], BytesView(f.msgs[i]), &tampered[i]});
+  std::vector<std::size_t> bad;
+  EXPECT_FALSE(ed25519_verify_batch(items, &bad));
+  EXPECT_EQ(bad, (std::vector<std::size_t>{2, 9, 15}));
+}
+
+TEST(Ed25519Batch, NonCanonicalSRejected) {
+  Fixture f(4, 82);
+  auto tampered = f.sigs;
+  tampered[1].data[63] = 0xff;  // force S >= L
+  std::vector<Ed25519BatchItem> items;
+  for (std::size_t i = 0; i < 4; ++i)
+    items.push_back({&f.pubs[i], BytesView(f.msgs[i]), &tampered[i]});
+  std::vector<std::size_t> bad;
+  EXPECT_FALSE(ed25519_verify_batch(items, &bad));
+  EXPECT_EQ(bad, std::vector<std::size_t>{1});
+}
+
+TEST(Ed25519Batch, BadPointEncodingRejected) {
+  // An R that does not decode to a curve point must fail that item without
+  // poisoning the others.
+  Fixture f(4, 92);
+  auto tampered = f.sigs;
+  std::memset(tampered[2].data.data(), 0xff, 32);  // R = all-ones: invalid
+  std::vector<Ed25519BatchItem> items;
+  for (std::size_t i = 0; i < 4; ++i)
+    items.push_back({&f.pubs[i], BytesView(f.msgs[i]), &tampered[i]});
+  std::vector<std::size_t> bad;
+  EXPECT_FALSE(ed25519_verify_batch(items, &bad));
+  EXPECT_EQ(bad, std::vector<std::size_t>{2});
+}
+
+TEST(Ed25519Batch, DeterministicAcrossCalls) {
+  // Same inputs → same verdict, every time (coefficients derive from the
+  // batch transcript, not from ambient randomness).
+  Fixture f(8, 102);
+  auto tampered = f.sigs;
+  tampered[5].data[33] ^= 0x04;
+  std::vector<Ed25519BatchItem> items;
+  for (std::size_t i = 0; i < 8; ++i)
+    items.push_back({&f.pubs[i], BytesView(f.msgs[i]), &tampered[i]});
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<std::size_t> bad;
+    EXPECT_FALSE(ed25519_verify_batch(items, &bad));
+    EXPECT_EQ(bad, std::vector<std::size_t>{5});
+  }
+  EXPECT_TRUE(ed25519_verify_batch(f.items()));
+}
+
+TEST(Ed25519Batch, SchemeInterfaceMatchesFreeFunction) {
+  // The SignatureScheme wiring used by certificate validation.
+  const auto scheme = ed25519_scheme();
+  Prng prng(112);
+  std::vector<KeyPair> kps;
+  std::vector<Bytes> msgs;
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 5; ++i) {
+    kps.push_back(scheme->derive_keypair(200 + i));
+    msgs.emplace_back(32);
+    prng.fill(msgs.back());
+    sigs.push_back(scheme->sign(kps[i].priv, msgs[i]));
+  }
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 5; ++i)
+    items.push_back({&kps[i].pub, BytesView(msgs[i]), &sigs[i]});
+  EXPECT_TRUE(scheme->verify_batch(items));
+
+  sigs[4].data[8] ^= 0x20;
+  std::vector<std::size_t> bad;
+  EXPECT_FALSE(scheme->verify_batch(items, &bad));
+  EXPECT_EQ(bad, std::vector<std::size_t>{4});
+}
+
+TEST(FastSchemeBatch, DefaultLoopImplementation) {
+  // The base-class fallback must honour the same contract.
+  const auto scheme = fast_scheme();
+  std::vector<KeyPair> kps;
+  std::vector<Bytes> msgs;
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 4; ++i) {
+    kps.push_back(scheme->derive_keypair(300 + i));
+    msgs.emplace_back(to_bytes("fast-batch-" + std::to_string(i)));
+    sigs.push_back(scheme->sign(kps[i].priv, msgs[i]));
+  }
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 4; ++i)
+    items.push_back({&kps[i].pub, BytesView(msgs[i]), &sigs[i]});
+  EXPECT_TRUE(scheme->verify_batch(items));
+  sigs[0].data[0] ^= 1;
+  sigs[2].data[0] ^= 1;
+  std::vector<std::size_t> bad;
+  EXPECT_FALSE(scheme->verify_batch(items, &bad));
+  EXPECT_EQ(bad, (std::vector<std::size_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace moonshot::crypto

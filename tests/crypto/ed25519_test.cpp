@@ -206,6 +206,69 @@ TEST(Ed25519, Rfc8032Test2) {
   EXPECT_TRUE(ed25519_verify(pub, msg, sig));
 }
 
+TEST(Ed25519, Rfc8032Test3) {
+  const auto seed =
+      seed_from_hex("c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7");
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(to_hex(pub.view()),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025");
+  const Bytes msg{0xaf, 0x82};
+  const auto sig = ed25519_sign(seed, msg);
+  EXPECT_EQ(to_hex(sig.view()),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a");
+  EXPECT_TRUE(ed25519_verify(pub, msg, sig));
+}
+
+TEST(Ed25519Scalar, FromSparseMatchesReference) {
+  // sc_from_sparse(±2^p terms) must equal the same sum computed with
+  // sc_muladd over the dense encodings of 2^p.
+  Prng prng(91);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::uint16_t pos[16];
+    signed char sign[16];
+    std::uint8_t acc[32] = {0};  // running dense sum mod L
+    const std::uint8_t one[32] = {1};
+    for (int i = 0; i < 16; ++i) {
+      pos[i] = static_cast<std::uint16_t>(prng.next_below(128));
+      sign[i] = (prng.next_u64() & 1) ? 1 : -1;
+      std::uint8_t pw[32] = {0};
+      pw[pos[i] / 8] = static_cast<std::uint8_t>(1u << (pos[i] % 8));
+      if (sign[i] < 0) {
+        // acc += (L - 2^p)  ==  acc - 2^p (mod L): L-1 * 2^p + ... easier:
+        // negate via sc_muladd(out, pw, L-1, acc) since -1 ≡ L-1 (mod L).
+        const auto lm1 =
+            *from_hex("ecd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+        sc_muladd(acc, pw, lm1.data(), acc);
+      } else {
+        sc_muladd(acc, pw, one, acc);
+      }
+    }
+    std::uint8_t got[32];
+    sc_from_sparse(got, pos, sign, 16);
+    EXPECT_EQ(Bytes(got, got + 32), Bytes(acc, acc + 32)) << "trial " << trial;
+  }
+}
+
+TEST(Ed25519Scalar, FromSparseEdges) {
+  std::uint8_t out[32];
+  sc_from_sparse(out, nullptr, nullptr, 0);  // empty sum = 0
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], 0);
+
+  // Single negative term: -2^0 ≡ L - 1.
+  const std::uint16_t p0 = 0;
+  const signed char neg = -1;
+  sc_from_sparse(out, &p0, &neg, 1);
+  EXPECT_EQ(to_hex(BytesView(out, 32)),
+            "ecd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+
+  // +2^p and -2^p cancel.
+  const std::uint16_t pp[2] = {100, 100};
+  const signed char ss[2] = {1, -1};
+  sc_from_sparse(out, pp, ss, 2);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], 0);
+}
+
 // --- Behavioural properties -------------------------------------------------------
 
 TEST(Ed25519, SignVerifyRoundTrip) {
