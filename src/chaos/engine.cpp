@@ -32,6 +32,7 @@ net::LinkFaultPtr ChaosEngine::build_filter(const FaultEvent& ev, std::size_t in
       return std::make_shared<net::LinkChaosFault>(net::LinkChaosFault::Kind::kDelay, 1.0,
                                                    ev.delay, std::vector<net::Link>{}, stream);
     case FaultType::kCrash:
+    case FaultType::kMcChoice:
       return nullptr;
   }
   return nullptr;
@@ -81,6 +82,9 @@ void ChaosEngine::arm() {
   sim::Scheduler& sched = exp_.scheduler();
   for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
     const FaultEvent& ev = schedule_.events[i];
+    // Model-checker choices are not network faults; src/mc/ interprets them
+    // against the pending-event frontier instead. The engine never arms them.
+    if (ev.type == FaultType::kMcChoice) continue;
     MOONSHOT_INVARIANT(ev.start >= sched.now(), "fault event in the past");
     sched.schedule_at(ev.start, [this, i] { activate(i); });
     if (ev.end > ev.start) {

@@ -76,6 +76,11 @@ ChaosReport run_chaos(const ChaosRunConfig& cfg) {
   ecfg.seed = cfg.seed;
   ecfg.tracer = cfg.tracer;
   ecfg.net = cfg.net;
+  ecfg.leader_order = cfg.leader_order;
+  if (cfg.byzantine > 0) {
+    ecfg.crashed = cfg.byzantine;
+    ecfg.fault_kind = FaultKind::kEquivocate;
+  }
   ecfg.recovery = cfg.recovery;
   ecfg.wal = cfg.wal;
   ecfg.enable_wal = cfg.enable_wal || cfg.recovery == RecoveryMode::kDurable ||

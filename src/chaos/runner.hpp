@@ -30,6 +30,13 @@ struct ChaosRunConfig {
   Duration duration = seconds(10);
   std::uint64_t seed = 1;
   FaultSchedule schedule;
+  /// Number of actively Byzantine (equivocating) nodes — the highest node
+  /// ids. They propose conflicting blocks and double-vote; all safety and
+  /// chain-shape checks run over the honest remainder only.
+  std::size_t byzantine = 0;
+  /// Explicit leader rotation override (see ExperimentConfig::leader_order).
+  /// Twins-style runs use it to hand the equivocator consecutive views.
+  std::vector<NodeId> leader_order;
   /// Require commit-log growth on every honest node after the last heal.
   /// Needs a reasonable fault-free tail; disable for schedules that run
   /// faults to the end.

@@ -25,6 +25,7 @@ const char* fault_type_tag(FaultType t) {
     case FaultType::kDelay: return "delay";
     case FaultType::kCrash: return "crash";
     case FaultType::kBurst: return "burst";
+    case FaultType::kMcChoice: return "mc";
   }
   return "?";
 }
@@ -86,6 +87,10 @@ std::string FaultEvent::to_string() const {
       break;
     case FaultType::kBurst:
       os << ";d=" << delay.count() / 1'000'000;
+      break;
+    case FaultType::kMcChoice:
+      os << ";k=" << (mc_kind == 't' ? 't' : 'd') << ";r=" << mc_to;
+      if (mc_kind != 't') os << ";p=" << mc_from << ";y=" << mc_type << ";u=" << mc_ordinal;
       break;
   }
   os << ')';
@@ -202,8 +207,35 @@ bool parse_kv(std::string_view param, FaultEvent& ev) {
   if (kv.size() != 2) return false;
   std::uint64_t value = 0;
   if (kv[0] == "p") {
+    // Overloaded key: sender node for mc() choices, percent everywhere else.
+    if (ev.type == FaultType::kMcChoice) {
+      if (!parse_u64(kv[1], value)) return false;
+      ev.mc_from = static_cast<NodeId>(value);
+      return true;
+    }
     if (!parse_u64(kv[1], value) || value > 100) return false;
     ev.percent = static_cast<int>(value);
+    return true;
+  }
+  if (kv[0] == "k") {
+    if (ev.type != FaultType::kMcChoice || kv[1].size() != 1) return false;
+    if (kv[1][0] != 'd' && kv[1][0] != 't') return false;
+    ev.mc_kind = kv[1][0];
+    return true;
+  }
+  if (kv[0] == "r") {
+    if (ev.type != FaultType::kMcChoice || !parse_u64(kv[1], value)) return false;
+    ev.mc_to = static_cast<NodeId>(value);
+    return true;
+  }
+  if (kv[0] == "y") {
+    if (ev.type != FaultType::kMcChoice || !parse_u64(kv[1], value)) return false;
+    ev.mc_type = static_cast<std::uint32_t>(value);
+    return true;
+  }
+  if (kv[0] == "u") {
+    if (ev.type != FaultType::kMcChoice || !parse_u64(kv[1], value)) return false;
+    ev.mc_ordinal = static_cast<std::uint32_t>(value);
     return true;
   }
   if (kv[0] == "d") {
@@ -265,6 +297,13 @@ bool parse_event(std::string_view kind, std::string_view body, FaultEvent& ev) {
       if (!parse_kv(params[i], ev)) return false;
     }
     return ev.delay.count() > 0;
+  }
+  if (kind == "mc") {
+    ev.type = FaultType::kMcChoice;
+    for (std::size_t i = 1; i < params.size(); ++i) {
+      if (!parse_kv(params[i], ev)) return false;
+    }
+    return true;
   }
   return false;
 }

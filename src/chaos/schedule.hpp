@@ -13,6 +13,9 @@
 //   crash(200-1500;n=2;m=durable)    same, but recover by replaying the WAL
 //   crash(200-1500;n=2;m=amnesia)    same, but the disk is lost too
 //   burst(0-1000;d=300)              adversarial delay burst on all traffic
+//   mc(40-40;k=d;r=2;p=1;y=3;u=0)    model-checker choice: deliver the 0th
+//                                    pending (1→2, wire-type 3) event now
+//   mc(40-40;k=t;r=2)                model-checker choice: fire node 2's timer
 //
 // Times are milliseconds from simulation start; events are ';'-separated.
 // Probabilities are integer percents and delays integer milliseconds so the
@@ -39,6 +42,7 @@ enum class FaultType {
   kDelay,      // per-link delay spike
   kCrash,      // crash-stop at start, rebuild from persisted state at end
   kBurst,      // adversarial delay burst on every link
+  kMcChoice,   // model-checker scheduling choice (counterexample replay only)
 };
 const char* fault_type_tag(FaultType t);
 
@@ -64,6 +68,16 @@ struct FaultEvent {
   int percent = 100;                        // trigger probability, 0..100
   Duration delay = Duration(0);             // kDelay / kBurst spike size
   CrashMode crash_mode = CrashMode::kDefault;  // kCrash recovery mode
+
+  // kMcChoice only. The explorer emits counterexamples as zero-width mc()
+  // events; src/mc/ replays them by matching the pending-event frontier, and
+  // the chaos shrinker treats them like any other droppable event. The engine
+  // itself never arms them.
+  char mc_kind = 'd';          // 'd' = delivery, 't' = view-timer fire
+  NodeId mc_to = 0;            // receiver (delivery) / owner (timer)
+  NodeId mc_from = 0;          // sender (delivery only)
+  std::uint32_t mc_type = 0;   // message wire-type index (delivery only)
+  std::uint32_t mc_ordinal = 0;  // ordinal among matching frontier entries
 
   std::string to_string() const;
 };

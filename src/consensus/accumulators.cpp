@@ -1,6 +1,18 @@
 #include "consensus/accumulators.hpp"
 
+#include "support/mutations.hpp"
+
 namespace moonshot {
+
+namespace {
+// kCertQuorumFPlusOne weakens the certificate threshold from 2f+1 to f+1 —
+// below quorum intersection, so two conflicting certificates can coexist in
+// one view without any equivocating voter.
+std::size_t cert_threshold(const ValidatorSet& validators) {
+  if (mutation_on(Mutation::kCertQuorumFPlusOne)) return validators.honest_evidence_size();
+  return validators.quorum_size();
+}
+}  // namespace
 
 QcPtr VoteAccumulator::add(const Vote& vote, Height block_height) {
   if (!validators_->contains(vote.voter)) return nullptr;
@@ -19,7 +31,7 @@ QcPtr VoteAccumulator::add(const Vote& vote, Height block_height) {
   if (!fresh && it->second != vote.block) ++equivocations_seen_;
   bucket.votes.push_back(vote);
 
-  if (bucket.votes.size() >= validators_->quorum_size()) {
+  if (bucket.votes.size() >= cert_threshold(*validators_)) {
     bucket.emitted = true;
     return QuorumCert::assemble(bucket.votes, block_height, *validators_, aggregate_);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/mutations.hpp"
 #include "support/assert.hpp"
 #include "support/hex.hpp"
 #include "wal/wal.hpp"
@@ -105,6 +106,7 @@ std::optional<Vote> BaseNode::make_vote(VoteKind kind, View view, const BlockId&
 
 TimeoutMsg BaseNode::make_timeout(View view, QcPtr lock) {
   if (ctx_.wal) ctx_.wal->record_timeout(view);
+  if (mutation_on(Mutation::kTimeoutCarriesNoLock)) lock = QuorumCert::genesis_qc();
   return TimeoutMsg::make(view, ctx_.id, std::move(lock), ctx_.priv,
                           ctx_.validators->scheme());
 }
@@ -149,7 +151,8 @@ void BaseNode::record_qc_and_try_commit(const QcPtr& qc) {
 }
 
 void BaseNode::try_commit_chain_ending_at(View newest_view) {
-  const View length = static_cast<View>(commit_chain_length_);
+  View length = static_cast<View>(commit_chain_length_);
+  if (mutation_on(Mutation::kCommitOnOneChain)) length = 1;
   if (newest_view < length) return;  // the chain would dip below view 1
   // Walk from the newest certificate down, checking adjacency and links.
   QcPtr cur = qc_for_view(newest_view);
@@ -159,7 +162,7 @@ void BaseNode::try_commit_chain_ending_at(View newest_view) {
     if (!prev) return;
     const BlockPtr body = store_.get(cur->block);
     if (!body) return;  // retried when the body arrives
-    if (body->parent() != prev->block) return;
+    if (body->parent() != prev->block && !mutation_on(Mutation::kCommitSkipParentLink)) return;
     cur = prev;
   }
   commit_chain_by_id(cur->block);
@@ -240,10 +243,11 @@ void BaseNode::arm_view_timer(Duration d) {
   cancel_view_timer();
   if (halted_) return;
   const std::uint64_t generation = ++timer_generation_;
-  view_timer_ = ctx_.sched->schedule_after(d, [this, generation] {
-    if (generation != timer_generation_) return;  // superseded
-    on_view_timer_expired();
-  });
+  view_timer_ = ctx_.sched->schedule_after(
+      d, sim::EventTag::timer(ctx_.id), [this, generation] {
+        if (generation != timer_generation_) return;  // superseded
+        on_view_timer_expired();
+      });
 }
 
 void BaseNode::cancel_view_timer() {
@@ -286,7 +290,8 @@ void BaseNode::request_block(const BlockId& id) {
         self->unicast(peer, make_message<BlockRequestMsg>(id, self->ctx_.id));
       }
       ++it->second;
-      self->ctx_.sched->schedule_after(self->ctx_.delta * 2, Retry{self, id});
+      self->ctx_.sched->schedule_after(self->ctx_.delta * 2,
+                                       sim::EventTag::timer(self->ctx_.id), Retry{self, id});
     }
   };
   if (n <= 1) return;  // nobody to ask

@@ -1,5 +1,9 @@
 #include "consensus/byzantine.hpp"
 
+#include <algorithm>
+
+#include "support/mutations.hpp"
+
 namespace moonshot {
 
 EquivocatorNode::EquivocatorNode(NodeContext ctx) : BaseNode(std::move(ctx)) {}
@@ -34,7 +38,10 @@ void EquivocatorNode::handle(NodeId from, const MessagePtr& m) {
         } else if constexpr (std::is_same_v<T, TcMsg>) {
           if (msg.tc && msg.tc->view >= view_) {
             view_ = msg.tc->view + 1;
-            if (i_am_leader(view_)) equivocate_propose();
+            if (i_am_leader(view_)) {
+              propose_stale_fallback(msg.tc);
+              equivocate_propose();
+            }
           }
         }
         // Timeouts and status messages: ignored; this adversary attacks
@@ -47,6 +54,21 @@ void EquivocatorNode::observe_qc(const QcPtr& qc) {
   if (!qc || qc->kind == VoteKind::kCommit) return;
   if (!qc->validate(*ctx_.validators, false)) return;
   if (qc->rank() > highest_qc_->rank()) highest_qc_ = qc;
+  if (mutations_compiled()) {
+    // Mutation-validation builds track *all* distinct certificates per view:
+    // when a seeded bug (double voting, sub-quorum certs) lets two blocks
+    // certify in one view, the adversary extends both branches.
+    auto& certs = certs_by_view_[qc->view];
+    const bool known = std::any_of(certs.begin(), certs.end(), [&](const QcPtr& c) {
+      return c->block == qc->block;
+    });
+    if (!known && certs.size() < 2) certs.push_back(qc);
+    // A second certificate for the view we lead from arrived after we already
+    // proposed: re-propose so each branch gets a certified child.
+    if (!known && certs.size() == 2 && qc->view + 1 == view_ && i_am_leader(view_)) {
+      equivocate_propose();
+    }
+  }
   if (qc->view >= view_) {
     view_ = qc->view + 1;
     if (i_am_leader(view_)) equivocate_propose();
@@ -54,15 +76,33 @@ void EquivocatorNode::observe_qc(const QcPtr& qc) {
 }
 
 void EquivocatorNode::equivocate_propose() {
-  const BlockPtr parent = store_.get(highest_qc_->block);
-  if (!parent) return;
+  // Pick the two branches to extend. Normally both conflicting blocks share
+  // one certified parent; in mutation-validation builds where a seeded bug
+  // produced two certificates for the previous view, extend one branch each
+  // so both can complete a (mutated) commit chain.
+  QcPtr qa = highest_qc_;
+  QcPtr qb = highest_qc_;
+  if (mutations_compiled() && view_ >= 1) {
+    if (auto it = certs_by_view_.find(view_ - 1); it != certs_by_view_.end()) {
+      if (it->second.size() == 2) {
+        qa = it->second[0];
+        qb = it->second[1];
+      }
+    }
+  }
+  // kStaleJustify probes the justify-adjacency check: justify with genesis,
+  // forking from the root under every honest node's committed prefix.
+  if (mutation_on(Mutation::kStaleJustify)) qa = qb = QuorumCert::genesis_qc();
+  const BlockPtr parent_a = store_.get(qa->block);
+  const BlockPtr parent_b = store_.get(qb->block);
+  if (!parent_a || !parent_b) return;
 
-  // Two conflicting blocks for the same view: same parent, different
-  // payloads (distinct synthetic seeds).
+  // Two conflicting blocks for the same view: different payloads (distinct
+  // synthetic seeds), same parent unless extending a certificate fork.
   Payload pa = Payload::synthetic(64, view_ * 2);
   Payload pb = Payload::synthetic(64, view_ * 2 + 1);
-  const BlockPtr a = Block::create(view_, parent->height() + 1, parent->id(), pa);
-  const BlockPtr b = Block::create(view_, parent->height() + 1, parent->id(), pb);
+  const BlockPtr a = Block::create(view_, parent_a->height() + 1, parent_a->id(), pa);
+  const BlockPtr b = Block::create(view_, parent_b->height() + 1, parent_b->id(), pb);
   store_block(a);
   store_block(b);
   if (ctx_.on_block_created) {
@@ -70,13 +110,44 @@ void EquivocatorNode::equivocate_propose() {
     ctx_.on_block_created(b, ctx_.sched->now());
   }
 
-  // Odd node ids get block a, even ids get block b.
+  // Odd node ids get block a, even ids get block b — except when probing the
+  // double-vote guard, where everyone sees both (the split is pointless if
+  // honest nodes would vote for every proposal anyway).
   const std::size_t n = ctx_.validators->size();
   for (NodeId to = 0; to < n; ++to) {
+    // Both blocks to everyone when probing the double-vote guard (the split
+    // is pointless if honest nodes vote for every proposal) and the stale
+    // justify (a 2-2 split can never certify either genesis fork; with both
+    // delivered, the explorer picks an ordering where one side gets 3 votes).
+    if (mutation_on(Mutation::kDoubleVote) || mutation_on(Mutation::kStaleJustify)) {
+      unicast(to, make_message<ProposalMsg>(a, qa, nullptr, ctx_.id));
+      unicast(to, make_message<ProposalMsg>(b, qb, nullptr, ctx_.id));
+      continue;
+    }
     const BlockPtr& block = (to % 2 == 0) ? a : b;
-    unicast(to, make_message<ProposalMsg>(block, highest_qc_, nullptr, ctx_.id));
+    const QcPtr& justify = (to % 2 == 0) ? qa : qb;
+    unicast(to, make_message<ProposalMsg>(block, justify, nullptr, ctx_.id));
     unicast(to, make_message<OptProposalMsg>(block, ctx_.id));
   }
+}
+
+void EquivocatorNode::propose_stale_fallback(const TcPtr& tc) {
+  // Mutation-validation builds only: when handed a TC for the view we now
+  // lead, also propose a fallback justified by *genesis* — forking under the
+  // committed prefix. Intact nodes reject it (justify ranks below the TC's
+  // proven lock); the kFallbackIgnoresTcRank and kTimeoutCarriesNoLock
+  // mutations make them accept, which the explorer must catch. An honest
+  // leader can never produce this message (its lock rises to the TC's high
+  // certificate before it proposes), so only the adversary probes the guard.
+  if (!mutations_compiled()) return;
+  const QcPtr justify = QuorumCert::genesis_qc();
+  const BlockPtr parent = store_.get(justify->block);
+  if (!parent) return;
+  const BlockPtr block =
+      Block::create(view_, parent->height() + 1, parent->id(), Payload::synthetic(64, view_ * 2 + 7));
+  store_block(block);
+  if (ctx_.on_block_created) ctx_.on_block_created(block, ctx_.sched->now());
+  multicast(make_message<FbProposalMsg>(block, justify, tc, ctx_.id));
 }
 
 void EquivocatorNode::vote_for_everything(const BlockPtr& block) {

@@ -33,12 +33,18 @@ class EquivocatorNode final : public BaseNode {
   /// When leading `view_`, multicast nothing — unicast conflicting proposals
   /// to the two halves of the network.
   void equivocate_propose();
+  /// Mutation builds: a genesis-justified fallback carrying a real TC, to
+  /// probe the fallback rank guard (no-op in release builds).
+  void propose_stale_fallback(const TcPtr& tc);
   /// Vote (all kinds) for both of our own equivocating blocks and for any
   /// block proposed by others.
   void vote_for_everything(const BlockPtr& block);
 
   QcPtr highest_qc_ = QuorumCert::genesis_qc();
   std::map<View, int> votes_cast_;  // bounded double-voting per view
+  // Mutation-validation builds only: distinct certificates per view (≤ 2), so
+  // the adversary can extend both sides of a certificate fork.
+  std::map<View, std::vector<QcPtr>> certs_by_view_;
 };
 
 }  // namespace moonshot

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/mutations.hpp"
 #include "wal/wal.hpp"
 
 namespace moonshot {
@@ -47,9 +48,13 @@ void PipelinedMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           // Normal proposals must be justified by the parent's certificate
           // from the directly preceding view.
           if (msg.block->parent() != msg.justify->block) return;
-          if (msg.justify->view + 1 != v) return;
+          if (msg.justify->view + 1 != v && !mutation_on(Mutation::kStaleJustify)) return;
           if (!check_qc(*msg.justify)) return;
           store_block(msg.block);
+          if (mutation_on(Mutation::kDoubleVote)) {
+            // Vote for *every* proposal seen for the view, not just the first.
+            if (auto vote = make_vote(VoteKind::kNormal, v, msg.block->id())) send_vote(*vote);
+          }
           pending_prop_.emplace(v, msg);
           handle_qc(msg.justify, /*already_validated=*/true);
           try_vote();
@@ -59,6 +64,9 @@ void PipelinedMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           if (v < 1 || leader_of(v) != from) return;
           trace(obs::EventKind::kOptProposalRecv, v, msg.block->height(), from);
           store_block(msg.block);
+          if (mutation_on(Mutation::kDoubleVote)) {
+            if (auto vote = make_vote(VoteKind::kOptimistic, v, msg.block->id())) send_vote(*vote);
+          }
           pending_opt_.emplace(v, msg);
           try_vote();
         } else if constexpr (std::is_same_v<T, FbProposalMsg>) {
@@ -69,7 +77,9 @@ void PipelinedMoonshotNode::handle(NodeId from, const MessagePtr& m) {
           if (msg.block->parent() != msg.justify->block) return;
           if (msg.tc->view + 1 != v) return;
           // The justifying lock must rank at least the TC's proven highest.
-          if (msg.justify->rank() < msg.tc->high_qc_view()) return;
+          if (msg.justify->rank() < msg.tc->high_qc_view() &&
+              !mutation_on(Mutation::kFallbackIgnoresTcRank))
+            return;
           if (!check_qc(*msg.justify) || !check_tc(*msg.tc)) return;
           store_block(msg.block);
           pending_fb_.emplace(v, msg);
@@ -133,7 +143,7 @@ void PipelinedMoonshotNode::handle_qc(const QcPtr& qc, bool already_validated) {
   record_qc_and_try_commit(qc);
 
   // Lock rule: rises immediately on any higher-ranked certificate.
-  if (qc->rank() > lock_->rank()) {
+  if (qc->rank() > lock_->rank() && !mutation_on(Mutation::kLockNeverRises)) {
     lock_ = qc;
     trace(obs::EventKind::kLockUpdated, qc->view, obs::id_prefix(qc->block));
   }
@@ -257,8 +267,9 @@ void PipelinedMoonshotNode::try_vote() {
     const QcPtr& justify = it->second.justify;
     const bool equivocates =
         opt_voted_view_ == view_ && opt_voted_block_ != block->id();
-    if (!equivocates && justify->view + 1 == view_ && block->parent() == justify->block &&
-        link_valid(block)) {
+    if (!equivocates &&
+        (justify->view + 1 == view_ || mutation_on(Mutation::kStaleJustify)) &&
+        block->parent() == justify->block && link_valid(block)) {
       if (auto vote = make_vote(VoteKind::kNormal, view_, block->id())) {
         main_voted_view_ = view_;
         send_vote(*vote);
@@ -274,8 +285,9 @@ void PipelinedMoonshotNode::try_vote() {
     const BlockPtr& block = it->second.block;
     const QcPtr& justify = it->second.justify;
     const TcPtr& tc = it->second.tc;
-    if (justify->rank() >= tc->high_qc_view() && block->parent() == justify->block &&
-        link_valid(block)) {
+    if ((justify->rank() >= tc->high_qc_view() ||
+         mutation_on(Mutation::kFallbackIgnoresTcRank)) &&
+        block->parent() == justify->block && link_valid(block)) {
       if (auto vote = make_vote(VoteKind::kFallback, view_, block->id())) {
         main_voted_view_ = view_;
         send_vote(*vote);

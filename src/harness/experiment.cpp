@@ -63,6 +63,9 @@ std::optional<RecoveryMode> parse_recovery_mode(std::string_view s) {
 namespace {
 LeaderSchedulePtr build_schedule(const ExperimentConfig& cfg,
                                  const std::vector<NodeId>& byzantine) {
+  if (!cfg.leader_order.empty()) {
+    return std::make_shared<const ListSchedule>(cfg.leader_order);
+  }
   switch (cfg.schedule) {
     case ScheduleKind::kRoundRobin:
       return std::make_shared<const RoundRobinSchedule>(cfg.n);
@@ -145,6 +148,9 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
     auto node = make_node(id);
     if (!(is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate)) {
       attach_commit_hook(*node, id);
+    }
+    if (cfg_.tolerant_commit_log) {
+      node->commit_log_mutable().set_fork_policy(CommitLog::ForkPolicy::kRecord);
     }
     nodes_.push_back(std::move(node));
   }
@@ -261,7 +267,7 @@ void Experiment::start() {
 
   // Scheduler queue-depth sampling: a self-rescheduling probe every Δ, gated
   // on the run duration so run_all()-style drivers still terminate.
-  if (cfg_.tracer) {
+  if (cfg_.tracer && cfg_.sample_queue_depth) {
     struct Sampler {
       Experiment* exp;
       TimePoint until;

@@ -71,6 +71,11 @@ struct ExperimentConfig {
   Duration duration = seconds(60);
   std::uint64_t seed = 1;
   ScheduleKind schedule = ScheduleKind::kRoundRobin;
+  /// When non-empty, overrides `schedule` with an explicit rotation (views
+  /// cycle through this list). Twins-style worlds use it to place the
+  /// adversary at chosen positions — including consecutive views, which no
+  /// fair schedule produces.
+  std::vector<NodeId> leader_order;
   /// Number of faulty nodes f' (the highest `crashed` node ids).
   std::size_t crashed = 0;
   /// How the faulty nodes misbehave.
@@ -111,6 +116,14 @@ struct ExperimentConfig {
   /// Default mode for recover_node(id); chaos schedules can override
   /// per-event via recover_node(id, mode).
   RecoveryMode recovery = RecoveryMode::kInMemory;
+  /// Commit forks latch CommitLog::fork_detected() instead of aborting the
+  /// process (ForkPolicy::kRecord). The model checker needs seeded commit-rule
+  /// bugs to surface as reportable violations; leave off everywhere else.
+  bool tolerant_commit_log = false;
+  /// The every-Δ scheduler queue-depth probe (tracer runs only). The model
+  /// checker disables it: the probe's untagged self-rescheduling events would
+  /// pollute the choice-point frontier and the state digests.
+  bool sample_queue_depth = true;
 };
 
 struct ExperimentResult {

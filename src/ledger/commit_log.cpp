@@ -7,6 +7,17 @@ namespace moonshot {
 void CommitLog::commit(const BlockPtr& block, TimePoint when) {
   MOONSHOT_INVARIANT(block != nullptr, "commit of null block");
   if (block->is_genesis()) return;
+  const bool extends =
+      block->height() == last_height() + 1 && block->parent() == last_id();
+  if (!extends && fork_policy_ == ForkPolicy::kRecord) {
+    if (!fork_detected_) {
+      fork_detected_ = true;
+      fork_detail_ = "commit fork: block h=" + std::to_string(block->height()) +
+                     " v=" + std::to_string(block->view()) +
+                     " does not extend log tail h=" + std::to_string(last_height());
+    }
+    return;
+  }
   MOONSHOT_INVARIANT(block->height() == last_height() + 1,
                      "commit must advance height by exactly one");
   MOONSHOT_INVARIANT(block->parent() == last_id(),

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -19,10 +20,24 @@ class CommitLog {
  public:
   using CommitCallback = std::function<void(const BlockPtr&, TimePoint)>;
 
+  /// What commit() does when a block does not directly extend the last
+  /// committed block. kAbort (default) crashes the process — in production a
+  /// fork below the commit frontier is unrecoverable. kRecord latches
+  /// fork_detected() and drops the block instead: the model checker and the
+  /// mutation-validation harness need broken commit rules to surface as a
+  /// *reportable* violation, not a dead process.
+  enum class ForkPolicy { kAbort, kRecord };
+
   /// Appends `block` at commit time `when`. Aborts if the block does not
   /// directly extend the last committed block. Committing genesis is a no-op
   /// (it is implicitly committed at position 0).
   void commit(const BlockPtr& block, TimePoint when);
+
+  void set_fork_policy(ForkPolicy p) { fork_policy_ = p; }
+
+  /// True iff a conflicting commit was attempted under ForkPolicy::kRecord.
+  bool fork_detected() const { return fork_detected_; }
+  const std::string& fork_detail() const { return fork_detail_; }
 
   /// True if this block id has already been committed.
   bool is_committed(const BlockId& id) const;
@@ -44,6 +59,9 @@ class CommitLog {
   std::vector<BlockPtr> blocks_;  // excludes genesis; blocks_[i] has height i+1
   std::unordered_set<BlockId> committed_ids_;
   std::vector<CommitCallback> callbacks_;
+  ForkPolicy fork_policy_ = ForkPolicy::kAbort;
+  bool fork_detected_ = false;
+  std::string fork_detail_;
 };
 
 /// Cross-node safety check: all logs must be prefix-comparable (no two nodes

@@ -178,11 +178,15 @@ void SimNetwork::deliver_copy(NodeId from, NodeId to, const MessagePtr& m,
   const TimePoint done = start + rx;
   ingress_free_[to] = done;
 
-  sched_.schedule_at(done, [this, from, to, m, wire] {
-    stats_.messages_delivered++;
-    if (tracer_) tracer_->record(to, obs::EventKind::kMsgDelivered, 0, m->index(), wire, from);
-    deliver_(to, from, m);
-  });
+  // Tagged as a delivery choice point: the model checker (src/mc/) reorders
+  // these events freely; normal runs execute them in (time, seq) order.
+  sched_.schedule_at(
+      done, sim::EventTag::delivery(to, from, static_cast<std::uint32_t>(m->index())),
+      [this, from, to, m, wire] {
+        stats_.messages_delivered++;
+        if (tracer_) tracer_->record(to, obs::EventKind::kMsgDelivered, 0, m->index(), wire, from);
+        deliver_(to, from, m);
+      });
 }
 
 }  // namespace moonshot::net

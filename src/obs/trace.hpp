@@ -108,6 +108,27 @@ class Tracer {
   /// same seeded simulation yield the same digest.
   std::uint64_t digest() const { return digest_; }
 
+  /// Per-replica digest covering that node's event *content and local order*
+  /// but neither timestamps nor the global sequence: two executions in which
+  /// node `i` observed the same events in the same order — at different
+  /// absolute times, interleaved differently with other nodes — fold to the
+  /// same value. The model checker (src/mc/) combines these into a state key
+  /// for cross-interleaving deduplication.
+  std::uint64_t node_digest(NodeId node) const {
+    return node < node_digests_.size() ? node_digests_[node] : 0;
+  }
+
+  /// Commutative-across-nodes combination of every replica's node_digest():
+  /// identifies an execution state up to per-node observation order. The
+  /// environment ring is excluded (it records scheduler noise).
+  std::uint64_t state_digest() const {
+    std::uint64_t acc = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < node_digests_.size(); ++i) {
+      acc ^= node_digests_[i] * (2 * i + 0x9e3779b97f4a7c15ull);
+    }
+    return acc;
+  }
+
   std::uint64_t total_recorded() const { return total_recorded_; }
   std::uint64_t total_dropped() const;
 
@@ -126,6 +147,12 @@ class Tracer {
       digest_ *= 0x100000001b3ull;
     }
   }
+  static void fold_into(std::uint64_t& acc, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      acc ^= (v >> (i * 8)) & 0xff;
+      acc *= 0x100000001b3ull;
+    }
+  }
   void fold_event(const Event& e) {
     fold(static_cast<std::uint64_t>(e.t.ns));
     fold((static_cast<std::uint64_t>(e.node) << 8) | static_cast<std::uint64_t>(e.kind));
@@ -134,9 +161,18 @@ class Tracer {
     fold(e.b);
     fold(e.c);
     ++total_recorded_;
+    if (e.node < node_digests_.size()) {
+      std::uint64_t& nd = node_digests_[e.node];
+      fold_into(nd, static_cast<std::uint64_t>(e.kind));
+      fold_into(nd, e.view);
+      fold_into(nd, e.a);
+      fold_into(nd, e.b);
+      fold_into(nd, e.c);
+    }
   }
 
   std::vector<EventRing> rings_;  // [0..n-1] replicas, [n] environment
+  std::vector<std::uint64_t> node_digests_;  // per-replica, time-independent
   std::vector<MessageCounter> counters_ = std::vector<MessageCounter>(kMessageTypeCount);
   const sim::Scheduler* clock_ = nullptr;
   std::uint64_t next_seq_ = 0;

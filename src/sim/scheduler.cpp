@@ -1,5 +1,7 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace moonshot::sim {
@@ -14,15 +16,24 @@ inline void fnv1a_fold(std::uint64_t& acc, std::uint64_t v) {
 }  // namespace
 
 TaskId Scheduler::schedule_at(TimePoint t, Callback cb) {
+  return schedule_at(t, EventTag{}, std::move(cb));
+}
+
+TaskId Scheduler::schedule_at(TimePoint t, EventTag tag, Callback cb) {
   MOONSHOT_INVARIANT(t >= now_, "cannot schedule into the past");
   const TaskId id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  heap_.push_back(Event{t, next_seq_++, id, tag, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   queued_.insert(id);
   return id;
 }
 
 TaskId Scheduler::schedule_after(Duration d, Callback cb) {
   return schedule_at(now_ + d, std::move(cb));
+}
+
+TaskId Scheduler::schedule_after(Duration d, EventTag tag, Callback cb) {
+  return schedule_at(now_ + d, tag, std::move(cb));
 }
 
 void Scheduler::cancel(TaskId id) {
@@ -32,34 +43,39 @@ void Scheduler::cancel(TaskId id) {
   if (queued_.count(id)) cancelled_.insert(id);
 }
 
+void Scheduler::execute(Event ev) {
+  queued_.erase(ev.id);
+  if (ev.t > now_) now_ = ev.t;
+  ++executed_;
+  fnv1a_fold(fingerprint_, static_cast<std::uint64_t>(ev.t.ns));
+  fnv1a_fold(fingerprint_, ev.seq);
+  ev.cb();
+}
+
 bool Scheduler::run_next() {
-  while (!queue_.empty()) {
-    // priority_queue has no non-const top+pop of a move-only payload; copy the
-    // callback out. Events are small (shared_ptr captures).
-    Event ev = queue_.top();
-    queue_.pop();
-    queued_.erase(ev.id);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
       cancelled_.erase(it);
+      queued_.erase(ev.id);
       continue;
     }
-    now_ = ev.t;
-    ++executed_;
-    fnv1a_fold(fingerprint_, static_cast<std::uint64_t>(ev.t.ns));
-    fnv1a_fold(fingerprint_, ev.seq);
-    ev.cb();
+    execute(std::move(ev));
     return true;
   }
   return false;
 }
 
 void Scheduler::run_until(TimePoint limit) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
     if (cancelled_.count(top.id)) {
       cancelled_.erase(top.id);
       queued_.erase(top.id);
-      queue_.pop();
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
       continue;
     }
     if (top.t > limit) break;
@@ -71,6 +87,49 @@ void Scheduler::run_until(TimePoint limit) {
 void Scheduler::run_all(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && run_next()) ++n;
+}
+
+std::vector<PendingEvent> Scheduler::frontier() const {
+  std::vector<PendingEvent> out;
+  out.reserve(heap_.size());
+  for (const Event& ev : heap_) {
+    if (cancelled_.count(ev.id)) continue;
+    out.push_back(PendingEvent{ev.id, ev.t, ev.seq, ev.tag});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              if (a.t != b.t) return a.t < b.t;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::uint64_t Scheduler::run_internal(std::uint64_t max_events) {
+  std::uint64_t ran = 0;
+  while (ran < max_events) {
+    const Event* best = nullptr;
+    for (const Event& ev : heap_) {
+      if (ev.tag.kind != EventTag::Kind::kInternal) continue;
+      if (cancelled_.count(ev.id)) continue;
+      if (!best || ev.t < best->t || (ev.t == best->t && ev.seq < best->seq)) best = &ev;
+    }
+    if (!best) break;
+    run_task(best->id);
+    ++ran;
+  }
+  return ran;
+}
+
+bool Scheduler::run_task(TaskId id) {
+  if (!queued_.count(id) || cancelled_.count(id)) return false;
+  auto it = std::find_if(heap_.begin(), heap_.end(),
+                         [id](const Event& ev) { return ev.id == id; });
+  MOONSHOT_INVARIANT(it != heap_.end(), "queued_ id missing from heap");
+  Event ev = std::move(*it);
+  heap_.erase(it);
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  execute(std::move(ev));
+  return true;
 }
 
 }  // namespace moonshot::sim

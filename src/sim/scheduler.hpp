@@ -3,11 +3,15 @@
 // A Scheduler owns the simulated clock and a priority queue of timestamped
 // callbacks. Events at equal timestamps execute in scheduling order (stable),
 // which — together with seeded PRNGs — makes every run bit-reproducible.
+//
+// Events may carry an EventTag classifying them as *choice points* for the
+// model-checking explorer (src/mc/): message deliveries and protocol timers.
+// Normal runs ignore tags entirely; the explorer enumerates the pending
+// frontier() and picks which tagged event runs next via run_task().
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -18,6 +22,37 @@ namespace moonshot::sim {
 /// Handle for cancelling a scheduled event. 0 is never a valid id.
 using TaskId = std::uint64_t;
 
+/// Classification of a scheduled event for systematic exploration. Untagged
+/// (kInternal) events are deterministic bookkeeping the explorer always runs
+/// eagerly in (time, seq) order; tagged events are the nondeterminism the
+/// explorer controls.
+struct EventTag {
+  enum class Kind : std::uint8_t {
+    kInternal = 0,  // bookkeeping: not a choice point
+    kDelivery = 1,  // a message arriving at `node` from `peer`
+    kTimer = 2,     // a protocol timer owned by `node`
+  };
+  static constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+
+  Kind kind = Kind::kInternal;
+  std::uint32_t node = kNone;  // receiver (delivery) / owner (timer)
+  std::uint32_t peer = kNone;  // sender, for deliveries
+  std::uint32_t type = 0;      // message wire-type index, for deliveries
+
+  static EventTag delivery(std::uint32_t to, std::uint32_t from, std::uint32_t type) {
+    return EventTag{Kind::kDelivery, to, from, type};
+  }
+  static EventTag timer(std::uint32_t node) { return EventTag{Kind::kTimer, node, kNone, 0}; }
+};
+
+/// A pending (not yet run, not cancelled) event as seen by frontier().
+struct PendingEvent {
+  TaskId id = 0;
+  TimePoint t;
+  std::uint64_t seq = 0;
+  EventTag tag;
+};
+
 class Scheduler {
  public:
   using Callback = std::function<void()>;
@@ -27,9 +62,11 @@ class Scheduler {
 
   /// Schedules `cb` at absolute time `t` (>= now). Returns a cancellable id.
   TaskId schedule_at(TimePoint t, Callback cb);
+  TaskId schedule_at(TimePoint t, EventTag tag, Callback cb);
 
   /// Schedules `cb` after `d` from now.
   TaskId schedule_after(Duration d, Callback cb);
+  TaskId schedule_after(Duration d, EventTag tag, Callback cb);
 
   /// Cancels a pending event. Cancelling an already-run or unknown id is a
   /// harmless no-op (timers race with their own expiry).
@@ -48,7 +85,26 @@ class Scheduler {
   /// Drains the queue completely (bounded by `max_events` as a runaway guard).
   void run_all(std::uint64_t max_events = UINT64_MAX);
 
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// The pending-event frontier in deterministic (time, seq) order, excluding
+  /// cancelled entries. This is the explorer's view of the enabled set; it is
+  /// O(pending · log pending) and intended for small model-checking worlds.
+  std::vector<PendingEvent> frontier() const;
+
+  /// Executes the pending event `id` out of queue order (a model-checker
+  /// choice). The clock advances to max(now, event time) — choosing a later
+  /// event models the earlier ones being delayed, not dropped. Returns false
+  /// for unknown or cancelled ids.
+  bool run_task(TaskId id);
+
+  /// Eagerly runs every pending kInternal event — in (time, seq) order,
+  /// including ones newly scheduled along the way — until only tagged events
+  /// remain. The explorer calls this between choices so that deterministic
+  /// bookkeeping (network hops, self-deliveries) never appears as a choice
+  /// point and every in-flight delivery surfaces on the frontier. Returns the
+  /// number of events run; `max_events` is a runaway guard.
+  std::uint64_t run_internal(std::uint64_t max_events = 1 << 20);
+
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 
   /// Order-sensitive digest of the execution so far: folds the (time, seq) of
@@ -62,6 +118,7 @@ class Scheduler {
     TimePoint t;
     std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
     TaskId id;
+    EventTag tag;
     Callback cb;
   };
   struct Later {
@@ -71,9 +128,14 @@ class Scheduler {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  void execute(Event ev);
+
+  // Binary heap ordered by Later (min (t, seq) at front), maintained with
+  // std::push_heap/pop_heap. A plain vector (rather than priority_queue) so
+  // frontier() can enumerate and run_task() can extract arbitrary entries.
+  std::vector<Event> heap_;
   std::unordered_set<TaskId> cancelled_;
-  std::unordered_set<TaskId> queued_;  // ids still in queue_; bounds cancelled_
+  std::unordered_set<TaskId> queued_;  // ids still in heap_; bounds cancelled_
   TimePoint now_ = TimePoint::zero();
   std::uint64_t next_seq_ = 0;
   TaskId next_id_ = 1;

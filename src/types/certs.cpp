@@ -3,9 +3,18 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/mutations.hpp"
 #include "types/cert_cache.hpp"
 
 namespace moonshot {
+
+namespace {
+// See Mutation::kCertQuorumFPlusOne: the seeded sub-quorum certificate bug.
+std::size_t qc_threshold(const ValidatorSet& validators) {
+  if (mutation_on(Mutation::kCertQuorumFPlusOne)) return validators.honest_evidence_size();
+  return validators.quorum_size();
+}
+}  // namespace
 
 QcPtr QuorumCert::genesis_qc() {
   static const QcPtr g = [] {
@@ -42,7 +51,7 @@ QcPtr QuorumCert::assemble(const std::vector<Vote>& votes, Height block_height,
     qc->voters.push_back(v->voter);
     qc->sigs.push_back(v->sig);
   }
-  if (qc->voters.size() < validators.quorum_size()) return nullptr;
+  if (qc->voters.size() < qc_threshold(validators)) return nullptr;
 
   if (aggregate && validators.scheme().supports_aggregation()) {
     const auto digest = Vote::signing_digest(qc->kind, qc->view, qc->block);
@@ -63,7 +72,7 @@ bool QuorumCert::validate(const ValidatorSet& validators, bool check_sigs,
   // Structural checks run unconditionally; only signature work is skippable.
   if (!aggregated && voters.size() != sigs.size()) return false;
   if (aggregated && !sigs.empty()) return false;
-  if (voters.size() < validators.quorum_size()) return false;
+  if (voters.size() < qc_threshold(validators)) return false;
   NodeId prev = kNoNode;
   for (std::size_t i = 0; i < voters.size(); ++i) {
     const NodeId id = voters[i];

@@ -188,5 +188,73 @@ TEST(Scheduler, SchedulingIntoThePastAborts) {
   EXPECT_DEATH(s.schedule_at(TimePoint{50}, [] {}), "past");
 }
 
+TEST(Scheduler, FrontierIsDeterministicAndSorted) {
+  // The explorer's enabled set: identical schedulers report identical
+  // frontiers, in strict (time, seq) order, with cancelled entries absent.
+  auto build = [] {
+    auto s = std::make_unique<Scheduler>();
+    s->schedule_at(TimePoint{30}, EventTag::delivery(1, 0, 3), [] {});
+    s->schedule_at(TimePoint{10}, EventTag::timer(2), [] {});
+    s->schedule_at(TimePoint{30}, EventTag::delivery(2, 1, 5), [] {});
+    s->schedule_at(TimePoint{20}, [] {});  // untagged: kInternal
+    return s;
+  };
+  auto a = build();
+  auto b = build();
+  const auto fa = a->frontier();
+  const auto fb = b->frontier();
+  ASSERT_EQ(fa.size(), 4u);
+  ASSERT_EQ(fb.size(), 4u);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].t.ns, fb[i].t.ns);
+    EXPECT_EQ(fa[i].seq, fb[i].seq);
+    EXPECT_EQ(fa[i].tag.kind, fb[i].tag.kind);
+    EXPECT_EQ(fa[i].tag.node, fb[i].tag.node);
+    if (i > 0) {
+      EXPECT_TRUE(fa[i - 1].t < fa[i].t ||
+                  (fa[i - 1].t == fa[i].t && fa[i - 1].seq < fa[i].seq));
+    }
+  }
+  EXPECT_EQ(fa[0].tag.kind, EventTag::Kind::kTimer);
+  EXPECT_EQ(fa[1].tag.kind, EventTag::Kind::kInternal);
+  // Equal-time entries keep scheduling (seq) order.
+  EXPECT_EQ(fa[2].tag.node, 1u);
+  EXPECT_EQ(fa[3].tag.node, 2u);
+  // Cancelling removes the entry from the frontier without running it.
+  a->cancel(fa[3].id);
+  EXPECT_EQ(a->frontier().size(), 3u);
+}
+
+TEST(Scheduler, RunTaskExecutesOutOfOrderAndAdvancesClock) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint{10}, EventTag::delivery(0, 1, 0), [&] { order.push_back(1); });
+  const TaskId late =
+      s.schedule_at(TimePoint{50}, EventTag::delivery(1, 0, 0), [&] { order.push_back(2); });
+  // Choosing the later event models the earlier one being delayed, not lost.
+  EXPECT_TRUE(s.run_task(late));
+  EXPECT_EQ(s.now().ns, 50);
+  EXPECT_FALSE(s.run_task(late));  // already run
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Scheduler, RunInternalDrainsOnlyUntaggedEvents) {
+  Scheduler s;
+  int internal = 0;
+  bool delivery = false;
+  s.schedule_at(TimePoint{10}, [&] {
+    ++internal;
+    // Internal work may cascade: newly scheduled bookkeeping drains too.
+    s.schedule_at(TimePoint{15}, [&] { ++internal; });
+  });
+  s.schedule_at(TimePoint{5}, EventTag::delivery(0, 1, 0), [&] { delivery = true; });
+  EXPECT_EQ(s.run_internal(), 2u);
+  EXPECT_EQ(internal, 2);
+  EXPECT_FALSE(delivery);  // tagged events are the explorer's to run
+  ASSERT_EQ(s.frontier().size(), 1u);
+  EXPECT_EQ(s.frontier()[0].tag.kind, EventTag::Kind::kDelivery);
+}
+
 }  // namespace
 }  // namespace moonshot::sim
