@@ -20,7 +20,9 @@ using namespace moonshot::bench;
 
 void run_row(JsonReport& report, const char* section, const char* label,
              const ExperimentConfig& cfg) {
-  const auto r = run_experiment(cfg);
+  ExperimentConfig c = cfg;
+  c.registry = &report.registry();
+  const auto r = run_experiment(c);
   std::printf("%-34s %8.2f blk/s %10.1f ms %8s\n", label, r.summary.blocks_per_sec,
               r.summary.avg_latency_ms, r.logs_consistent ? "safe" : "UNSAFE");
   report.row()

@@ -21,10 +21,12 @@ struct Usage {
   double bytes_per_view;
 };
 
-Usage measure(ProtocolKind p, std::size_t n, bool aggregate) {
+Usage measure(ProtocolKind p, std::size_t n, bool aggregate,
+              obs::Registry* reg = nullptr) {
   ExperimentConfig cfg = ideal_config(p, n, milliseconds(10), 1);
   cfg.duration = seconds(5);
   cfg.aggregate_certificates = aggregate;
+  cfg.registry = reg;
   Experiment e(cfg);
   const auto r = e.run();
   const double views = static_cast<double>(r.max_view);
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
        {ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
         ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon, ProtocolKind::kHotStuff}) {
     std::vector<Usage> usage;
-    for (std::size_t n : sizes) usage.push_back(measure(p, n, false));
+    for (std::size_t n : sizes) usage.push_back(measure(p, n, false, &report.registry()));
     std::printf("%-20s", protocol_name(p));
     for (std::size_t i = 0; i < usage.size(); ++i) {
       std::printf("  %9.0f msg", usage[i].msgs_per_view);

@@ -94,9 +94,42 @@ bool JsonReport::write() const {
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     std::fprintf(f, "  {%s}%s\n", rows_[i].c_str(), i + 1 < rows_.size() ? "," : "");
   }
-  std::fprintf(f, "]}\n");
+  std::fprintf(f, "]");
+  if (!registry_.empty()) {
+    // One JSON object per metric series, same shape as the registry's JSONL
+    // snapshot lines.
+    std::fprintf(f, ",\n\"metrics\": [\n");
+    const std::string snap = registry_.snapshot_jsonl();
+    bool first = true;
+    std::size_t start = 0;
+    while (start < snap.size()) {
+      std::size_t end = snap.find('\n', start);
+      if (end == std::string::npos) end = snap.size();
+      if (end > start) {
+        std::fprintf(f, "%s  %.*s", first ? "" : ",\n",
+                     static_cast<int>(end - start), snap.data() + start);
+        first = false;
+      }
+      start = end + 1;
+    }
+    std::fprintf(f, "\n]");
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "[json] wrote %zu row(s) to %s\n", rows_.size(), path_.c_str());
+
+  if (!registry_.empty()) {
+    const std::string prom_path = path_ + ".prom";
+    std::FILE* pf = std::fopen(prom_path.c_str(), "w");
+    if (!pf) {
+      std::fprintf(stderr, "[json] cannot open %s for writing\n", prom_path.c_str());
+      return false;
+    }
+    const std::string text = registry_.prometheus_text();
+    std::fwrite(text.data(), 1, text.size(), pf);
+    std::fclose(pf);
+    std::fprintf(stderr, "[json] wrote metrics exposition to %s\n", prom_path.c_str());
+  }
   return true;
 }
 
@@ -148,7 +181,8 @@ ExperimentConfig ideal_config(ProtocolKind p, std::size_t n, Duration delta_one_
 std::vector<GridCell> run_happy_grid(const std::vector<ProtocolKind>& protocols,
                                      const std::vector<std::size_t>& sizes,
                                      const std::vector<std::uint64_t>& payloads,
-                                     const Options& opt) {
+                                     const Options& opt,
+                                     obs::Registry* registry) {
   std::vector<GridCell> grid;
   for (const std::size_t n : sizes) {
     for (const std::uint64_t payload : payloads) {
@@ -158,7 +192,9 @@ std::vector<GridCell> run_happy_grid(const std::vector<ProtocolKind>& protocols,
         cell.n = n;
         cell.payload = payload;
         for (int s = 0; s < opt.seeds(); ++s) {
-          const auto result = run_experiment(wan_config(p, n, payload, 1 + s, opt));
+          ExperimentConfig cfg = wan_config(p, n, payload, 1 + s, opt);
+          cfg.registry = registry;
+          const auto result = run_experiment(cfg);
           cell.blocks_per_sec += result.summary.blocks_per_sec;
           cell.latency_ms += result.summary.avg_latency_ms;
           cell.transfer_bps += result.summary.transfer_rate_bps;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/registry.hpp"
 
 namespace moonshot::bench {
 
@@ -54,6 +55,15 @@ class JsonReport {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Shared metrics registry for the binary's runs. Point
+  /// ExperimentConfig::registry at it (or pass it to run_happy_grid) and
+  /// every run publishes its summary, per-node counters and network stats
+  /// here. write() embeds the snapshot as a "metrics" array and writes a
+  /// Prometheus sibling (<json-path>.prom). Semantics across runs: gauges
+  /// hold the last run's value per label set, counters the running maximum
+  /// (Counter::set is monotone).
+  obs::Registry& registry() { return registry_; }
+
   /// Writes the document to the --json path (no-op when none was given).
   /// Returns false if the file could not be written.
   bool write() const;
@@ -65,6 +75,7 @@ class JsonReport {
   std::string mode_;
   std::string path_;
   std::vector<std::string> rows_;  // encoded JSON object bodies
+  obs::Registry registry_;
 };
 
 /// All four protocols in the paper's presentation order.
@@ -108,11 +119,13 @@ struct GridCell {
 };
 
 /// Runs the (protocol x n x payload) grid and returns one averaged cell per
-/// combination. Progress goes to stderr.
+/// combination. Progress goes to stderr. When `registry` is non-null every
+/// run publishes its metrics there (see JsonReport::registry()).
 std::vector<GridCell> run_happy_grid(const std::vector<ProtocolKind>& protocols,
                                      const std::vector<std::size_t>& sizes,
                                      const std::vector<std::uint64_t>& payloads,
-                                     const Options& opt);
+                                     const Options& opt,
+                                     obs::Registry* registry = nullptr);
 
 /// Finds a cell in a grid.
 const GridCell* find_cell(const std::vector<GridCell>& grid, ProtocolKind p, std::size_t n,

@@ -21,9 +21,9 @@ int main(int argc, char** argv) {
   std::printf("WAN: Table II latencies, 5 regions, 10 Gbps NICs; durations scaled for\n");
   std::printf("simulation (rates are per-second; see EXPERIMENTS.md).\n\n");
 
-  const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt);
-
   JsonReport report("fig6", opt);
+  const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt,
+                                   &report.registry());
   for (const auto& c : grid) {
     report.row()
         .add("protocol", protocol_tag(c.protocol))

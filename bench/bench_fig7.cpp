@@ -11,7 +11,8 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 7: performance vs Jolteon per configuration (f'=0) ===\n\n");
 
-  const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt);
+  const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt,
+                                   &report.registry());
 
   const std::vector<ProtocolKind> moonshots = {ProtocolKind::kSimpleMoonshot,
                                                ProtocolKind::kPipelinedMoonshot,

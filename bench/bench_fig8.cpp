@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       for (int s = 0; s < opt.seeds(); ++s) {
         auto cfg = wan_config(p, 200, payload, 1 + s, opt);
         cfg.timeout_backoff = true;
+        cfg.registry = &report.registry();
         const auto r = run_experiment(cfg);
         cell.blocks_per_sec += r.summary.blocks_per_sec;
         cell.latency_ms += r.summary.avg_latency_ms;

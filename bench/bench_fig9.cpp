@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
         cfg.crashed = 33;
         cfg.schedule = s;
         cfg.duration = Duration(static_cast<std::int64_t>(dur_s * 1e9));
+        cfg.registry = &report.registry();
         const auto r = run_experiment(cfg);
         cell.blocks_per_sec += r.summary.blocks_per_sec;
         cell.latency_ms += r.summary.avg_latency_ms;

@@ -28,8 +28,10 @@ struct Row {
   const char* omega_paper;
 };
 
-double measure_lambda(ProtocolKind p) {
-  const auto r = run_experiment(ideal_config(p, 4, kDelta, 1));
+double measure_lambda(ProtocolKind p, obs::Registry* reg) {
+  auto cfg = ideal_config(p, 4, kDelta, 1);
+  cfg.registry = reg;
+  const auto r = run_experiment(cfg);
   return r.summary.avg_latency_ms / to_ms(kDelta);
 }
 
@@ -85,9 +87,9 @@ int main(int argc, char** argv) {
       {ProtocolKind::kHotStuff, "4*Delta", "yes", "7d", "2d"},
   };
   for (const auto& s : specs) {
-    rows.push_back(Row{protocol_name(s.p), measure_lambda(s.p), measure_omega(s.p), s.tau,
-                       measure_reorg_resilience(s.p), s.pipelined, s.lambda_paper,
-                       s.omega_paper});
+    rows.push_back(Row{protocol_name(s.p), measure_lambda(s.p, &report.registry()),
+                       measure_omega(s.p), s.tau, measure_reorg_resilience(s.p), s.pipelined,
+                       s.lambda_paper, s.omega_paper});
   }
 
   std::printf("%-20s %14s %14s %10s %8s %10s\n", "protocol", "lambda (paper)",

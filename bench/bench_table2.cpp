@@ -73,6 +73,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   std::printf("\nExpected: measured one-way = RTT/2 within the 5%% jitter band.\n");
+  report.registry().set_time(sched.now());
+  net_sim.export_metrics(report.registry(), "ping");
   report.write();
   return 0;
 }

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
 
   std::printf("=== Table III: performance vs Jolteon (f'=0, outliers removed) ===\n\n");
 
-  const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt);
+  const auto grid = run_happy_grid(all_protocols(), paper_sizes(), paper_payloads(), opt,
+                                   &report.registry());
 
   const std::vector<ProtocolKind> moonshots = {ProtocolKind::kSimpleMoonshot,
                                                ProtocolKind::kPipelinedMoonshot,

@@ -37,6 +37,8 @@ struct Options {
   std::int64_t delta_ms = 500;
   std::size_t max_events = 6;
   std::string schedule;  // replay mode when non-empty
+  /// Write a flight recording (obs/flight.hpp) here when a run fails.
+  std::string flight;
   bool smoke = false;
   bool inject_bug = false;
   /// Default recovery mode for crash events without an m= key.
@@ -54,7 +56,7 @@ struct Options {
                "                  [--n N] [--duration-ms N] [--delta-ms N]\n"
                "                  [--max-events N] [--schedule STR] [--smoke]\n"
                "                  [--inject-bug] [--recovery in-memory|amnesia|durable]\n"
-               "                  [--crash-heavy] [--fsync-us N]\n");
+               "                  [--crash-heavy] [--fsync-us N] [--flight PATH]\n");
   std::exit(2);
 }
 
@@ -66,17 +68,6 @@ bool parse_protocol(const std::string& tag, ProtocolKind& out) {
   else if (tag == "hs") out = ProtocolKind::kHotStuff;
   else return false;
   return true;
-}
-
-const char* cli_tag(ProtocolKind p) {
-  switch (p) {
-    case ProtocolKind::kSimpleMoonshot: return "sm";
-    case ProtocolKind::kPipelinedMoonshot: return "pm";
-    case ProtocolKind::kCommitMoonshot: return "cm";
-    case ProtocolKind::kJolteon: return "j";
-    case ProtocolKind::kHotStuff: return "hs";
-  }
-  return "?";
 }
 
 Options parse_args(int argc, char** argv) {
@@ -103,6 +94,8 @@ Options parse_args(int argc, char** argv) {
       opt.max_events = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--schedule") {
       opt.schedule = value();
+    } else if (arg == "--flight") {
+      opt.flight = value();
     } else if (arg == "--smoke") {
       opt.smoke = true;
     } else if (arg == "--inject-bug") {
@@ -133,6 +126,7 @@ ChaosRunConfig make_run_config(const Options& opt, std::uint64_t seed,
   cfg.schedule = std::move(schedule);
   cfg.inject_bug = opt.inject_bug;
   cfg.recovery = opt.recovery;
+  cfg.flight_path = opt.flight;
   if (opt.fsync_us > 0) {
     cfg.enable_wal = true;
     cfg.wal.fsync_base = microseconds(opt.fsync_us);
@@ -161,7 +155,7 @@ void print_reproducer(const Options& opt, std::uint64_t seed, const FaultSchedul
   if (opt.fsync_us > 0) extras += " --fsync-us " + std::to_string(opt.fsync_us);
   std::printf("  chaos_fuzz --protocol %s --seed %llu --n %zu --duration-ms %lld"
               " --delta-ms %lld%s --schedule \"%s\"\n",
-              cli_tag(opt.protocol), static_cast<unsigned long long>(seed), opt.n,
+              protocol_cli_tag(opt.protocol), static_cast<unsigned long long>(seed), opt.n,
               static_cast<long long>(opt.duration_ms), static_cast<long long>(opt.delta_ms),
               extras.c_str(), schedule.to_string().c_str());
 }
@@ -170,7 +164,7 @@ int replay(const Options& opt) {
   auto parsed = FaultSchedule::parse(opt.schedule);
   if (!parsed) usage_error("unparseable --schedule");
   const ChaosReport report = run_chaos(make_run_config(opt, opt.seed, *parsed));
-  std::printf("protocol=%s seed=%llu schedule=%s\n", cli_tag(opt.protocol),
+  std::printf("protocol=%s seed=%llu schedule=%s\n", protocol_cli_tag(opt.protocol),
               static_cast<unsigned long long>(opt.seed), parsed->to_string().c_str());
   std::printf("digest=%016llx committed=%llu max_view=%llu verdict=%s\n",
               static_cast<unsigned long long>(report.digest),
@@ -206,7 +200,7 @@ bool fuzz_one(const Options& opt, std::uint64_t seed) {
 
 int fuzz(const Options& opt) {
   std::printf("fuzzing %s: %zu runs from seed %llu (n=%zu, %lldms runs)\n",
-              cli_tag(opt.protocol), opt.runs, static_cast<unsigned long long>(opt.seed),
+              protocol_cli_tag(opt.protocol), opt.runs, static_cast<unsigned long long>(opt.seed),
               opt.n, static_cast<long long>(opt.duration_ms));
   std::size_t failures = 0;
   for (std::size_t i = 0; i < opt.runs; ++i) {
@@ -228,7 +222,7 @@ int smoke(Options opt) {
     const ChaosReport first = run_chaos(make_run_config(opt, opt.seed, schedule));
     const ChaosReport second = run_chaos(make_run_config(opt, opt.seed, schedule));
     const bool deterministic = first.digest == second.digest;
-    std::printf("  %s: %s digest=%016llx replay=%s\n", cli_tag(p),
+    std::printf("  %s: %s digest=%016llx replay=%s\n", protocol_cli_tag(p),
                 first.ok() ? "ok" : first.failure().c_str(),
                 static_cast<unsigned long long>(first.digest),
                 deterministic ? "identical" : "DIVERGED");

@@ -1,10 +1,13 @@
 #include "chaos/runner.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "chaos/engine.hpp"
 #include "harness/conformance.hpp"
+#include "obs/flight.hpp"
+#include "obs/registry.hpp"
 
 namespace moonshot::chaos {
 
@@ -68,13 +71,28 @@ std::string ChaosReport::failure() const {
 }
 
 ChaosReport run_chaos(const ChaosRunConfig& cfg) {
+  // A flight recording needs an event stream; give the run a private tracer
+  // when the caller wants a recording but supplied none.
+  std::unique_ptr<obs::Tracer> flight_tracer;
+  obs::Tracer* tracer = cfg.tracer;
+  if (!cfg.flight_path.empty() && tracer == nullptr) {
+    flight_tracer = std::make_unique<obs::Tracer>(cfg.n);
+    tracer = flight_tracer.get();
+  }
+
   ExperimentConfig ecfg;
   ecfg.protocol = cfg.protocol;
   ecfg.n = cfg.n;
   ecfg.delta = cfg.delta;
   ecfg.duration = cfg.duration;
   ecfg.seed = cfg.seed;
-  ecfg.tracer = cfg.tracer;
+  ecfg.tracer = tracer;
+  // The private flight tracer must observe the run without perturbing it:
+  // the queue-depth probe schedules a real event every Δ, which would shift
+  // every seq and change the replay digest whenever --flight is toggled.
+  // Callers passing their own tracer opt into that (it folds into the
+  // digest explicitly below).
+  ecfg.sample_queue_depth = cfg.tracer != nullptr;
   ecfg.net = cfg.net;
   ecfg.leader_order = cfg.leader_order;
   if (cfg.byzantine > 0) {
@@ -177,6 +195,29 @@ ChaosReport run_chaos(const ChaosRunConfig& cfg) {
   if (!conf.empty()) {
     report.conformance_ok = false;
     for (auto& v : conf) report.violations.push_back("conformance: " + std::move(v));
+  }
+
+  if (!report.ok() && !cfg.flight_path.empty()) {
+    obs::Registry reg;
+    e.export_metrics(reg);
+    obs::FlightContext fctx;
+    fctx.reason = report.failure();
+    fctx.violations = report.violations;
+    fctx.protocol = protocol_cli_tag(cfg.protocol);
+    fctx.schedule = cfg.schedule.to_string();
+    fctx.seed = cfg.seed;
+    fctx.nodes = cfg.n;
+    fctx.delta_ms = to_ms(cfg.delta);
+    fctx.trigger = e.scheduler().now();
+    std::ostringstream repro;
+    repro << "chaos_fuzz --protocol " << protocol_cli_tag(cfg.protocol) << " --n "
+          << cfg.n << " --seed " << cfg.seed << " --delta-ms "
+          << static_cast<long long>(to_ms(cfg.delta)) << " --duration-ms "
+          << static_cast<long long>(to_ms(cfg.duration)) << " --schedule '"
+          << cfg.schedule.to_string() << "'";
+    if (cfg.inject_bug) repro << " --inject-bug";
+    fctx.repro = repro.str();
+    obs::write_flight_recording(cfg.flight_path, fctx, tracer, &reg);
   }
   return report;
 }

@@ -59,6 +59,13 @@ struct ChaosRunConfig {
   /// Network model override (latency matrix, drops, GST). Seed and delta are
   /// stamped in by the experiment.
   net::NetworkConfig net;
+  /// When non-empty and any oracle latches, a flight recording (metrics,
+  /// span tail, critical paths, event tail, replay command — see
+  /// obs/flight.hpp) is written here. If no tracer was supplied, the run
+  /// gets a private one so the recording has events to dump; the private
+  /// tracer is *not* folded into the determinism digest, so recordings can
+  /// be toggled without perturbing replay verification.
+  std::string flight_path;
 };
 
 struct ChaosReport {

@@ -360,4 +360,12 @@ bool BaseNode::check_tc(const TimeoutCert& tc) const {
   return tc.validate(*ctx_.validators, ctx_.verify_signatures, &cert_cache_);
 }
 
+NodeCounters BaseNode::counters() const {
+  NodeCounters c = counters_;
+  c.equivocations_seen = vote_acc_.equivocations_seen();
+  c.cert_cache_hits = cert_cache_.stats().hits;
+  c.cert_cache_misses = cert_cache_.stats().misses;
+  return c;
+}
+
 }  // namespace moonshot

@@ -47,6 +47,11 @@ class BaseNode : public IConsensusNode {
 
   NodeId id() const { return ctx_.id; }
 
+  /// Pacemaker counters plus accumulator/cert-cache statistics, merged on
+  /// read so the registry export sees live values without extra bookkeeping
+  /// on the hot paths.
+  NodeCounters counters() const override;
+
  protected:
   // --- identities & quorums -------------------------------------------------
   NodeId leader_of(View v) const { return ctx_.leaders->leader(v); }
@@ -68,6 +73,24 @@ class BaseNode : public IConsensusNode {
   void trace(obs::EventKind kind, View view, std::uint64_t a = 0, std::uint64_t b = 0,
              std::uint64_t c = 0) const {
     if (ctx_.tracer) ctx_.tracer->record(ctx_.id, kind, view, a, b, c);
+  }
+
+  // --- counter-bearing trace wrappers ----------------------------------------
+  // Protocol code reports pacemaker transitions through these so the trace
+  // stream and the metrics registry can never disagree about the counts.
+  /// `reason`: 0 = start, 1 = certificate, 2 = timeout certificate.
+  void note_view_entered(View view, std::uint64_t reason, View prev) {
+    counters_.views_entered++;
+    if (reason == 2) counters_.view_changes++;
+    trace(obs::EventKind::kViewEnter, view, reason, prev);
+  }
+  void note_timeout_fired(View view) {
+    counters_.timeouts_fired++;
+    trace(obs::EventKind::kTimeoutFired, view);
+  }
+  void note_timeout_retransmitted(View view) {
+    counters_.timeout_retransmits++;
+    trace(obs::EventKind::kTimeoutRetransmit, view);
   }
 
   /// Creates a vote for the caller to send. With a WAL attached this is the
@@ -189,6 +212,9 @@ class BaseNode : public IConsensusNode {
   mutable CertVerifyCache cert_cache_;
 
  private:
+  /// Pacemaker counts accumulated by the note_* wrappers; accumulator and
+  /// cert-cache statistics are merged in at counters() time.
+  NodeCounters counters_;
   std::map<View, QcPtr> qc_by_view_;
   // Commit targets waiting for a missing ancestor body.
   std::unordered_set<BlockId> pending_commit_targets_;

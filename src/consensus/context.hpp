@@ -16,6 +16,7 @@ namespace moonshot {
 
 namespace obs {
 class Tracer;
+class Registry;
 }
 namespace wal {
 class Wal;

@@ -25,7 +25,7 @@ void HotStuffNode::start() {
   // resumes in its restored view and catches up via incoming certificates.
   const bool cold_start = view_ == 0;
   if (cold_start) view_ = 1;
-  trace(obs::EventKind::kViewEnter, view_, 0, 0);
+  note_view_entered(view_, /*reason=*/0, 0);
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
   if (cold_start && i_am_leader(1)) propose();
   try_vote();
@@ -136,7 +136,7 @@ void HotStuffNode::advance_to(View new_round, const TcPtr& via_tc) {
   trace(obs::EventKind::kViewExit, view_, /*views_spent=*/1, new_round);
   const View prev = view_;
   view_ = new_round;
-  trace(obs::EventKind::kViewEnter, view_, via_tc ? 2 : 1, prev);
+  note_view_entered(view_, via_tc ? 2 : 1, prev);
   entry_tc_ = via_tc;
   proposed_in_round_ = false;
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
@@ -199,11 +199,11 @@ void HotStuffNode::send_timeout(View round) {
 void HotStuffNode::on_view_timer_expired() {
   if (timeout_round_ < view_) {
     note_timeout();
-    trace(obs::EventKind::kTimeoutFired, view_);
+    note_timeout_fired(view_);
     send_timeout(view_);
   } else {
     // Retransmit a possibly-lost timeout and stay armed (see pipelined).
-    trace(obs::EventKind::kTimeoutRetransmit, view_);
+    note_timeout_retransmitted(view_);
     multicast(make_message<TimeoutMsgWrap>(make_timeout(view_, high_qc_)));
   }
   retransmit_proposal(view_);  // our own proposal may be the lost message

@@ -29,7 +29,7 @@ void PipelinedMoonshotNode::start() {
   // resumes in its restored view and catches up via incoming certificates.
   const bool cold_start = view_ == 0;
   if (cold_start) view_ = 1;
-  trace(obs::EventKind::kViewEnter, view_, /*reason=*/0);
+  note_view_entered(view_, /*reason=*/0, 0);
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
   if (cold_start && i_am_leader(1)) propose_normal(QuorumCert::genesis_qc());
   try_vote();
@@ -181,7 +181,7 @@ void PipelinedMoonshotNode::advance_to(View new_view, const QcPtr& via_qc, const
   trace(obs::EventKind::kViewExit, view_, /*views_spent=*/1, new_view);
   const View prev = view_;
   view_ = new_view;
-  trace(obs::EventKind::kViewEnter, view_, via_qc ? 1 : 2, prev);
+  note_view_entered(view_, via_qc ? 1 : 2, prev);
   entry_tc_ = via_tc;
   proposed_in_view_ = false;
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
@@ -331,11 +331,11 @@ void PipelinedMoonshotNode::send_timeout(View view) {
 
 void PipelinedMoonshotNode::on_view_timer_expired() {
   if (timeout_view_ < view_) {
-    trace(obs::EventKind::kTimeoutFired, view_);
+    note_timeout_fired(view_);
     note_timeout();
     send_timeout(view_);
   } else {
-    trace(obs::EventKind::kTimeoutRetransmit, view_);
+    note_timeout_retransmitted(view_);
     // The first ⟨timeout⟩ for this view may have been lost (lossy links; a
     // real transport retransmits). Re-multicast with the current — possibly
     // fresher — lock; a single lost timeout must not stall the view forever.

@@ -26,7 +26,7 @@ void SimpleMoonshotNode::start() {
   // rather than replaying view-1 actions.
   const bool cold_start = view_ == 0;
   if (cold_start) view_ = 1;
-  trace(obs::EventKind::kViewEnter, view_, /*reason=*/0);
+  note_view_entered(view_, /*reason=*/0, 0);
   arm_view_timer(backed_off(ctx_.delta * kTimerDeltas));
   if (cold_start && i_am_leader(1)) propose_normal(QuorumCert::genesis_qc());
   try_vote();
@@ -169,7 +169,7 @@ void SimpleMoonshotNode::advance_to(View new_view, const QcPtr& via_qc, const Tc
   trace(obs::EventKind::kViewExit, view_, /*views_spent=*/1, new_view);
   const View prev = view_;
   view_ = new_view;
-  trace(obs::EventKind::kViewEnter, view_, via_qc ? 1 : 2, prev);
+  note_view_entered(view_, via_qc ? 1 : 2, prev);
   entry_tc_ = via_tc;
   proposed_in_view_ = false;
   ++propose_generation_;  // invalidates any scheduled 2Δ proposal
@@ -271,11 +271,11 @@ void SimpleMoonshotNode::send_timeout(View view) {
 
 void SimpleMoonshotNode::on_view_timer_expired() {
   if (timeout_sent_view_ < view_) {
-    trace(obs::EventKind::kTimeoutFired, view_);
+    note_timeout_fired(view_);
     note_timeout();
     send_timeout(view_);
   } else {
-    trace(obs::EventKind::kTimeoutRetransmit, view_);
+    note_timeout_retransmitted(view_);
     // Retransmit a possibly-lost timeout and stay armed (see pipelined).
     multicast(make_message<TimeoutMsgWrap>(make_timeout(view_, nullptr)));
   }

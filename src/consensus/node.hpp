@@ -14,6 +14,20 @@ namespace wal {
 struct RecoveredState;
 }
 
+/// Cumulative per-node protocol counters, exported into the metrics
+/// registry (harness/experiment.cpp). `view_changes` counts views entered
+/// via a timeout certificate — the pacemaker's unhappy path — while
+/// `views_entered` counts every entry including the happy certificate path.
+struct NodeCounters {
+  std::uint64_t views_entered = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t timeouts_fired = 0;
+  std::uint64_t timeout_retransmits = 0;
+  std::uint64_t equivocations_seen = 0;
+  std::uint64_t cert_cache_hits = 0;
+  std::uint64_t cert_cache_misses = 0;
+};
+
 class IConsensusNode {
  public:
   virtual ~IConsensusNode() = default;
@@ -57,6 +71,9 @@ class IConsensusNode {
   virtual CommitLog& commit_log_mutable() = 0;
   virtual const BlockStore& block_store() const = 0;
   virtual std::string protocol_name() const = 0;
+
+  /// Snapshot of the node's cumulative counters; default for stubs.
+  virtual NodeCounters counters() const { return {}; }
 };
 
 }  // namespace moonshot

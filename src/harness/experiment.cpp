@@ -6,6 +6,7 @@
 #include "consensus/moonshot/commit_moonshot.hpp"
 #include "consensus/moonshot/pipelined_moonshot.hpp"
 #include "consensus/moonshot/simple_moonshot.hpp"
+#include "obs/registry.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
 #include "support/prng.hpp"
@@ -30,6 +31,17 @@ const char* protocol_tag(ProtocolKind p) {
     case ProtocolKind::kCommitMoonshot: return "CM";
     case ProtocolKind::kJolteon: return "J";
     case ProtocolKind::kHotStuff: return "HS";
+  }
+  return "?";
+}
+
+const char* protocol_cli_tag(ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::kSimpleMoonshot: return "sm";
+    case ProtocolKind::kPipelinedMoonshot: return "pm";
+    case ProtocolKind::kCommitMoonshot: return "cm";
+    case ProtocolKind::kJolteon: return "j";
+    case ProtocolKind::kHotStuff: return "hs";
   }
   return "?";
 }
@@ -304,7 +316,94 @@ ExperimentResult Experiment::result() {
   }
   r.logs_consistent = commit_logs_consistent(logs);
   if (tx_tracker_) r.tx = tx_tracker_->summarize(cfg_.duration);
+  if (cfg_.registry) export_metrics(*cfg_.registry);
   return r;
+}
+
+void Experiment::export_metrics(obs::Registry& reg) {
+  reg.set_time(sched_.now());
+  const std::string tag = protocol_tag(cfg_.protocol);
+  const obs::MetricLabels proto{{"protocol", tag}};
+
+  const auto summary = metrics_.summarize(validators_->quorum_size(), cfg_.duration);
+  reg.gauge("committed_blocks", "Blocks committed by a quorum", proto)
+      .set(static_cast<double>(summary.committed_blocks));
+  reg.gauge("throughput_blocks_per_sec", "Quorum-committed blocks per second",
+            proto)
+      .set(summary.blocks_per_sec);
+  reg.gauge("commit_latency_avg_ms",
+            "Mean creation-to-quorum-commit latency (ms)", proto)
+      .set(summary.avg_latency_ms);
+  reg.gauge("commit_latency_p99_ms",
+            "p99 creation-to-quorum-commit latency (ms)", proto)
+      .set(summary.p99_latency_ms);
+  reg.gauge("transfer_rate_bps", "Committed payload bytes per second", proto)
+      .set(summary.transfer_rate_bps);
+  // Re-published whole on every export (periodic snapshots, bench grids):
+  // reset-then-observe keeps the series idempotent, last-write-wins.
+  auto& lat_hist = reg.histogram(
+      "commit_latency_seconds",
+      "Creation-to-quorum-commit latency distribution", proto);
+  lat_hist.reset();
+  for (const Duration d : metrics_.commit_latencies(validators_->quorum_size()))
+    lat_hist.observe(d);
+
+  // Per-node pacemaker counters plus the derived per-protocol totals the
+  // registry sums across nodes (view_change_total, timeout_retransmit_total,
+  // cert_cache_hit_ratio).
+  std::uint64_t view_changes = 0, retransmits = 0, hits = 0, misses = 0;
+  for (NodeId id = 0; id < cfg_.n; ++id) {
+    const NodeCounters c = nodes_[id]->counters();
+    view_changes += c.view_changes;
+    retransmits += c.timeout_retransmits;
+    hits += c.cert_cache_hits;
+    misses += c.cert_cache_misses;
+    const obs::MetricLabels labels{{"protocol", tag},
+                                   {"node", std::to_string(id)}};
+    reg.counter("node_views_entered_total", "Views entered", labels)
+        .set(c.views_entered);
+    reg.counter("node_timeouts_fired_total", "View timer expiries", labels)
+        .set(c.timeouts_fired);
+    reg.counter("node_equivocations_seen_total",
+                "Conflicting votes observed by the accumulator", labels)
+        .set(c.equivocations_seen);
+  }
+  reg.counter("view_change_total",
+              "Views entered via a timeout certificate (all nodes)", proto)
+      .set(view_changes);
+  reg.counter("timeout_retransmit_total",
+              "Timeout/proposal retransmissions (all nodes)", proto)
+      .set(retransmits);
+  reg.gauge("cert_cache_hit_ratio",
+            "Certificate-verification cache hit ratio (all nodes)", proto)
+      .set(hits + misses == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(hits + misses));
+
+  network_->export_metrics(reg, tag);
+
+  if (cfg_.tracer) {
+    for (std::size_t t = 0; t < obs::kMessageTypeCount; ++t) {
+      const obs::MessageCounter& mc = cfg_.tracer->message_counter(t);
+      if (mc.sent == 0 && mc.delivered == 0 && mc.dropped == 0) continue;
+      const obs::MetricLabels labels{{"protocol", tag},
+                                     {"type", obs::message_type_label(t)}};
+      reg.counter("msg_sent_total", "Messages sent, by wire type", labels)
+          .set(mc.sent);
+      reg.counter("msg_delivered_total", "Messages delivered, by wire type",
+                  labels)
+          .set(mc.delivered);
+      reg.counter("msg_dropped_total", "Messages dropped, by wire type",
+                  labels)
+          .set(mc.dropped);
+    }
+    reg.counter("trace_events_recorded_total",
+                "Structured trace events recorded", proto)
+        .set(cfg_.tracer->total_recorded());
+    reg.counter("trace_events_dropped_total",
+                "Trace events overwritten by ring wrap", proto)
+        .set(cfg_.tracer->total_dropped());
+  }
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {

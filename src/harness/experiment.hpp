@@ -30,6 +30,8 @@ enum class ProtocolKind {
 const char* protocol_name(ProtocolKind p);
 /// Short tags used in the paper's figures: SM, PM, CM, J.
 const char* protocol_tag(ProtocolKind p);
+/// Lower-case tags as the CLI tools spell --protocol: sm, pm, cm, j, hs.
+const char* protocol_cli_tag(ProtocolKind p);
 
 enum class ScheduleKind {
   kRoundRobin,  // plain fair rotation (happy-path runs)
@@ -107,6 +109,12 @@ struct ExperimentConfig {
   /// it into every node context and the network, registers the scheduler as
   /// its clock, and samples scheduler queue depth every Δ.
   obs::Tracer* tracer = nullptr;
+  /// Optional metrics registry (src/obs/registry.hpp). When set, result()
+  /// publishes the run's summary, per-node pacemaker counters, cert-cache
+  /// hit ratios, network statistics, and message-type counters into it,
+  /// stamped with the scheduler's simulated time. export_metrics() can also
+  /// be called directly mid-run for time-series snapshots.
+  obs::Registry* registry = nullptr;
   /// Give every honest node a write-ahead log (equivocators never get one:
   /// double-voting is their job). Off by default — the WAL changes vote
   /// admission control, so pre-WAL determinism digests require it off.
@@ -170,6 +178,11 @@ class Experiment {
   /// nodes may re-send votes/timeouts (volatile per-view state is not
   /// persisted), so behavioural conformance rules exempt them.
   bool ever_recovered(NodeId id) const { return recovered_once_.at(id); }
+
+  /// Publishes the run's metrics into `reg`, stamped with the scheduler's
+  /// current simulated time. Idempotent (gauges are set, counters mirrored),
+  /// so it can be called repeatedly to build a JSONL time series.
+  void export_metrics(obs::Registry& reg);
 
   sim::Scheduler& scheduler() { return sched_; }
   net::SimNetwork& network() { return *network_; }

@@ -75,4 +75,18 @@ MetricsCollector::Summary MetricsCollector::summarize(std::size_t threshold,
   return s;
 }
 
+std::vector<Duration> MetricsCollector::commit_latencies(
+    std::size_t threshold) const {
+  std::vector<Duration> out;
+  for (const auto& [id, stat] : blocks_) {
+    if (stat.commits.size() < threshold) continue;
+    auto commits = stat.commits;
+    std::nth_element(commits.begin(),
+                     commits.begin() + static_cast<std::ptrdiff_t>(threshold - 1),
+                     commits.end());
+    out.push_back(commits[threshold - 1] - stat.created);
+  }
+  return out;
+}
+
 }  // namespace moonshot

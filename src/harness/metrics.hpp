@@ -46,6 +46,10 @@ class MetricsCollector {
   /// whose commit makes a block count (the paper uses 2f+1).
   Summary summarize(std::size_t threshold, Duration run_duration) const;
 
+  /// Per-block creation → threshold-th-commit latencies, unsorted. Feeds the
+  /// registry's commit-latency histogram.
+  std::vector<Duration> commit_latencies(std::size_t threshold) const;
+
  private:
   struct BlockStat {
     TimePoint created{};

@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "chaos/shrink.hpp"
+#include "obs/flight.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/prng.hpp"
@@ -171,6 +173,8 @@ class Run {
   std::size_t honest_count() const { return cfg_.n - cfg_.byzantine; }
   std::uint64_t events_run() const { return exp_->scheduler().events_executed(); }
   std::uint64_t state_digest() const { return tracer_.state_digest(); }
+  Experiment& experiment() { return *exp_; }
+  const obs::Tracer& tracer() const { return tracer_; }
 
   /// The enabled tagged events, canonicalized with per-key ordinals.
   std::vector<Choice> enabled() const {
@@ -552,6 +556,30 @@ McResult explore(const McConfig& cfg) {
 Violation replay(const McConfig& cfg, const chaos::FaultSchedule& schedule) {
   MutationGuard guard(cfg.mutation);
   Run run(cfg);
+  // Snapshots the run's observability state into a postmortem when an oracle
+  // latched during this replay.
+  const auto record_flight = [&](const Violation& v) {
+    if (cfg.flight_path.empty() || !v) return;
+    obs::Registry reg;
+    run.experiment().export_metrics(reg);
+    obs::FlightContext fctx;
+    fctx.reason = std::string(violation_kind_name(v.kind)) + ": " + v.detail;
+    fctx.violations = {v.detail};
+    fctx.protocol = protocol_cli_tag(cfg.protocol);
+    fctx.schedule = schedule.to_string();
+    fctx.seed = cfg.seed;
+    fctx.nodes = cfg.n;
+    fctx.delta_ms = to_ms(cfg.delta);
+    fctx.trigger = run.experiment().scheduler().now();
+    std::ostringstream repro;
+    repro << "mc_explore --protocol " << protocol_cli_tag(cfg.protocol)
+          << " --seed " << cfg.seed << " --replay <counterexample-file>";
+    if (cfg.mutation != Mutation::kNone) {
+      repro << " --mutation " << mutation_name(cfg.mutation);
+    }
+    fctx.repro = repro.str();
+    obs::write_flight_recording(cfg.flight_path, fctx, &run.tracer(), &reg);
+  };
   for (const chaos::FaultEvent& e : schedule.events) {
     if (e.type != chaos::FaultType::kMcChoice) continue;
     Choice c;
@@ -565,6 +593,7 @@ Violation replay(const McConfig& cfg, const chaos::FaultSchedule& schedule) {
     run.apply(c, /*lenient=*/true);
     if (Violation v = run.check_safety()) {
       v.schedule = schedule;
+      record_flight(v);
       return v;
     }
   }
@@ -573,13 +602,18 @@ Violation replay(const McConfig& cfg, const chaos::FaultSchedule& schedule) {
   Violation v = run.run_tail_and_check();
   if (v.kind == ViolationKind::kLiveness && !cfg.check_liveness) v = Violation{};
   v.schedule = schedule;
+  record_flight(v);
   return v;
 }
 
 chaos::FaultSchedule shrink(const McConfig& cfg, const Violation& v,
                             std::size_t max_oracle_calls) {
+  // The oracle replays candidates by the hundred; only the caller's final
+  // replay should emit a postmortem.
+  McConfig probe = cfg;
+  probe.flight_path.clear();
   const chaos::ShrinkOracle oracle = [&](const chaos::FaultSchedule& candidate) {
-    return replay(cfg, candidate).kind == v.kind;
+    return replay(probe, candidate).kind == v.kind;
   };
   return chaos::shrink_schedule(v.schedule, oracle, max_oracle_calls).schedule;
 }

@@ -71,6 +71,10 @@ struct McConfig {
   /// Seeded protocol bug to arm for this exploration (mutation-validation
   /// builds only; must be kNone when MOONSHOT_MUTATIONS is off).
   Mutation mutation = Mutation::kNone;
+  /// When non-empty, replay() writes a flight recording (obs/flight.hpp)
+  /// here if the replayed schedule produces a violation. Shrinking clears it
+  /// for its oracle calls so only the final replay emits a recording.
+  std::string flight_path;
 };
 
 enum class ViolationKind {

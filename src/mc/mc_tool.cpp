@@ -49,6 +49,7 @@ int usage(const char* argv0) {
       << "  --shrink          ddmin the counterexample before printing\n"
       << "  --replay FILE     replay a counterexample schedule instead of exploring\n"
       << "  --cex FILE        write the (shrunk) counterexample schedule to FILE\n"
+      << "  --flight FILE     write a flight recording (postmortem) on violation\n"
       << "  --list-mutations  print the mutation catalogue and exit\n";
   return 2;
 }
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
   bool have_strategy = false, have_traces = false, have_depth = false,
        have_timers = false, no_liveness = false;
   bool expect_violation = false, do_shrink = false;
-  std::string replay_path, cex_path;
+  std::string replay_path, cex_path, flight_path;
   Mutation mutation = Mutation::kNone;
   bool have_mutation = false;
 
@@ -149,6 +150,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       cex_path = v;
+    } else if (a == "--flight") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      flight_path = v;
     } else if (a == "--list-mutations") {
       for (std::size_t m = 1; m < static_cast<std::size_t>(Mutation::kCount); ++m) {
         std::cout << mutation_name(static_cast<Mutation>(m)) << "\n";
@@ -185,6 +190,7 @@ int main(int argc, char** argv) {
     cfg.seed = keep_seed;
   }
   if (no_liveness) cfg.check_liveness = false;
+  cfg.flight_path = flight_path;
 
   if (!replay_path.empty()) {
     std::ifstream in(replay_path);
@@ -231,6 +237,10 @@ int main(int argc, char** argv) {
     if (replayed.kind == v.kind) {
       v = replayed;
     }
+  } else if (!flight_path.empty()) {
+    // Exploration itself doesn't record; one replay of the counterexample
+    // reproduces the violation and snapshots it as a postmortem.
+    mc::replay(cfg, v.schedule);
   }
   print_violation(v);
   if (!cex_path.empty()) {

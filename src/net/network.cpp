@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace moonshot::net {
 
 // The obs layer mirrors the wire-type order of the Message variant so it can
@@ -187,6 +189,25 @@ void SimNetwork::deliver_copy(NodeId from, NodeId to, const MessagePtr& m,
         if (tracer_) tracer_->record(to, obs::EventKind::kMsgDelivered, 0, m->index(), wire, from);
         deliver_(to, from, m);
       });
+}
+
+void SimNetwork::export_metrics(obs::Registry& reg,
+                                const std::string& protocol) const {
+  const obs::MetricLabels labels{{"protocol", protocol}};
+  reg.counter("net_messages_sent_total", "Messages handed to the network",
+              labels)
+      .set(stats_.messages_sent);
+  reg.counter("net_bytes_sent_total", "Wire bytes handed to the network",
+              labels)
+      .set(stats_.bytes_sent);
+  reg.counter("net_messages_delivered_total", "Messages delivered", labels)
+      .set(stats_.messages_delivered);
+  reg.counter("net_messages_dropped_total",
+              "Messages dropped by faults or partitions", labels)
+      .set(stats_.messages_dropped);
+  reg.counter("net_messages_duplicated_total",
+              "Extra copies injected by duplication faults", labels)
+      .set(stats_.messages_duplicated);
 }
 
 }  // namespace moonshot::net

@@ -28,6 +28,10 @@
 #include "support/prng.hpp"
 #include "types/messages.hpp"
 
+namespace moonshot::obs {
+class Registry;
+}
+
 namespace moonshot::net {
 
 /// Transport interface the consensus layer sends through.
@@ -130,6 +134,10 @@ class SimNetwork final : public INetwork {
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
 
   const NetworkStats& stats() const { return stats_; }
+
+  /// Mirrors the network statistics into a metrics registry as
+  /// `net_*_total{protocol=...}` counters (see obs/registry.hpp).
+  void export_metrics(obs::Registry& reg, const std::string& protocol) const;
   const RegionAssignment& regions() const { return regions_; }
   const NetworkConfig& config() const { return cfg_; }
 

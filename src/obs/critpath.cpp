@@ -1,0 +1,599 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "types/vote.hpp"
+
+namespace moonshot::obs {
+
+namespace {
+
+bool is_proposal_sent(EventKind k) {
+  return k == EventKind::kOptProposalSent || k == EventKind::kProposalSent ||
+         k == EventKind::kFbProposalSent;
+}
+
+bool is_proposal_recv(EventKind k) {
+  return k == EventKind::kOptProposalRecv || k == EventKind::kProposalRecv ||
+         k == EventKind::kFbProposalRecv;
+}
+
+constexpr std::size_t kVoteKinds = 4;
+
+struct VoteRecvStamp {
+  TimePoint t{};
+  std::uint64_t kind = 0;
+  NodeId voter = kNoNode;
+};
+
+struct QcStamp {
+  TimePoint t{};
+  std::uint64_t kind = 0;
+};
+
+// Stamps for one (node, view) pair.
+struct NV {
+  TimePoint prop_recv{};
+  bool has_recv = false;
+  TimePoint vote_cast[kVoteKinds]{};
+  bool has_cast[kVoteKinds]{};
+  std::vector<VoteRecvStamp> vote_recvs;
+  std::vector<QcStamp> qcs;
+  TimePoint commit{};
+  bool has_commit = false;
+  bool timeout = false;
+  std::vector<TimePoint> retransmits;
+};
+
+struct ViewGlobal {
+  TimePoint proposed{};
+  bool has_proposed = false;
+  NodeId leader = kNoNode;
+  Height height = 0;
+  bool any_timeout = false;
+};
+
+struct Index {
+  std::size_t nodes = 0;
+  std::map<View, ViewGlobal> views;
+  std::map<View, std::vector<NV>> nv;
+
+  NV* at(View v, NodeId n) {
+    if (n == kNoNode || static_cast<std::size_t>(n) >= nodes) return nullptr;
+    auto it = nv.find(v);
+    if (it == nv.end()) return nullptr;
+    return &it->second[n];
+  }
+  NV& touch(View v, NodeId n) {
+    auto& vec = nv[v];
+    if (vec.empty()) vec.resize(nodes);
+    return vec[n];
+  }
+  const ViewGlobal* global(View v) const {
+    auto it = views.find(v);
+    return it == views.end() ? nullptr : &it->second;
+  }
+};
+
+Index build_index(const std::vector<Event>& merged, std::size_t nodes) {
+  Index ix;
+  ix.nodes = nodes;
+  for (const Event& e : merged) {
+    if (is_proposal_sent(e.kind)) {
+      auto& g = ix.views[e.view];
+      if (!g.has_proposed || e.t < g.proposed) {
+        g.proposed = e.t;
+        g.leader = e.node;
+        g.height = e.a;
+        g.has_proposed = true;
+      }
+      continue;
+    }
+    if (e.node == kNoNode || static_cast<std::size_t>(e.node) >= nodes)
+      continue;
+    if (is_proposal_recv(e.kind)) {
+      NV& n = ix.touch(e.view, e.node);
+      if (!n.has_recv) {
+        n.prop_recv = e.t;
+        n.has_recv = true;
+      }
+    } else if (e.kind == EventKind::kVoteCast) {
+      NV& n = ix.touch(e.view, e.node);
+      const std::size_t k = e.a < kVoteKinds ? e.a : 0;
+      if (!n.has_cast[k]) {
+        n.vote_cast[k] = e.t;
+        n.has_cast[k] = true;
+      }
+    } else if (e.kind == EventKind::kVoteRecv) {
+      ix.touch(e.view, e.node)
+          .vote_recvs.push_back({e.t, e.a, static_cast<NodeId>(e.b)});
+    } else if (e.kind == EventKind::kQcFormed) {
+      ix.touch(e.view, e.node).qcs.push_back({e.t, e.b});
+    } else if (e.kind == EventKind::kCommit) {
+      NV& n = ix.touch(e.view, e.node);
+      if (!n.has_commit) {
+        n.commit = e.t;
+        n.has_commit = true;
+      }
+    } else if (e.kind == EventKind::kTimeoutFired) {
+      ix.touch(e.view, e.node).timeout = true;
+      ix.views[e.view].any_timeout = true;
+    } else if (e.kind == EventKind::kTimeoutRetransmit) {
+      NV& n = ix.touch(e.view, e.node);
+      n.timeout = true;
+      n.retransmits.push_back(e.t);
+      ix.views[e.view].any_timeout = true;
+    }
+  }
+  return ix;
+}
+
+struct Cursor {
+  enum Type : std::uint8_t { kAtQc, kAtVote } type = kAtQc;
+  NodeId node = kNoNode;
+  View view = 0;
+  TimePoint t{};
+  std::uint64_t kind = 0;  // QC vote kind / vote kind
+};
+
+class Walker {
+ public:
+  Walker(Index& ix, View v, TimePoint floor) : ix_(ix), view_(v), floor_(floor) {}
+
+  // Runs the backward walk from the commit stamp; fills `path`.
+  void run(NodeId observer, TimePoint committed, BlockPath& path) {
+    touched_views_.insert(view_);
+    // 1. The triggering certificate: latest QC the observer held at commit
+    //    time, in this view or one of the few chained successors.
+    const QcStamp* trigger = nullptr;
+    View trigger_view = view_;
+    NodeId o = observer;
+    for (View u = view_; u <= view_ + 4; ++u) {
+      NV* n = ix_.at(u, o);
+      if (n == nullptr) continue;
+      for (const QcStamp& q : n->qcs) {
+        if (q.t > committed) continue;
+        if (trigger == nullptr || q.t > trigger->t ||
+            (q.t == trigger->t && u > trigger_view)) {
+          trigger = &q;
+          trigger_view = u;
+        }
+      }
+    }
+    if (trigger == nullptr) {
+      unattributed(committed);
+      finish(path);
+      return;
+    }
+    push(SegmentKind::kCommitRule, trigger_view, o, o, trigger->t, committed);
+    Cursor c{Cursor::kAtQc, o, trigger_view, trigger->t, trigger->kind};
+
+    std::set<std::tuple<int, NodeId, View, std::uint64_t>> visited;
+    for (int step = 0; step < 64; ++step) {
+      if (c.t <= floor_) {
+        reached_floor_ = true;
+        break;
+      }
+      if (!visited.insert({c.type, c.node, c.view, c.kind}).second) {
+        unattributed(c.t);
+        break;
+      }
+      touched_views_.insert(c.view);
+      const bool advanced =
+          c.type == Cursor::kAtQc ? step_qc(c) : step_vote(c);
+      if (!advanced) break;
+    }
+    if (!reached_floor_ && !used_unattributed_ && !backward_.empty() &&
+        backward_.back().start > floor_) {
+      unattributed(backward_.back().start);
+    }
+    finish(path);
+  }
+
+ private:
+  void push(SegmentKind kind, View u, NodeId from, NodeId to, TimePoint start,
+            TimePoint end) {
+    // The measured interval starts at the proposal; clamp anything the walk
+    // finds before it (e.g. a previous view's certificate) so the segment
+    // durations keep telescoping to exactly λ.
+    start = std::max(start, floor_);
+    end = std::max(end, floor_);
+    if (start >= end) return;  // zero-length steps keep endpoints contiguous
+    Segment s;
+    s.kind = kind;
+    s.view = u;
+    s.from = from;
+    s.to = to;
+    s.start = start;
+    s.end = end;
+    backward_.push_back(s);
+  }
+
+  void unattributed(TimePoint upto) {
+    push(SegmentKind::kUnattributed, view_, kNoNode, kNoNode, floor_, upto);
+    used_unattributed_ = true;
+    reached_floor_ = true;
+  }
+
+  // Explains a certificate for c.view formed at c.node at c.t. Returns false
+  // when the walk must stop.
+  bool step_qc(Cursor& c) {
+    NV* n = ix_.at(c.view, c.node);
+    if (n == nullptr) {
+      unattributed(c.t);
+      return false;
+    }
+    // The critical vote: the last vote of the QC's kind the aggregator saw
+    // at the instant the certificate formed (certificates assemble inside
+    // the same handler invocation, so exact-time matching is reliable; the
+    // lenient fallback absorbs any aggregation tail into the flight).
+    const VoteRecvStamp* crit = nullptr;
+    for (const VoteRecvStamp& r : n->vote_recvs) {
+      if (r.t != c.t || r.kind != c.kind) continue;
+      if (crit == nullptr || r.t >= crit->t) crit = &r;
+    }
+    if (crit == nullptr) {
+      for (const VoteRecvStamp& r : n->vote_recvs) {
+        if (r.t > c.t) continue;
+        if (crit == nullptr || r.t > crit->t) crit = &r;
+      }
+    }
+    if (crit == nullptr) {
+      // No votes seen here: the certificate arrived pre-assembled. Chase the
+      // earliest formation site.
+      const QcStamp* origin = nullptr;
+      NodeId origin_node = kNoNode;
+      for (NodeId r = 0; r < static_cast<NodeId>(ix_.nodes); ++r) {
+        NV* m = ix_.at(c.view, r);
+        if (m == nullptr) continue;
+        for (const QcStamp& q : m->qcs) {
+          if (q.t >= c.t) continue;
+          if (origin == nullptr || q.t < origin->t) {
+            origin = &q;
+            origin_node = r;
+          }
+        }
+      }
+      if (origin == nullptr) {
+        unattributed(c.t);
+        return false;
+      }
+      push(SegmentKind::kCertRelay, c.view, origin_node, c.node, origin->t,
+           c.t);
+      c = Cursor{Cursor::kAtQc, origin_node, c.view, origin->t, origin->kind};
+      return true;
+    }
+    NV* voter = ix_.at(c.view, crit->voter);
+    const std::size_t k = crit->kind < kVoteKinds ? crit->kind : 0;
+    if (voter == nullptr || !voter->has_cast[k] ||
+        voter->vote_cast[k] > crit->t) {
+      unattributed(c.t);
+      return false;
+    }
+    push(SegmentKind::kVoteFlight, c.view, crit->voter, c.node,
+         voter->vote_cast[k], c.t);
+    c = Cursor{Cursor::kAtVote, crit->voter, c.view, voter->vote_cast[k],
+               crit->kind};
+    return true;
+  }
+
+  // Explains a vote cast by c.node in c.view at c.t.
+  bool step_vote(Cursor& c) {
+    NV* n = ix_.at(c.view, c.node);
+    if (n == nullptr) {
+      unattributed(c.t);
+      return false;
+    }
+    if (c.kind == static_cast<std::uint64_t>(VoteKind::kCommit)) {
+      // Commit votes are sent upon certifying the view's block.
+      if (const QcStamp* q = latest_qc(*n, c.t, /*skip_commit=*/true)) {
+        push(SegmentKind::kCertWait, c.view, c.node, c.node, q->t, c.t);
+        c = Cursor{Cursor::kAtQc, c.node, c.view, q->t, q->kind};
+        return true;
+      }
+    }
+    const bool has_recv = n->has_recv && n->prop_recv <= c.t;
+    NV* prev = ix_.at(c.view - 1, c.node);
+    const QcStamp* prev_qc =
+        prev != nullptr ? latest_qc(*prev, c.t, false) : nullptr;
+    // The binding constraint is whichever enabler landed *last*.
+    if (has_recv &&
+        (prev_qc == nullptr || n->prop_recv >= prev_qc->t)) {
+      push(SegmentKind::kVoteGate, c.view, c.node, c.node, n->prop_recv, c.t);
+      return explain_proposal_arrival(c);
+    }
+    if (prev_qc != nullptr) {
+      push(SegmentKind::kCertWait, c.view, c.node, c.node, prev_qc->t, c.t);
+      c = Cursor{Cursor::kAtQc, c.node, c.view - 1, prev_qc->t, prev_qc->kind};
+      return true;
+    }
+    unattributed(c.t);
+    return false;
+  }
+
+  // From the proposal's arrival at c.node back through the flight and — for
+  // pipelined views — the optimistic-proposal handoff.
+  bool explain_proposal_arrival(Cursor& c) {
+    NV* n = ix_.at(c.view, c.node);
+    const ViewGlobal* g = ix_.global(c.view);
+    if (g == nullptr || !g->has_proposed || g->proposed > n->prop_recv) {
+      unattributed(n->prop_recv);
+      return false;
+    }
+    SegmentKind flight = SegmentKind::kProposeFlight;
+    if (NV* leader = ix_.at(c.view, g->leader)) {
+      for (TimePoint rtx : leader->retransmits) {
+        if (rtx > g->proposed && rtx <= n->prop_recv) {
+          flight = SegmentKind::kRetransmitStall;
+          break;
+        }
+      }
+    }
+    push(flight, c.view, g->leader, c.node, g->proposed, n->prop_recv);
+    if (c.view <= view_ || g->proposed <= floor_) {
+      reached_floor_ = true;
+      return false;
+    }
+    // Why did the leader propose then? Optimistic handoff: it proposed for
+    // view u upon casting its vote in u−1.
+    NV* lp = ix_.at(c.view - 1, g->leader);
+    if (lp != nullptr) {
+      const TimePoint* cast = nullptr;
+      std::uint64_t cast_kind = 0;
+      for (std::size_t k = 0; k < kVoteKinds; ++k) {
+        if (!lp->has_cast[k] || lp->vote_cast[k] > g->proposed) continue;
+        if (cast == nullptr || lp->vote_cast[k] > *cast) {
+          cast = &lp->vote_cast[k];
+          cast_kind = k;
+        }
+      }
+      if (cast != nullptr) {
+        push(SegmentKind::kProposeGate, c.view, g->leader, g->leader, *cast,
+             g->proposed);
+        c = Cursor{Cursor::kAtVote, g->leader, c.view - 1, *cast, cast_kind};
+        return true;
+      }
+      if (const QcStamp* q = latest_qc(*lp, g->proposed, false)) {
+        push(SegmentKind::kCertWait, c.view, g->leader, g->leader, q->t,
+             g->proposed);
+        c = Cursor{Cursor::kAtQc, g->leader, c.view - 1, q->t, q->kind};
+        return true;
+      }
+    }
+    unattributed(g->proposed);
+    return false;
+  }
+
+  static const QcStamp* latest_qc(const NV& n, TimePoint upto,
+                                  bool skip_commit) {
+    const QcStamp* best = nullptr;
+    for (const QcStamp& q : n.qcs) {
+      if (q.t > upto) continue;
+      if (skip_commit &&
+          q.kind == static_cast<std::uint64_t>(VoteKind::kCommit))
+        continue;
+      if (best == nullptr || q.t > best->t) best = &q;
+    }
+    return best;
+  }
+
+  void finish(BlockPath& path) {
+    path.segments.assign(backward_.rbegin(), backward_.rend());
+    path.complete = reached_floor_ && !used_unattributed_;
+    for (View u : touched_views_) {
+      const ViewGlobal* g = ix_.global(u);
+      if (g != nullptr && g->any_timeout) path.timeout_on_path = true;
+    }
+    for (const Segment& s : path.segments) {
+      if (s.kind == SegmentKind::kRetransmitStall) path.timeout_on_path = true;
+    }
+  }
+
+  Index& ix_;
+  View view_;
+  TimePoint floor_;
+  std::vector<Segment> backward_;
+  std::set<View> touched_views_;
+  bool reached_floor_ = false;
+  bool used_unattributed_ = false;
+};
+
+}  // namespace
+
+const char* segment_kind_name(SegmentKind k) {
+  switch (k) {
+    case SegmentKind::kProposeFlight: return "propose_flight";
+    case SegmentKind::kRetransmitStall: return "retransmit_stall";
+    case SegmentKind::kVoteGate: return "vote_gate";
+    case SegmentKind::kVoteFlight: return "vote_flight";
+    case SegmentKind::kCertRelay: return "cert_relay";
+    case SegmentKind::kCertWait: return "cert_wait";
+    case SegmentKind::kProposeGate: return "propose_gate";
+    case SegmentKind::kCommitRule: return "commit_rule";
+    case SegmentKind::kUnattributed: return "unattributed";
+  }
+  return "?";
+}
+
+Duration BlockPath::attributed() const {
+  Duration sum{};
+  for (const Segment& s : segments) sum += s.duration();
+  return sum;
+}
+
+CritPathReport analyze_critical_path(const std::vector<Event>& merged,
+                                     std::size_t nodes, NodeId observer) {
+  CritPathReport report;
+  report.observer = observer;
+  Index ix = build_index(merged, nodes);
+
+  for (auto& [view, vec] : ix.nv) {
+    if (static_cast<std::size_t>(observer) >= vec.size()) continue;
+    const NV& obs_nv = vec[observer];
+    if (!obs_nv.has_commit) continue;
+    const ViewGlobal* g = ix.global(view);
+    if (g == nullptr || !g->has_proposed || g->proposed > obs_nv.commit)
+      continue;
+    BlockPath path;
+    path.view = view;
+    path.height = g->height;
+    path.proposed = g->proposed;
+    path.committed = obs_nv.commit;
+    Walker walker(ix, view, g->proposed);
+    walker.run(observer, obs_nv.commit, path);
+    if (path.complete) report.latency.record(path.latency());
+    for (const Segment& s : path.segments) {
+      report.by_kind[static_cast<std::size_t>(s.kind)].record(s.duration());
+    }
+    report.blocks.push_back(std::move(path));
+  }
+  return report;
+}
+
+LatencyBound paper_bound(const std::string& protocol_tag) {
+  std::string tag;
+  for (char c : protocol_tag)
+    tag += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (tag == "cm") return {2.0, 1.0};
+  if (tag == "j" || tag == "jolteon") return {5.0, 0.0};
+  if (tag == "hs" || tag == "hotstuff") return {7.0, 0.0};
+  return {3.0, 0.0};  // sm, pm, default
+}
+
+std::vector<BoundViolation> check_bounds(const CritPathReport& report,
+                                         const LatencyBound& bound,
+                                         Duration delta, Duration omega,
+                                         double tolerance, Duration slack) {
+  std::vector<BoundViolation> out;
+  const double bound_ns = bound.delta_mult * static_cast<double>(delta.count()) +
+                          bound.omega_mult * static_cast<double>(omega.count());
+  const double allowed_ns = bound_ns * (1.0 + tolerance) +
+                            static_cast<double>(slack.count());
+  for (const BlockPath& p : report.blocks) {
+    if (!p.complete) continue;
+    const double measured = static_cast<double>(p.latency().count());
+    if (measured <= allowed_ns) continue;
+    BoundViolation v;
+    v.view = p.view;
+    v.measured = p.latency();
+    v.bound = Duration(static_cast<std::int64_t>(bound_ns));
+    v.over = Duration(static_cast<std::int64_t>(measured - allowed_ns));
+    out.push_back(v);
+  }
+  return out;
+}
+
+void print_critpath(const CritPathReport& report, Duration delta,
+                    std::FILE* out) {
+  std::size_t complete = 0;
+  for (const BlockPath& p : report.blocks)
+    if (p.complete) complete++;
+  std::fprintf(out,
+               "--- critical path (observer: node %u, %zu committed blocks, "
+               "%zu fully attributed) ---\n",
+               report.observer, report.blocks.size(), complete);
+  std::fprintf(out, "  %5s %6s %10s %4s  %s\n", "view", "height", "latency",
+               "flag", "critical-path segments");
+  for (const BlockPath& p : report.blocks) {
+    char flags[4] = "  ";
+    if (!p.complete) flags[0] = '?';
+    if (p.timeout_on_path) flags[1] = 'T';
+    std::fprintf(out, "  %5llu %6llu %8.1fms  %3s ",
+                 static_cast<unsigned long long>(p.view),
+                 static_cast<unsigned long long>(p.height),
+                 to_ms(p.latency()), flags);
+    std::size_t printed = 0;
+    for (const Segment& s : p.segments) {
+      if (printed == 6) {
+        std::fprintf(out, " | +%zu more", p.segments.size() - printed);
+        break;
+      }
+      if (printed != 0) std::fprintf(out, " |");
+      if (s.from != kNoNode && s.to != kNoNode && s.from != s.to) {
+        std::fprintf(out, " %s v%llu %u\xe2\x86\x92%u %.1fms",
+                     segment_kind_name(s.kind),
+                     static_cast<unsigned long long>(s.view), s.from, s.to,
+                     to_ms(s.duration()));
+      } else {
+        std::fprintf(out, " %s v%llu %.1fms", segment_kind_name(s.kind),
+                     static_cast<unsigned long long>(s.view),
+                     to_ms(s.duration()));
+      }
+      ++printed;
+    }
+    std::fputc('\n', out);
+  }
+
+  std::fprintf(out, "  --- segment aggregates (nonzero only) ---\n");
+  double total_ns = 0.0;
+  for (std::size_t k = 0; k < kSegmentKindCount; ++k) {
+    total_ns += report.by_kind[k].mean() *
+                static_cast<double>(report.by_kind[k].count());
+  }
+  for (std::size_t k = 0; k < kSegmentKindCount; ++k) {
+    const Histogram& h = report.by_kind[k];
+    if (h.count() == 0) continue;
+    std::fprintf(out, "  %-16s n=%-4llu mean %8.3fms  p99 %8.3fms",
+                 segment_kind_name(static_cast<SegmentKind>(k)),
+                 static_cast<unsigned long long>(h.count()), h.mean_ms(),
+                 h.percentile_ms(0.99));
+    if (delta.count() > 0)
+      std::fprintf(out, "  = %5.2fd", h.mean_ms() / to_ms(delta));
+    if (total_ns > 0.0)
+      std::fprintf(out, "  share %5.1f%%",
+                   100.0 * h.mean() * static_cast<double>(h.count()) / total_ns);
+    std::fputc('\n', out);
+  }
+
+  // The slowest single link on any path: the network edge to watch.
+  const Segment* slowest = nullptr;
+  for (const BlockPath& p : report.blocks) {
+    for (const Segment& s : p.segments) {
+      if (s.kind != SegmentKind::kProposeFlight &&
+          s.kind != SegmentKind::kVoteFlight &&
+          s.kind != SegmentKind::kRetransmitStall)
+        continue;
+      if (slowest == nullptr || s.duration() > slowest->duration()) slowest = &s;
+    }
+  }
+  if (slowest != nullptr) {
+    std::fprintf(out,
+                 "  slowest link: %s %u\xe2\x86\x92%u %.3fms (view %llu)\n",
+                 segment_kind_name(slowest->kind), slowest->from, slowest->to,
+                 to_ms(slowest->duration()),
+                 static_cast<unsigned long long>(slowest->view));
+  }
+  if (report.latency.count() > 0) {
+    std::fprintf(out, "  commit latency: mean %.3fms  p50 %.3fms  p99 %.3fms",
+                 report.latency.mean_ms(), report.latency.percentile_ms(0.5),
+                 report.latency.percentile_ms(0.99));
+    if (delta.count() > 0)
+      std::fprintf(out, "  = %.2fd mean", report.latency.mean_ms() / to_ms(delta));
+    std::fputc('\n', out);
+  }
+}
+
+void print_bound_check(const std::vector<BoundViolation>& violations,
+                       const LatencyBound& bound, Duration delta,
+                       Duration omega, std::size_t blocks_checked,
+                       std::FILE* out) {
+  const double bound_ms =
+      bound.delta_mult * to_ms(delta) + bound.omega_mult * to_ms(omega);
+  std::fprintf(out,
+               "--- bound check: lambda <= %.1fd + %.1fw = %.1fms ---\n",
+               bound.delta_mult, bound.omega_mult, bound_ms);
+  for (const BoundViolation& v : violations) {
+    std::fprintf(out, "  VIOLATION view %llu: %.3fms > bound %.3fms (+%.3fms over allowance)\n",
+                 static_cast<unsigned long long>(v.view), to_ms(v.measured),
+                 to_ms(v.bound), to_ms(v.over));
+  }
+  std::fprintf(out, "  %zu violation%s across %zu attributed blocks\n",
+               violations.size(), violations.size() == 1 ? "" : "s",
+               blocks_checked);
+}
+
+}  // namespace moonshot::obs

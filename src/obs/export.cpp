@@ -1,7 +1,10 @@
 #include "obs/export.hpp"
 
 #include <cinttypes>
+#include <map>
 #include <sstream>
+
+#include "obs/span.hpp"
 
 namespace moonshot::obs {
 
@@ -96,14 +99,91 @@ void write_chrome_trace(const std::vector<Event>& events, std::size_t nodes,
   std::fputs("\n]}\n", out);
 }
 
-void print_timeline(const std::vector<Event>& events, std::FILE* out,
-                    std::size_t max_events) {
+namespace {
+
+// Per-view pacemaker counters for the timeline's counter track.
+struct ViewCounters {
+  std::uint32_t via_qc = 0, via_tc = 0, timeouts = 0, retransmits = 0;
+};
+
+// One line per view summarising each node's lifecycle offsets (ms after the
+// proposal multicast): recv/vote/qc/commit, '-' when the stamp is missing.
+void print_span_lanes(const SpanGraph& g, View view, std::FILE* out) {
+  const Span* root = g.root_for_view(view);
+  if (root == nullptr) return;
+  TimePoint base = root->start;
+  struct Lane {
+    TimePoint recv{}, vote{}, qc{}, commit{};
+    bool has[4] = {false, false, false, false};
+  };
+  std::map<NodeId, Lane> lanes;
+  for (const Span& s : g.spans) {
+    if (s.view != view) continue;
+    switch (s.kind) {
+      case SpanKind::kDeliver:
+        lanes[s.peer].recv = s.end;
+        lanes[s.peer].has[0] = true;
+        break;
+      case SpanKind::kVote:
+        lanes[s.node].vote = s.end;
+        lanes[s.node].has[1] = true;
+        break;
+      case SpanKind::kAggregate:
+        lanes[s.node].qc = s.end;
+        lanes[s.node].has[2] = true;
+        break;
+      case SpanKind::kCommit:
+        lanes[s.node].commit = s.end;
+        lanes[s.node].has[3] = true;
+        break;
+      default: break;
+    }
+  }
+  if (lanes.empty()) return;
+  std::fprintf(out, "  lanes (+ms after %.3fms):",
+               static_cast<double>(base.ns) / 1e6);
+  bool first = true;
+  for (const auto& [node, lane] : lanes) {
+    std::fprintf(out, "%s n%u:", first ? "" : " |", node);
+    first = false;
+    const char* tags[4] = {"recv", "vote", "qc", "commit"};
+    const TimePoint stamps[4] = {lane.recv, lane.vote, lane.qc, lane.commit};
+    for (int i = 0; i < 4; ++i) {
+      if (lane.has[i])
+        std::fprintf(out, " %s+%.1f", tags[i], to_ms(stamps[i] - base));
+    }
+  }
+  std::fputc('\n', out);
+}
+
+}  // namespace
+
+void print_timeline(const std::vector<Event>& events, std::size_t nodes,
+                    std::FILE* out, std::size_t max_events) {
+  const SpanGraph graph = build_span_graph(events, nodes);
+  std::map<View, ViewCounters> counters;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kViewEnter) {
+      if (e.a == 1) counters[e.view].via_qc++;
+      if (e.a == 2) counters[e.view].via_tc++;
+    } else if (e.kind == EventKind::kTimeoutFired) {
+      counters[e.view].timeouts++;
+    } else if (e.kind == EventKind::kTimeoutRetransmit) {
+      counters[e.view].retransmits++;
+    }
+  }
+
   View max_entered = 0;
   std::size_t printed = 0;
   for (const Event& e : events) {
     if (e.kind == EventKind::kViewEnter && e.view > max_entered) {
       max_entered = e.view;
-      std::fprintf(out, "---- view %" PRIu64 " ----\n", max_entered);
+      const ViewCounters& c = counters[max_entered];
+      std::fprintf(out,
+                   "---- view %" PRIu64
+                   " ---- enter via qc=%u tc=%u, timeouts=%u rtx=%u\n",
+                   max_entered, c.via_qc, c.via_tc, c.timeouts, c.retransmits);
+      print_span_lanes(graph, max_entered, out);
     }
     char who[16];
     if (e.node == kNoNode) {

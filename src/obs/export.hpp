@@ -22,8 +22,12 @@ void write_chrome_trace(const std::vector<Event>& events, std::size_t nodes,
                         std::FILE* out);
 
 /// Per-view terminal timeline: chronological event listing with a separator
-/// each time the maximum entered view advances. Truncated at `max_events`.
-void print_timeline(const std::vector<Event>& events, std::FILE* out,
-                    std::size_t max_events = 400);
+/// each time the maximum entered view advances. Each separator carries the
+/// view's span lanes (per-node recv/vote/qc/commit offsets from the
+/// proposal, derived from the causal span graph) and a counter track
+/// (view entries via QC vs TC, timeouts fired, retransmissions). Truncated
+/// at `max_events`.
+void print_timeline(const std::vector<Event>& events, std::size_t nodes,
+                    std::FILE* out, std::size_t max_events = 400);
 
 }  // namespace moonshot::obs

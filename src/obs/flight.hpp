@@ -1,0 +1,50 @@
+// Violation flight recorder.
+//
+// When a chaos or model-checking oracle latches (safety fork, liveness
+// stall, conformance breach), the run's observability state is about to be
+// torn down with the process — this module snapshots it first. A recording
+// is one self-contained JSON document holding the failure reason, a
+// replayable reproducer command, the registry's metrics, the tail of the
+// merged event stream, the last-N lifecycle spans, and the critical-path
+// attribution of every block that still committed. `trace_tool flight
+// <file>` renders it; nothing else is needed to start a postmortem.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace moonshot::obs {
+
+class Registry;
+
+struct FlightContext {
+  std::string reason;      // oracle that latched ("safety: commit fork …")
+  std::vector<std::string> violations;  // full violation strings
+  std::string protocol;    // protocol tag ("pm")
+  std::string schedule;    // fault schedule, chaos grammar
+  std::string repro;       // command line that reproduces the run
+  std::uint64_t seed = 0;
+  std::size_t nodes = 0;
+  double delta_ms = 0.0;
+  TimePoint trigger{};     // sim time when the oracle latched
+};
+
+struct FlightConfig {
+  std::size_t max_events = 2048;  // tail of the merged stream
+  std::size_t max_spans = 256;    // tail of the span graph
+};
+
+/// Writes the recording; returns false on I/O failure. `tracer` and
+/// `registry` may be null — the corresponding sections are emitted empty.
+bool write_flight_recording(const std::string& path, const FlightContext& ctx,
+                            const Tracer* tracer, const Registry* registry,
+                            const FlightConfig& cfg = {});
+
+/// Renders a recording for humans; returns false when the file is missing
+/// or not a moonshot-flight-v1 document.
+bool print_flight_recording(const std::string& path, std::FILE* out);
+
+}  // namespace moonshot::obs

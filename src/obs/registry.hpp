@@ -1,0 +1,136 @@
+// Metrics registry: counters, gauges, histograms with Prometheus text
+// exposition and JSONL time-series snapshots.
+//
+// Metrics live in *families* (one name, one type, one help string) holding
+// one series per distinct label set. Lookups upsert, so call sites just say
+// `reg.counter("view_change_total", help, {{"protocol","pm"}}).inc()` and
+// the series materialises on first touch. The registry is simulated-time
+// aware: `set_time()` stamps subsequent JSONL snapshots with the scheduler's
+// clock instead of wall time, keeping exports deterministic and replayable.
+//
+// Histogram series record nanoseconds into both an HDR histogram (exact-ish
+// quantiles for JSONL) and a fixed set of cumulative `le` buckets expressed
+// in seconds for the Prometheus exposition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/hist.hpp"
+#include "support/time.hpp"
+
+namespace moonshot::obs {
+
+/// Sorted key/value pairs identifying one series within a family.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  /// Monotone set — used when mirroring an externally-maintained counter.
+  void set(std::uint64_t v) {
+    if (v > value_) value_ = v;
+  }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class HistogramMetric {
+ public:
+  /// Bucket upper bounds in nanoseconds, ascending; +Inf is implicit.
+  explicit HistogramMetric(std::vector<std::int64_t> bounds_ns);
+
+  void observe(std::int64_t ns);
+  void observe(Duration d) { observe(d.count()); }
+
+  /// Clears observations, keeping the bucket bounds. Lets an exporter that
+  /// re-publishes a cumulative distribution on every snapshot stay
+  /// idempotent (last-write-wins, like a gauge).
+  void reset();
+
+  const Histogram& hist() const { return hist_; }
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// Non-cumulative count for bucket i (bounds().size() + 1 entries).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return hist_.count(); }
+  std::int64_t sum() const { return sum_; }
+
+ private:
+  Histogram hist_;
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::int64_t sum_ = 0;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+class Registry {
+ public:
+  /// Stamp used by subsequent snapshot_jsonl() lines; typically the
+  /// scheduler's now(). Defaults to t=0 so exports stay deterministic even
+  /// when no clock was wired.
+  void set_time(TimePoint t) { now_ = t; }
+  TimePoint time() const { return now_; }
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   const MetricLabels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const MetricLabels& labels = {});
+  HistogramMetric& histogram(const std::string& name, const std::string& help,
+                             const MetricLabels& labels = {},
+                             std::vector<std::int64_t> bounds_ns = {});
+
+  /// Prometheus text exposition format, families in registration order,
+  /// series sorted by label set. Histogram `le` bounds are seconds.
+  std::string prometheus_text() const;
+
+  /// One JSON object per series, stamped with the registry time, appended to
+  /// `out`. Call repeatedly while the run advances to build a time series.
+  void append_snapshot_jsonl(std::string& out) const;
+  std::string snapshot_jsonl() const;
+
+  bool empty() const { return families_.empty(); }
+  void clear();
+
+ private:
+  struct Series {
+    MetricLabels labels;
+    Counter counter;
+    Gauge gauge;
+    std::vector<HistogramMetric> hist;  // 0 or 1 (needs ctor args)
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<Series> series;
+  };
+
+  Family& family(const std::string& name, const std::string& help,
+                 MetricType type);
+  Series& series(Family& fam, const MetricLabels& labels);
+
+  std::vector<Family> families_;        // registration order
+  std::map<std::string, std::size_t> index_;
+  TimePoint now_{};
+};
+
+/// Default latency bucket bounds: 1ms … 10s, 1-2-5 ladder, in nanoseconds.
+std::vector<std::int64_t> default_latency_bounds();
+
+}  // namespace moonshot::obs

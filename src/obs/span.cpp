@@ -1,0 +1,308 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace moonshot::obs {
+
+namespace {
+
+bool is_proposal_sent(EventKind k) {
+  return k == EventKind::kOptProposalSent || k == EventKind::kProposalSent ||
+         k == EventKind::kFbProposalSent;
+}
+
+bool is_proposal_recv(EventKind k) {
+  return k == EventKind::kOptProposalRecv || k == EventKind::kProposalRecv ||
+         k == EventKind::kFbProposalRecv;
+}
+
+struct NodeStamps {
+  TimePoint prop_recv{}, vote_cast{}, first_vote_recv{}, qc{}, commit{};
+  bool has_recv = false, has_vote = false, has_vote_recv = false,
+       has_qc = false, has_commit = false;
+  std::uint64_t vote_kind = 0;
+  std::vector<std::pair<TimePoint, bool>> timeouts;  // (t, retransmit)
+};
+
+struct ViewStamps {
+  TimePoint proposed{};
+  NodeId leader = kNoNode;
+  std::uint64_t height = 0;
+  bool has_proposed = false;
+  std::vector<NodeStamps> node;
+};
+
+}  // namespace
+
+const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kLifecycle: return "lifecycle";
+    case SpanKind::kPropose: return "propose";
+    case SpanKind::kDeliver: return "deliver";
+    case SpanKind::kVote: return "vote";
+    case SpanKind::kAggregate: return "aggregate";
+    case SpanKind::kCommit: return "commit";
+    case SpanKind::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+const Span* SpanGraph::root_for_view(View v) const {
+  for (std::int32_t id : roots) {
+    if (spans[static_cast<std::size_t>(id)].view == v)
+      return &spans[static_cast<std::size_t>(id)];
+  }
+  return nullptr;
+}
+
+SpanGraph build_span_graph(const std::vector<Event>& merged,
+                           std::size_t nodes) {
+  std::map<View, ViewStamps> views;
+  auto view_of = [&](View v) -> ViewStamps& {
+    auto& s = views[v];
+    if (s.node.empty()) s.node.resize(nodes);
+    return s;
+  };
+  auto node_of = [&](View v, NodeId n) -> NodeStamps* {
+    if (n == kNoNode || static_cast<std::size_t>(n) >= nodes) return nullptr;
+    return &view_of(v).node[n];
+  };
+
+  for (const Event& e : merged) {
+    if (is_proposal_sent(e.kind)) {
+      auto& s = view_of(e.view);
+      if (!s.has_proposed || e.t < s.proposed) {
+        s.proposed = e.t;
+        s.leader = e.node;
+        s.height = e.a;
+        s.has_proposed = true;
+      }
+      continue;
+    }
+    NodeStamps* n = node_of(e.view, e.node);
+    if (n == nullptr) continue;
+    if (is_proposal_recv(e.kind)) {
+      if (!n->has_recv) {
+        n->prop_recv = e.t;
+        n->has_recv = true;
+      }
+    } else if (e.kind == EventKind::kVoteCast) {
+      if (!n->has_vote) {
+        n->vote_cast = e.t;
+        n->vote_kind = e.a;
+        n->has_vote = true;
+      }
+    } else if (e.kind == EventKind::kVoteRecv) {
+      if (!n->has_vote_recv) {
+        n->first_vote_recv = e.t;
+        n->has_vote_recv = true;
+      }
+    } else if (e.kind == EventKind::kQcFormed) {
+      if (!n->has_qc) {
+        n->qc = e.t;
+        n->has_qc = true;
+      }
+    } else if (e.kind == EventKind::kCommit) {
+      if (!n->has_commit) {
+        n->commit = e.t;
+        n->has_commit = true;
+      }
+    } else if (e.kind == EventKind::kTimeoutFired) {
+      n->timeouts.emplace_back(e.t, false);
+    } else if (e.kind == EventKind::kTimeoutRetransmit) {
+      n->timeouts.emplace_back(e.t, true);
+    }
+  }
+
+  SpanGraph g;
+  auto add = [&g](Span s) -> std::int32_t {
+    s.id = static_cast<std::int32_t>(g.spans.size());
+    g.spans.push_back(s);
+    return s.id;
+  };
+
+  // (node, aggregate span) pairs for cross-view 2-chain commit edges.
+  std::vector<std::vector<std::int32_t>> aggregates_by_node(nodes);
+  struct PendingCommit {
+    std::int32_t span;
+    NodeId node;
+    View view;
+  };
+  std::vector<PendingCommit> commits;
+
+  for (auto& [view, s] : views) {
+    Span root;
+    root.view = view;
+    root.node = s.leader;
+    root.kind = SpanKind::kLifecycle;
+    root.detail = s.height;
+    TimePoint lo = s.proposed, hi = s.proposed;
+    bool seeded = s.has_proposed;
+    auto widen = [&](TimePoint t) {
+      if (!seeded) {
+        lo = hi = t;
+        seeded = true;
+        return;
+      }
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    };
+    for (const NodeStamps& n : s.node) {
+      if (n.has_recv) widen(n.prop_recv);
+      if (n.has_vote) widen(n.vote_cast);
+      if (n.has_qc) widen(n.qc);
+      if (n.has_commit) widen(n.commit);
+      for (const auto& [t, rtx] : n.timeouts) widen(t);
+    }
+    root.start = lo;
+    root.end = hi;
+    const std::int32_t root_id = add(root);
+    g.roots.push_back(root_id);
+
+    std::int32_t propose_id = kNoSpan;
+    if (s.has_proposed) {
+      Span p;
+      p.parent = root_id;
+      p.view = view;
+      p.node = s.leader;
+      p.kind = SpanKind::kPropose;
+      p.start = p.end = s.proposed;
+      p.detail = s.height;
+      propose_id = add(p);
+    }
+
+    std::vector<std::int32_t> vote_ids(nodes, kNoSpan);
+    for (NodeId i = 0; i < static_cast<NodeId>(nodes); ++i) {
+      const NodeStamps& n = s.node[i];
+      std::int32_t deliver_id = kNoSpan;
+      if (n.has_recv && s.has_proposed) {
+        Span d;
+        d.parent = propose_id;
+        d.view = view;
+        d.node = s.leader;
+        d.peer = i;
+        d.kind = SpanKind::kDeliver;
+        d.start = s.proposed;
+        d.end = n.prop_recv;
+        deliver_id = add(d);
+        if (propose_id != kNoSpan)
+          g.edges.push_back({propose_id, deliver_id});
+      }
+      if (n.has_vote) {
+        Span v;
+        v.parent = deliver_id != kNoSpan ? deliver_id : root_id;
+        v.view = view;
+        v.node = i;
+        v.kind = SpanKind::kVote;
+        v.start = n.has_recv ? n.prop_recv : n.vote_cast;
+        v.end = n.vote_cast;
+        v.detail = n.vote_kind;
+        vote_ids[i] = add(v);
+        if (deliver_id != kNoSpan) g.edges.push_back({deliver_id, vote_ids[i]});
+      }
+      for (const auto& [t, rtx] : n.timeouts) {
+        Span to;
+        to.parent = root_id;
+        to.view = view;
+        to.node = i;
+        to.kind = SpanKind::kTimeout;
+        to.start = to.end = t;
+        to.detail = rtx ? 1 : 0;
+        add(to);
+      }
+    }
+    for (NodeId j = 0; j < static_cast<NodeId>(nodes); ++j) {
+      const NodeStamps& n = s.node[j];
+      std::int32_t agg_id = kNoSpan;
+      if (n.has_qc) {
+        Span a;
+        a.parent = root_id;
+        a.view = view;
+        a.node = j;
+        a.kind = SpanKind::kAggregate;
+        a.start = n.has_vote_recv ? std::min(n.first_vote_recv, n.qc) : n.qc;
+        a.end = n.qc;
+        agg_id = add(a);
+        aggregates_by_node[j].push_back(agg_id);
+        // Every vote cast before the certificate formed may have fed it.
+        for (NodeId i = 0; i < static_cast<NodeId>(nodes); ++i) {
+          if (vote_ids[i] != kNoSpan && s.node[i].vote_cast <= n.qc)
+            g.edges.push_back({vote_ids[i], agg_id});
+        }
+      }
+      if (n.has_commit) {
+        Span c;
+        c.parent = agg_id != kNoSpan ? agg_id : root_id;
+        c.view = view;
+        c.node = j;
+        c.kind = SpanKind::kCommit;
+        c.start = n.has_qc && n.qc <= n.commit ? n.qc : n.commit;
+        c.end = n.commit;
+        commits.push_back({add(c), j, view});
+      }
+    }
+  }
+
+  // 2-chain trigger edges: the commit of view v at node j fires when a later
+  // view's certificate forms at j — link the latest aggregate at j that ends
+  // at or before the commit and belongs to view ≥ v.
+  for (const PendingCommit& pc : commits) {
+    const Span& c = g.spans[static_cast<std::size_t>(pc.span)];
+    std::int32_t best = kNoSpan;
+    for (std::int32_t agg : aggregates_by_node[pc.node]) {
+      const Span& a = g.spans[static_cast<std::size_t>(agg)];
+      if (a.view < pc.view || a.end > c.end) continue;
+      if (best == kNoSpan ||
+          a.end > g.spans[static_cast<std::size_t>(best)].end)
+        best = agg;
+    }
+    if (best != kNoSpan) g.edges.push_back({best, pc.span});
+  }
+  return g;
+}
+
+void write_span_dot(const SpanGraph& g, std::FILE* out) {
+  std::fprintf(out, "digraph spans {\n  rankdir=LR;\n  node [shape=box,fontsize=9];\n");
+  View cluster = 0;
+  bool open = false;
+  for (const Span& s : g.spans) {
+    if (!open || s.view != cluster) {
+      if (open) std::fprintf(out, "  }\n");
+      cluster = s.view;
+      open = true;
+      std::fprintf(out, "  subgraph cluster_v%llu {\n    label=\"view %llu\";\n",
+                   static_cast<unsigned long long>(cluster),
+                   static_cast<unsigned long long>(cluster));
+    }
+    const Span* root = g.root_for_view(s.view);
+    const double off =
+        root != nullptr ? to_ms(s.start - root->start) : 0.0;
+    const double dur = to_ms(s.duration());
+    char who[32];
+    if (s.peer != kNoNode)
+      std::snprintf(who, sizeof who, " %d\xe2\x86\x92%d", static_cast<int>(s.node),
+                    static_cast<int>(s.peer));
+    else if (s.node != kNoNode)
+      std::snprintf(who, sizeof who, " n%d", static_cast<int>(s.node));
+    else
+      who[0] = '\0';
+    std::fprintf(out,
+                 "    s%d [label=\"%s%s\\n+%.1fms (%.1fms)\"];\n", s.id,
+                 span_kind_name(s.kind), who, off, dur);
+  }
+  if (open) std::fprintf(out, "  }\n");
+  for (const Span& s : g.spans) {
+    if (s.parent != kNoSpan)
+      std::fprintf(out, "  s%d -> s%d;\n", s.parent, s.id);
+  }
+  for (const SpanEdge& e : g.edges) {
+    // Tree edges are already drawn solid; only cross-tree edges dashed.
+    if (g.spans[static_cast<std::size_t>(e.to)].parent == e.from) continue;
+    std::fprintf(out, "  s%d -> s%d [style=dashed,constraint=false];\n",
+                 e.from, e.to);
+  }
+  std::fprintf(out, "}\n");
+}
+
+}  // namespace moonshot::obs

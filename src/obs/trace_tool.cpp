@@ -7,11 +7,22 @@
 //   trace_tool --chrome out.json             Chrome trace_event JSON
 //                                            (chrome://tracing, Perfetto)
 //   trace_tool --jsonl out.jsonl             one event per line (golden format)
-//   trace_tool --timeline                    per-view event timeline on stdout
+//   trace_tool --timeline                    per-view timeline with span lanes
+//   trace_tool --prom out.prom               Prometheus text exposition
+//   trace_tool --metrics-jsonl out.jsonl     periodic registry snapshots
+//
+// Subcommands (before any flags):
+//   trace_tool critpath [run flags] [--dot g.dot] [--check-bounds]
+//       per-block critical-path attribution of commit latency; --check-bounds
+//       compares each block's λ against the paper's cδ·δ + cω·ω bound and
+//       exits non-zero on violations; --dot writes the causal span graph.
+//   trace_tool flight <file>
+//       render a flight recording written by chaos_fuzz/mc_explore --flight.
 //
 // The latency decomposition is always printed: per committed block, the
 // proposal→vote→cert→commit segments and the block period, each as a
 // δ-multiple next to the paper's targets (ω = δ, λ = 3δ).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,8 +31,12 @@
 #include "chaos/engine.hpp"
 #include "chaos/schedule.hpp"
 #include "harness/experiment.hpp"
+#include "obs/critpath.hpp"
 #include "obs/decompose.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -44,6 +59,12 @@ struct Options {
   std::string schedule;
   std::string chrome_path;
   std::string jsonl_path;
+  std::string prom_path;
+  /// Periodic registry snapshots (~20 over the run) as JSONL time series.
+  std::string metrics_jsonl_path;
+  std::string dot_path;      // critpath only: span-graph DOT export
+  bool check_bounds = false;  // critpath only: verify the paper bound
+  double tolerance = 0.05;    // multiplicative allowance for proc costs
   bool timeline = false;
   /// Attach a per-node WAL so wal_append/wal_fsync/wal_replay events appear
   /// in the exports. Implied by --fsync-us or --recovery durable/amnesia.
@@ -56,12 +77,15 @@ struct Options {
 [[noreturn]] void usage_error(const char* what) {
   std::fprintf(stderr, "trace_tool: %s\n", what);
   std::fprintf(stderr,
-               "usage: trace_tool [--protocol sm|pm|cm|j|hs] [--seed N] [--n N]\n"
+               "usage: trace_tool [critpath|flight FILE] [--protocol sm|pm|cm|j|hs]\n"
+               "                  [--seed N] [--n N]\n"
                "                  [--duration-ms N] [--delta-ms N] [--payload BYTES]\n"
                "                  [--fixed-delay-ms N] [--schedule STR] [--observer N]\n"
                "                  [--ring-capacity N] [--chrome PATH] [--jsonl PATH]\n"
+               "                  [--prom PATH] [--metrics-jsonl PATH]\n"
                "                  [--timeline] [--wal] [--fsync-us N]\n"
-               "                  [--recovery in-memory|amnesia|durable]\n");
+               "                  [--recovery in-memory|amnesia|durable]\n"
+               "       critpath extras: [--dot PATH] [--check-bounds] [--tolerance F]\n");
   std::exit(2);
 }
 
@@ -107,6 +131,16 @@ Options parse_args(int argc, char** argv) {
       opt.chrome_path = value();
     } else if (arg == "--jsonl") {
       opt.jsonl_path = value();
+    } else if (arg == "--prom") {
+      opt.prom_path = value();
+    } else if (arg == "--metrics-jsonl") {
+      opt.metrics_jsonl_path = value();
+    } else if (arg == "--dot") {
+      opt.dot_path = value();
+    } else if (arg == "--check-bounds") {
+      opt.check_bounds = true;
+    } else if (arg == "--tolerance") {
+      opt.tolerance = std::strtod(value().c_str(), nullptr);
     } else if (arg == "--timeline") {
       opt.timeline = true;
     } else if (arg == "--wal") {
@@ -139,6 +173,16 @@ void write_file(const std::string& path, void (*writer)(const std::vector<obs::E
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool critpath_mode = false;
+  if (argc > 1 && std::strcmp(argv[1], "flight") == 0) {
+    if (argc != 3) usage_error("flight takes exactly one recording file");
+    return obs::print_flight_recording(argv[2], stdout) ? 0 : 1;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "critpath") == 0) {
+    critpath_mode = true;
+    --argc;
+    ++argv;
+  }
   const Options opt = parse_args(argc, argv);
 
   obs::TracerConfig tcfg;
@@ -172,6 +216,21 @@ int main(int argc, char** argv) {
     engine = std::make_unique<chaos::ChaosEngine>(exp, *parsed, opt.seed);
     engine->arm();
   }
+
+  // Periodic registry snapshots: ~20 samples over the run, stamped with sim
+  // time. The callbacks only read state, so the run itself is unperturbed.
+  obs::Registry ts_registry;
+  std::string ts_lines;
+  if (!opt.metrics_jsonl_path.empty()) {
+    const std::int64_t step = std::max<std::int64_t>(1, opt.duration_ms / 20);
+    for (std::int64_t t = step; t <= opt.duration_ms; t += step) {
+      exp.scheduler().schedule_at(TimePoint::zero() + milliseconds(t), [&] {
+        exp.export_metrics(ts_registry);
+        ts_registry.append_snapshot_jsonl(ts_lines);
+      });
+    }
+  }
+
   const ExperimentResult result = exp.run();
 
   const std::vector<obs::Event> merged = tracer.merged();
@@ -185,8 +244,23 @@ int main(int argc, char** argv) {
   if (!opt.chrome_path.empty()) {
     write_file(opt.chrome_path, &obs::write_chrome_trace, merged, opt.n);
   }
+  if (!opt.prom_path.empty()) {
+    obs::Registry reg;
+    exp.export_metrics(reg);
+    std::FILE* f = std::fopen(opt.prom_path.c_str(), "w");
+    if (!f) usage_error(("cannot open " + opt.prom_path).c_str());
+    const std::string text = reg.prometheus_text();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  if (!opt.metrics_jsonl_path.empty()) {
+    std::FILE* f = std::fopen(opt.metrics_jsonl_path.c_str(), "w");
+    if (!f) usage_error(("cannot open " + opt.metrics_jsonl_path).c_str());
+    std::fwrite(ts_lines.data(), 1, ts_lines.size(), f);
+    std::fclose(f);
+  }
   if (opt.timeline) {
-    obs::print_timeline(merged, stdout);
+    obs::print_timeline(merged, opt.n, stdout);
   }
 
   std::printf("protocol=%s n=%zu seed=%llu delta=%lldms duration=%lldms%s%s\n",
@@ -217,13 +291,38 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  const obs::Decomposition d =
-      obs::decompose(merged, static_cast<NodeId>(opt.observer));
   // δ in the paper's ω/λ formulas is the actual one-way message delay, which
   // equals the fixed matrix latency when one is set; otherwise fall back to
   // the protocol Δ (a conservative bound on it).
   const Duration delta =
       milliseconds(opt.fixed_delay_ms > 0 ? opt.fixed_delay_ms : opt.delta_ms);
+
+  if (critpath_mode) {
+    const obs::CritPathReport report = obs::analyze_critical_path(
+        merged, opt.n, static_cast<NodeId>(opt.observer));
+    obs::print_critpath(report, delta, stdout);
+    if (!opt.dot_path.empty()) {
+      const obs::SpanGraph g = obs::build_span_graph(merged, opt.n);
+      std::FILE* f = std::fopen(opt.dot_path.c_str(), "w");
+      if (!f) usage_error(("cannot open " + opt.dot_path).c_str());
+      obs::write_span_dot(g, f);
+      std::fclose(f);
+    }
+    if (opt.check_bounds) {
+      // In the fixed-δ setting the optimistic-handoff delay ω equals δ.
+      const obs::LatencyBound bound =
+          obs::paper_bound(protocol_cli_tag(opt.protocol));
+      const auto violations =
+          obs::check_bounds(report, bound, delta, delta, opt.tolerance);
+      obs::print_bound_check(violations, bound, delta, delta,
+                             report.blocks.size(), stdout);
+      return violations.empty() ? 0 : 1;
+    }
+    return 0;
+  }
+
+  const obs::Decomposition d =
+      obs::decompose(merged, static_cast<NodeId>(opt.observer));
   obs::print_decomposition(d, delta, stdout);
   return 0;
 }

@@ -1,0 +1,194 @@
+#include "obs/critpath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chaos/engine.hpp"
+#include "chaos/schedule.hpp"
+#include "harness/experiment.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace moonshot {
+namespace {
+
+constexpr auto kDelta = milliseconds(100);  // one-way network delay
+
+// Jitter-free uniform-δ Pipelined Moonshot — the paper's fixed-δ setting
+// where ω = δ and λ = 3δ hold exactly.
+ExperimentConfig traced_pm_config(obs::Tracer& tracer) {
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kPipelinedMoonshot;
+  cfg.n = 4;
+  cfg.delta = milliseconds(500);  // pacemaker bound; generous vs real δ
+  cfg.duration = seconds(6);
+  cfg.seed = 7;
+  cfg.net.matrix = net::LatencyMatrix::uniform(kDelta, 1);
+  cfg.net.regions_used = 1;
+  cfg.net.jitter = 0.0;
+  cfg.net.proc_base = Duration(0);
+  cfg.net.proc_sig = Duration(0);
+  cfg.net.proc_cert = Duration(0);
+  cfg.net.proc_per_kb = Duration(0);
+  cfg.net.adversarial_before_gst = false;
+  cfg.tracer = &tracer;
+  return cfg;
+}
+
+TEST(CritPath, EmptyTraceYieldsEmptyReport) {
+  const auto report = obs::analyze_critical_path({}, 4);
+  EXPECT_TRUE(report.blocks.empty());
+  EXPECT_EQ(report.latency.count(), 0u);
+}
+
+// The core contract: segment durations telescope, so the attribution sums to
+// the measured commit latency λ exactly (the sim is discrete, so "exactly"
+// means to the tick), for every committed block.
+TEST(CritPath, AttributionTelescopesToExactlyLatency) {
+  obs::Tracer tracer(4);
+  const auto r = run_experiment(traced_pm_config(tracer));
+  ASSERT_TRUE(r.logs_consistent);
+  ASSERT_GT(r.summary.committed_blocks, 20u);
+
+  const auto report = obs::analyze_critical_path(tracer.merged(), 4);
+  ASSERT_GT(report.blocks.size(), 20u);
+  for (const auto& b : report.blocks) {
+    EXPECT_TRUE(b.complete) << "view " << b.view;
+    EXPECT_EQ(b.attributed().count(), b.latency().count())
+        << "view " << b.view << ": segments must sum to λ";
+    ASSERT_FALSE(b.segments.empty());
+    // Endpoints are contiguous: each segment starts where the previous ends.
+    EXPECT_EQ(b.segments.front().start.ns, b.proposed.ns);
+    EXPECT_EQ(b.segments.back().end.ns, b.committed.ns);
+    for (std::size_t i = 1; i < b.segments.size(); ++i) {
+      EXPECT_EQ(b.segments[i].start.ns, b.segments[i - 1].end.ns);
+    }
+  }
+  // λ ≈ 3δ on the fixed-δ happy path.
+  EXPECT_NEAR(report.latency.mean_ms() / to_ms(kDelta), 3.0, 0.15);
+}
+
+TEST(CritPath, FaultFreeFixedDeltaRunHasZeroBoundViolations) {
+  obs::Tracer tracer(4);
+  run_experiment(traced_pm_config(tracer));
+  const auto report = obs::analyze_critical_path(tracer.merged(), 4);
+  const auto violations = obs::check_bounds(report, obs::paper_bound("pm"),
+                                            kDelta, /*omega=*/kDelta);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(CritPath, SingleViewRunAttributesItsOneBlock) {
+  obs::Tracer tracer(4);
+  auto cfg = traced_pm_config(tracer);
+  cfg.duration = milliseconds(350);  // one 3δ commit at ~301 ms, nothing more
+  run_experiment(cfg);
+  const auto report = obs::analyze_critical_path(tracer.merged(), 4);
+  ASSERT_EQ(report.blocks.size(), 1u);
+  const auto& b = report.blocks[0];
+  EXPECT_TRUE(b.complete);
+  EXPECT_EQ(b.view, 1u);
+  EXPECT_EQ(b.attributed().count(), b.latency().count());
+  EXPECT_NEAR(to_ms(b.latency()) / to_ms(kDelta), 3.0, 0.15);
+}
+
+// EventRing wrap mid-lifecycle: a tiny ring drops the early views' stamps.
+// Blocks whose proposal stamp survived must still attribute fully (gaps
+// clamp to unattributed); blocks whose proposal is gone are skipped, never
+// mis-attributed.
+TEST(CritPath, RingWrapMidLifecycleClampsInsteadOfCrashing) {
+  obs::TracerConfig tiny;
+  tiny.ring_capacity = 256;
+  obs::Tracer tracer(4, tiny);
+  const auto r = run_experiment(traced_pm_config(tracer));
+  ASSERT_GT(tracer.total_dropped(), 0u);
+
+  const auto report = obs::analyze_critical_path(tracer.merged(), 4);
+  // Early blocks wrapped away entirely; only a tail is attributable.
+  EXPECT_LT(report.blocks.size(), r.summary.committed_blocks);
+  ASSERT_FALSE(report.blocks.empty());
+  for (const auto& b : report.blocks) {
+    EXPECT_EQ(b.attributed().count(), b.latency().count()) << "view " << b.view;
+  }
+}
+
+TEST(CritPath, DelayBurstAppearsOnCriticalPath) {
+  obs::Tracer tracer(4);
+  auto cfg = traced_pm_config(tracer);
+  Experiment e(cfg);
+  const auto sched = chaos::FaultSchedule::parse("burst(2500-2700;d=400)");
+  ASSERT_TRUE(sched.has_value());
+  chaos::ChaosEngine engine(e, *sched, cfg.seed);
+  engine.arm();
+  e.start();
+  e.scheduler().run_until(TimePoint{cfg.duration.count()});
+
+  const auto report = obs::analyze_critical_path(tracer.merged(), 4);
+  ASSERT_GT(report.blocks.size(), 20u);
+
+  // The 400 ms burst must show up as a long flight segment on the critical
+  // path of the views in (and shortly after) the burst window.
+  Duration longest{};
+  for (const auto& b : report.blocks) {
+    for (const auto& s : b.segments) longest = std::max(longest, s.duration());
+    EXPECT_EQ(b.attributed().count(), b.latency().count()) << "view " << b.view;
+  }
+  EXPECT_GE(to_ms(longest), 350.0);
+
+  // ...and the affected blocks violate the 3δ bound while the rest hold.
+  const auto violations = obs::check_bounds(report, obs::paper_bound("pm"),
+                                            kDelta, kDelta);
+  EXPECT_FALSE(violations.empty());
+  EXPECT_LT(violations.size(), report.blocks.size() / 2);
+}
+
+TEST(CritPath, PaperBoundsMatchTableOne) {
+  EXPECT_EQ(obs::paper_bound("pm").delta_mult, 3.0);
+  EXPECT_EQ(obs::paper_bound("sm").omega_mult, 0.0);
+  EXPECT_EQ(obs::paper_bound("cm").delta_mult, 2.0);
+  EXPECT_EQ(obs::paper_bound("cm").omega_mult, 1.0);
+  EXPECT_EQ(obs::paper_bound("j").delta_mult, 5.0);
+  EXPECT_EQ(obs::paper_bound("jolteon").delta_mult, 5.0);
+  EXPECT_EQ(obs::paper_bound("hs").delta_mult, 7.0);
+  EXPECT_EQ(obs::paper_bound("HS").delta_mult, 7.0);  // tags are case-folded
+  EXPECT_EQ(obs::paper_bound("unknown").delta_mult, 3.0);
+}
+
+TEST(SpanGraph, BuildsOneLifecycleRootPerViewWithValidTopology) {
+  obs::Tracer tracer(4);
+  run_experiment(traced_pm_config(tracer));
+  const auto g = obs::build_span_graph(tracer.merged(), 4);
+  ASSERT_GT(g.roots.size(), 20u);
+
+  for (const auto root : g.roots) {
+    ASSERT_GE(root, 0);
+    ASSERT_LT(static_cast<std::size_t>(root), g.spans.size());
+    EXPECT_EQ(g.spans[root].kind, obs::SpanKind::kLifecycle);
+    EXPECT_EQ(g.spans[root].parent, obs::kNoSpan);
+  }
+  for (std::size_t i = 0; i < g.spans.size(); ++i) {
+    const auto& s = g.spans[i];
+    EXPECT_EQ(s.id, static_cast<std::int32_t>(i));
+    EXPECT_LE(s.start.ns, s.end.ns);
+    if (s.parent != obs::kNoSpan) {
+      ASSERT_LT(static_cast<std::size_t>(s.parent), g.spans.size());
+      // Tree parents precede children (topological by view, tree order).
+      EXPECT_LT(s.parent, s.id);
+    }
+  }
+  for (const auto& e : g.edges) {
+    ASSERT_GE(e.from, 0);
+    ASSERT_GE(e.to, 0);
+    ASSERT_LT(static_cast<std::size_t>(e.from), g.spans.size());
+    ASSERT_LT(static_cast<std::size_t>(e.to), g.spans.size());
+  }
+
+  // root_for_view finds a committed mid-run view and rejects absent ones.
+  const auto* root = g.root_for_view(5);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->view, 5u);
+  EXPECT_EQ(g.root_for_view(1'000'000), nullptr);
+}
+
+}  // namespace
+}  // namespace moonshot

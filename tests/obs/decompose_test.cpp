@@ -47,6 +47,30 @@ TEST(Decompose, SyntheticFourStampBlock) {
   EXPECT_NEAR(d.latency.mean_ms(), 300.0, 1e-9);
 }
 
+TEST(Decompose, EmptyRunYieldsEmptyDecomposition) {
+  const auto d = obs::decompose({}, /*observer=*/0);
+  EXPECT_TRUE(d.blocks.empty());
+  EXPECT_EQ(d.latency.count(), 0u);
+  EXPECT_EQ(d.period.count(), 0u);
+  EXPECT_EQ(d.prop_to_vote.count(), 0u);
+}
+
+TEST(Decompose, SingleViewRunHasLatencyButNoPeriodSample) {
+  // Only view 1 ever proposes: one λ sample, but ω needs two adjacent
+  // proposals, so the period histogram must stay empty.
+  std::vector<obs::Event> events = {
+      make_event(0, 1, obs::EventKind::kProposalSent, 1, 1),
+      make_event(100, 0, obs::EventKind::kVoteCast, 1),
+      make_event(200, 0, obs::EventKind::kQcFormed, 1),
+      make_event(300, 0, obs::EventKind::kCommit, 1, 1),
+  };
+  const auto d = obs::decompose(events, 0);
+  ASSERT_EQ(d.blocks.size(), 1u);
+  EXPECT_TRUE(d.blocks[0].complete);
+  EXPECT_EQ(d.latency.count(), 1u);
+  EXPECT_EQ(d.period.count(), 0u);
+}
+
 TEST(Decompose, MissingVoteLeavesBlockIncomplete) {
   std::vector<obs::Event> events = {
       make_event(0, 1, obs::EventKind::kProposalSent, 1, 1),
@@ -80,6 +104,37 @@ TEST(Decompose, OtherObserversEventsAreIgnored) {
   };
   const auto d = obs::decompose(events, 0);
   EXPECT_TRUE(d.blocks.empty());
+}
+
+TEST(Decompose, EventRingWrapMidLifecycleExcludesTruncatedBlocks) {
+  // A tiny per-node ring wraps while blocks are mid-lifecycle: early views
+  // lose their proposal/vote stamps. Decomposition must stay well-formed —
+  // truncated blocks drop out or come back incomplete, and only complete
+  // blocks feed the histograms.
+  obs::TracerConfig tiny;
+  tiny.ring_capacity = 128;
+  obs::Tracer tracer(4, tiny);
+
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kPipelinedMoonshot;
+  cfg.n = 4;
+  cfg.delta = milliseconds(500);
+  cfg.duration = seconds(5);
+  cfg.seed = 7;
+  cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(100), 1);
+  cfg.net.regions_used = 1;
+  cfg.net.jitter = 0.0;
+  cfg.net.adversarial_before_gst = false;
+  cfg.tracer = &tracer;
+  const auto r = run_experiment(cfg);
+  ASSERT_GT(tracer.total_dropped(), 0u);
+
+  const auto d = obs::decompose(tracer.merged(), 0);
+  EXPECT_LT(d.blocks.size(), r.summary.committed_blocks);
+  ASSERT_FALSE(d.blocks.empty());
+  std::size_t complete = 0;
+  for (const auto& b : d.blocks) complete += b.complete ? 1 : 0;
+  EXPECT_EQ(d.latency.count(), complete);
 }
 
 // The headline acceptance check: a traced Pipelined Moonshot happy path on a

@@ -1,0 +1,207 @@
+// Flight recorder: write → parse → render roundtrip, plus a golden file
+// pinning the moonshot-flight-v1 document format. The recording is produced
+// from a small deterministic traced run, so the golden is byte-stable across
+// machines; regenerate deliberately with MOONSHOT_UPDATE_GOLDEN=1.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace moonshot {
+namespace {
+
+#ifndef MOONSHOT_OBS_TEST_DIR
+#error "MOONSHOT_OBS_TEST_DIR must point at tests/obs (set in tests/CMakeLists.txt)"
+#endif
+
+constexpr const char* kGoldenFlight = MOONSHOT_OBS_TEST_DIR "/golden/flight.json";
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::string write_file(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+// Renders `path` through print_flight_recording into a string.
+std::pair<bool, std::string> render(const std::string& path) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  const bool ok = obs::print_flight_recording(path, f);
+  std::fflush(f);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  EXPECT_EQ(std::fread(out.data(), 1, out.size(), f), out.size());
+  std::fclose(f);
+  return {ok, out};
+}
+
+// A short deterministic traced run: enough views for spans and a critical
+// path, small enough that the golden stays readable.
+void run_traced(obs::Tracer& tracer) {
+  ExperimentConfig cfg;
+  cfg.protocol = ProtocolKind::kPipelinedMoonshot;
+  cfg.n = 4;
+  cfg.delta = milliseconds(200);
+  cfg.duration = milliseconds(800);
+  cfg.seed = 1;
+  cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(50), 1);
+  cfg.net.regions_used = 1;
+  cfg.net.jitter = 0.0;
+  cfg.net.adversarial_before_gst = false;
+  cfg.tracer = &tracer;
+  run_experiment(cfg);
+}
+
+obs::FlightContext make_context() {
+  obs::FlightContext ctx;
+  ctx.reason = "safety: commit fork at height 3";
+  ctx.violations = {"safety: commit fork at height 3",
+                    "conformance: node 2 voted twice in view 5"};
+  ctx.protocol = "pm";
+  ctx.schedule = "part(200-600;1)";
+  ctx.repro = "chaos_fuzz --protocol pm --n 4 --seed 1 --schedule 'part(200-600;1)'";
+  ctx.seed = 1;
+  ctx.nodes = 4;
+  ctx.delta_ms = 200.0;
+  ctx.trigger = TimePoint::zero() + milliseconds(800);
+  return ctx;
+}
+
+TEST(Flight, WriteParseRenderRoundtrip) {
+  obs::Tracer tracer(4);
+  run_traced(tracer);
+  obs::Registry reg;
+  reg.set_time(TimePoint::zero() + milliseconds(800));
+  reg.counter("view_change_total", "views beyond happy path",
+              {{"protocol", "pm"}})
+      .inc(2);
+  reg.gauge("throughput_blocks_per_sec", "committed blocks/s").set(4.5);
+
+  const std::string path = testing::TempDir() + "flight_roundtrip.json";
+  ASSERT_TRUE(obs::write_flight_recording(path, make_context(), &tracer, &reg));
+
+  const auto [ok, text] = render(path);
+  EXPECT_TRUE(ok);
+  EXPECT_NE(text.find("safety: commit fork at height 3"), std::string::npos);
+  EXPECT_NE(text.find("protocol pm, n=4, seed 1, delta 200.0ms"),
+            std::string::npos);
+  EXPECT_NE(text.find("schedule: part(200-600;1)"), std::string::npos);
+  EXPECT_NE(text.find("violations (2):"), std::string::npos);
+  EXPECT_NE(text.find("node 2 voted twice in view 5"), std::string::npos);
+  EXPECT_NE(text.find("view_change_total{protocol=pm}"), std::string::npos);
+  EXPECT_NE(text.find("critical path ("), std::string::npos);
+  EXPECT_NE(text.find("spans captured:"), std::string::npos);
+  EXPECT_NE(text.find("event tail (last 20 of"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Flight, NullTracerAndRegistryEmitEmptySections) {
+  const std::string path = testing::TempDir() + "flight_empty.json";
+  ASSERT_TRUE(obs::write_flight_recording(path, make_context(), nullptr, nullptr));
+  const std::string doc = read_file(path);
+  EXPECT_NE(doc.find("\"metrics\": [\n  ]"), std::string::npos);
+  EXPECT_NE(doc.find("\"events\": [\n  ]"), std::string::npos);
+  const auto [ok, text] = render(path);
+  EXPECT_TRUE(ok);  // an empty recording still renders its header
+  EXPECT_NE(text.find("reason:   safety: commit fork at height 3"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Flight, TailLimitsKeepLastNEventsAndSpans) {
+  obs::Tracer tracer(4);
+  run_traced(tracer);
+  obs::FlightConfig small;
+  small.max_events = 16;
+  small.max_spans = 8;
+  const std::string path = testing::TempDir() + "flight_small.json";
+  ASSERT_TRUE(
+      obs::write_flight_recording(path, make_context(), &tracer, nullptr, small));
+  const std::string doc = read_file(path);
+  // Count array elements by their invariant keys.
+  std::size_t events = 0, spans = 0;
+  for (std::size_t p = doc.find("{\"t\":"); p != std::string::npos;
+       p = doc.find("{\"t\":", p + 1))
+    ++events;
+  for (std::size_t p = doc.find("{\"id\":"); p != std::string::npos;
+       p = doc.find("{\"id\":", p + 1))
+    ++spans;
+  EXPECT_EQ(events, 16u);
+  EXPECT_EQ(spans, 8u);
+  // The tail keeps the *latest* events: the final commit must be present.
+  EXPECT_NE(doc.find("\"kind\":\"commit\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Flight, RejectsMissingAndMalformedFiles) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_FALSE(obs::print_flight_recording("/nonexistent/flight.json", sink));
+  const std::string bogus = write_file("flight_bogus.json", "{\"format\": \"other\"}");
+  EXPECT_FALSE(obs::print_flight_recording(bogus, sink));
+  const std::string truncated =
+      write_file("flight_trunc.json", "{\"format\": \"moonshot-flight-v1\",");
+  EXPECT_FALSE(obs::print_flight_recording(truncated, sink));
+  std::fclose(sink);
+  std::remove(bogus.c_str());
+  std::remove(truncated.c_str());
+}
+
+TEST(Flight, DocumentMatchesGolden) {
+  obs::Tracer tracer(4);
+  run_traced(tracer);
+  obs::Registry reg;
+  reg.set_time(TimePoint::zero() + milliseconds(800));
+  reg.counter("view_change_total", "views beyond happy path",
+              {{"protocol", "pm"}})
+      .inc(2);
+
+  obs::FlightConfig small;
+  small.max_events = 64;
+  small.max_spans = 32;
+  const std::string path = testing::TempDir() + "flight_golden.json";
+  ASSERT_TRUE(
+      obs::write_flight_recording(path, make_context(), &tracer, &reg, small));
+  const std::string got = read_file(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(got.empty());
+
+  if (std::getenv("MOONSHOT_UPDATE_GOLDEN")) {
+    std::FILE* f = std::fopen(kGoldenFlight, "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << kGoldenFlight;
+    std::fwrite(got.data(), 1, got.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "golden file regenerated at " << kGoldenFlight;
+  }
+
+  const std::string want = read_file(kGoldenFlight);
+  ASSERT_FALSE(want.empty()) << "missing golden file " << kGoldenFlight
+                             << " — regenerate with MOONSHOT_UPDATE_GOLDEN=1";
+  EXPECT_EQ(got, want) << "flight recording format drifted; if intentional, "
+                          "regenerate with MOONSHOT_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace moonshot

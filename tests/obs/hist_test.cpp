@@ -84,6 +84,42 @@ TEST(Histogram, MergeCombinesCountsAndBounds) {
   EXPECT_EQ(into.max(), 1100);
 }
 
+TEST(Histogram, MergeEmptyIntoEmptyStaysEmpty) {
+  obs::Histogram a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0);
+  EXPECT_EQ(a.max(), 0);
+  EXPECT_EQ(a.percentile(0.99), 0);
+}
+
+TEST(Histogram, MergePreservesSumAndMeanExactly) {
+  // Sum (and hence the mean) merges exactly even though quantiles are
+  // bucket-resolution; this is what the registry's JSONL snapshots report.
+  obs::Histogram a, b;
+  a.record(std::int64_t{10});
+  a.record(std::int64_t{20});
+  b.record(std::int64_t{70});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.mean(), 100.0 / 3.0, 1e-9);
+}
+
+TEST(Histogram, MergeIsCommutativeOnCountsAndBounds) {
+  obs::Histogram ab, ba, a, b;
+  for (std::int64_t v : {5, 50, 500}) a.record(v);
+  for (std::int64_t v : {7, 70, 7000}) b.record(v);
+  ab = a;
+  ab.merge(b);
+  ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+  EXPECT_EQ(ab.percentile(0.5), ba.percentile(0.5));
+  EXPECT_EQ(ab.percentile(0.99), ba.percentile(0.99));
+}
+
 TEST(Histogram, ClearResets) {
   obs::Histogram h;
   h.record(std::int64_t{77});
