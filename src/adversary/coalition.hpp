@@ -1,0 +1,48 @@
+// Shared state for a coalition of up to f adversary nodes.
+//
+// Every adversary in an experiment shares one CoalitionState (a singleton
+// adversary is a coalition of one). Strategies use it to coordinate without
+// sending network messages — which is exactly the power the BFT model grants
+// a single adversary controlling all f corrupted nodes: ForkBalancer members
+// extend the same two branches, and every member benefits from the highest
+// certificate any member has observed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "types/certs.hpp"
+#include "types/ids.hpp"
+
+namespace moonshot::adversary {
+
+struct CoalitionState {
+  std::vector<NodeId> members;
+  /// Highest non-commit certificate observed by any member.
+  QcPtr high_qc;
+  /// ForkBalancer: the two branch tips created per adversary-led view, so a
+  /// later coalition leader extends both branches instead of starting a new
+  /// fork (keeping the branches equal length).
+  std::map<View, std::vector<BlockPtr>> fork_tips;
+  /// Diagnostic: cross-member state shares (certificates, fork tips).
+  std::uint64_t shares = 0;
+
+  bool contains(NodeId id) const {
+    for (const NodeId m : members)
+      if (m == id) return true;
+    return false;
+  }
+
+  void observe(const QcPtr& qc) {
+    if (!qc) return;
+    if (!high_qc || qc->rank() > high_qc->rank()) {
+      high_qc = qc;
+      ++shares;
+    }
+  }
+};
+
+using CoalitionPtr = std::shared_ptr<CoalitionState>;
+
+}  // namespace moonshot::adversary

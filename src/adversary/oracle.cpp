@@ -1,0 +1,98 @@
+#include "adversary/oracle.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace moonshot::adversary {
+
+bool strategy_degrades_latency(std::string_view name) {
+  return name == "silent" || name == "delay" || name == "partial" || name == "stale" ||
+         name == "fork";
+}
+
+LatencyOracle::LatencyOracle(Config cfg, std::vector<AdversarySpec> specs)
+    : cfg_(std::move(cfg)), specs_(std::move(specs)) {
+  if (cfg_.protocol == "hs") chain_ = 3;
+  // The paper's failure-scenario derivations cover the pipelined Moonshot
+  // family: every view has an optimistic or fallback proposal in flight, so
+  // one misbehaving leader costs exactly one 3Δ detour. Simple Moonshot,
+  // Jolteon and HotStuff recover through extra non-overlapped views (and, for
+  // the 3-chain rule, more of them), so no comparably tight bound exists —
+  // their affected views are observed but not judged.
+  bounded_protocol_ = cfg_.protocol == "pm" || cfg_.protocol == "cm";
+}
+
+bool LatencyOracle::affects(const AdversarySpec& spec, View view) const {
+  // A block proposed in `view` commits through certificates formed in the
+  // next chain_-1 views (plus one slack view for the optimistic hand-off),
+  // so any adversary leading a view in that window delays the commit.
+  if (!cfg_.leader_of) return false;
+  const View window_end = view + static_cast<View>(chain_) + 1;
+  for (View v = view; v <= window_end; ++v) {
+    if (spec.active_at(v) && cfg_.leader_of(v) == spec.node) return true;
+  }
+  return false;
+}
+
+Duration LatencyOracle::bound(View view) const {
+  // Single-failure analysis: the bound assumes at most one adversary-led
+  // view inside the commit window, matching the paper's per-scenario
+  // derivations. Consecutive adversary-led views compound the detour and
+  // legitimately exceed the bound — exactly the degradation the oracle is
+  // built to flag.
+  Duration worst{};
+  if (!bounded_protocol_) return worst;
+  for (const AdversarySpec& spec : specs_) {
+    if (!affects(spec, view)) continue;
+    Duration b{};
+    if (spec.strategy == "delay") {
+      // The leader withholds for d (< 3Δ or a view change fires), then the
+      // normal commit pipeline runs: d + a few message delays.
+      Duration d = spec.delay > Duration(0) ? spec.delay : cfg_.delta * 2;
+      d = std::min(d, cfg_.delta * 3);  // beyond τ the silent bound governs
+      b = d + cfg_.hop * 4;
+    } else if (strategy_degrades_latency(spec.strategy)) {
+      // Silent family: honest nodes burn the full 3Δ view timer, exchange
+      // timeouts (δ), the next leader proposes a fallback (δ), it certifies
+      // (2δ) and the chain completes (2δ per remaining chain view). Budget
+      // 8 hops — tight for Pipelined Moonshot (measured ≈ 3Δ + 6δ for the
+      // indirectly-committed predecessor), generous enough to also cover
+      // the status-round protocols without a per-protocol table.
+      b = cfg_.delta * 3 + cfg_.hop * 8;
+    } else {
+      // equivocate / timeout-equiv / withhold: no derived bound; votes and
+      // certificates still flow through honest quorums. Not judged.
+      continue;
+    }
+    worst = std::max(worst, b);
+  }
+  return worst;
+}
+
+std::vector<LatencyOracle::Violation> LatencyOracle::check(
+    const std::vector<std::pair<View, Duration>>& observed) const {
+  std::vector<Violation> out;
+  for (const auto& [view, latency] : observed) {
+    const Duration b = bound(view);
+    if (b == Duration(0)) continue;  // view not affected by any adversary
+    const auto limit = std::chrono::duration_cast<Duration>(b * (1.0 + cfg_.tolerance));
+    if (latency <= limit) continue;
+    Violation v;
+    v.view = view;
+    v.observed = latency;
+    v.bound = b;
+    std::ostringstream os;
+    os << "view " << view << ": commit latency " << to_ms(latency) << "ms exceeds failure bound "
+       << to_ms(b) << "ms (+" << static_cast<int>(cfg_.tolerance * 100) << "% tolerance) under";
+    for (const AdversarySpec& spec : specs_) {
+      if (affects(spec, view)) os << " " << spec.strategy << "@" << spec.node;
+    }
+    v.detail = os.str();
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) { return a.view < b.view; });
+  return out;
+}
+
+}  // namespace moonshot::adversary

@@ -1,0 +1,79 @@
+// Latency-degradation oracle: per-view commit-latency bounds under active
+// adversaries, derived from the paper's failure-scenario analyses (§IV-B/V).
+//
+// The happy-path bounds (λ = 3δ for Pipelined Moonshot) hold only in
+// adversary-free views. When the leader of some view in a block's commit
+// window misbehaves, recovery goes through the 3Δ view timer and the
+// timeout-certificate fallback; the paper bounds that detour too, and this
+// oracle turns the bound into a checkable per-view assertion:
+//
+//   * silent-family strategies (silent, partial, stale, fork): the honest
+//     view timer must expire before recovery begins, so an affected block's
+//     commit latency is bounded by 3Δ plus a handful of message delays;
+//   * delay: the leader releases its proposal after `d < 3Δ`; no view change
+//     happens, and the affected latency is bounded by d plus the normal
+//     commit detour.
+//
+// Views outside every adversary's blast radius are not judged — network
+// faults, crashed nodes and bandwidth effects belong to other oracles.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/spec.hpp"
+#include "support/time.hpp"
+
+namespace moonshot::adversary {
+
+/// True for strategies with a derived latency bound — the ones CI asserts
+/// degradation *and* boundedness for. (equivocate/timeout-equiv/withhold
+/// leave enough honest behaviour intact that no tight bound exists.)
+bool strategy_degrades_latency(std::string_view name);
+
+class LatencyOracle {
+ public:
+  struct Config {
+    std::string protocol;  // cli tag: sm / pm / cm / j / hs
+    Duration delta{};      // the pacemaker Δ (view timer = 3Δ)
+    /// One worst-case message delay δ between honest nodes (max latency-
+    /// matrix entry plus jitter headroom). The bounds budget a small
+    /// constant number of these per recovery step.
+    Duration hop{};
+    double tolerance = 0.05;  // acceptance band over the analytic bound
+    std::function<NodeId(View)> leader_of;
+    std::size_t n = 0;
+  };
+
+  LatencyOracle(Config cfg, std::vector<AdversarySpec> specs);
+
+  /// The analytic latency bound for a block proposed in `view`, or
+  /// Duration(0) when no adversary affects the view's commit window (such
+  /// views are not judged).
+  Duration bound(View view) const;
+
+  struct Violation {
+    View view = 0;
+    Duration observed{};
+    Duration bound{};
+    std::string detail;
+  };
+
+  /// Judges per-view observed commit latencies (from
+  /// MetricsCollector::per_view_latencies) against the bounds.
+  std::vector<Violation> check(const std::vector<std::pair<View, Duration>>& observed) const;
+
+ private:
+  bool affects(const AdversarySpec& spec, View view) const;
+
+  Config cfg_;
+  std::vector<AdversarySpec> specs_;
+  int chain_ = 2;  // commit-rule chain length (3 for chained HotStuff)
+  /// Only pm/cm have paper-derived failure bounds; other protocols' affected
+  /// views are never judged (bound() returns 0 for them).
+  bool bounded_protocol_ = true;
+};
+
+}  // namespace moonshot::adversary

@@ -1,0 +1,105 @@
+// The adversary strategy interface: six interception points over an
+// honest-mimicking node.
+//
+// AdversaryStrategy is concrete, and its default implementations ARE the
+// honest mimic — a simplified chained-protocol participant (propose when
+// leading, vote once per view, join timeout amplification). A strategy
+// subclass overrides exactly the points it attacks:
+//
+//   on_deliver  — the rushing hook: sees every delivered message before the
+//                 mimic does and may consume it (full protocol takeover);
+//   on_start    — node start; consume to replace the mimic's view-1 entry;
+//   on_lead     — proposal egress when the node leads the entered view;
+//   on_opt_lead — optimistic-proposal egress (Moonshot rule 3);
+//   on_vote     — vote-emission gate (return false to withhold);
+//   on_timer    — pacemaker expiry (consume to replace the timeout path);
+//   filter_send — per-recipient egress filter for every outgoing message.
+//
+// Strategies keep their own state; coordinated attacks go through the
+// shared CoalitionState reachable as node.coalition().
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "adversary/spec.hpp"
+#include "types/certs.hpp"
+#include "types/messages.hpp"
+
+namespace moonshot::adversary {
+
+class AdversaryNode;
+
+class AdversaryStrategy {
+ public:
+  explicit AdversaryStrategy(AdversarySpec spec) : spec_(std::move(spec)) {}
+  virtual ~AdversaryStrategy() = default;
+
+  const AdversarySpec& spec() const { return spec_; }
+  virtual std::string_view name() const { return "honest-mimic"; }
+
+  /// The rushing hook. Return true to consume the message (the mimic never
+  /// sees it). The default observes nothing and consumes nothing.
+  virtual bool on_deliver(AdversaryNode& node, NodeId from, const MessagePtr& m) {
+    (void)node;
+    (void)from;
+    (void)m;
+    return false;
+  }
+
+  /// Called once at start(), after the node entered view 1. Return true to
+  /// consume (suppresses the mimic's timer arming and view-1 proposal).
+  virtual bool on_start(AdversaryNode& node) {
+    (void)node;
+    return false;
+  }
+
+  /// Proposal egress: the node leads `view`, entered via `qc` (certificate
+  /// path), `tc` (timeout path) or neither (view 1). The default proposes
+  /// the honest block for the view over the highest known certificate.
+  virtual void on_lead(AdversaryNode& node, View view, const QcPtr& qc, const TcPtr& tc);
+
+  /// Optimistic-proposal egress: the node just voted for `parent` and leads
+  /// the next view. The default releases the honest optimistic child.
+  virtual void on_opt_lead(AdversaryNode& node, View view, const BlockPtr& parent);
+
+  /// Vote-emission gate for the mimic's once-per-view vote. Return false to
+  /// withhold (or after emitting something else instead).
+  virtual bool on_vote(AdversaryNode& node, const BlockPtr& block, VoteKind kind) {
+    (void)node;
+    (void)block;
+    (void)kind;
+    return true;
+  }
+
+  /// Pacemaker expiry. Return true to consume (the mimic skips its own
+  /// timeout multicast; the timer is re-armed either way).
+  virtual bool on_timer(AdversaryNode& node) {
+    (void)node;
+    return false;
+  }
+
+  /// Per-recipient egress filter applied by AdversaryNode::send/send_all.
+  virtual bool filter_send(AdversaryNode& node, NodeId to, const Message& m) {
+    (void)node;
+    (void)to;
+    (void)m;
+    return true;
+  }
+
+  /// Strategies that never arm the view timer keep timer events out of the
+  /// deterministic schedule entirely (the migrated equivocator relies on
+  /// this to preserve pre-framework replay digests).
+  virtual bool uses_timer() const { return true; }
+
+ protected:
+  AdversarySpec spec_;
+};
+
+using StrategyPtr = std::unique_ptr<AdversaryStrategy>;
+
+/// Builds the strategy named by `spec.strategy`; nullptr for unknown names
+/// (callers validate with known_strategy() first).
+StrategyPtr make_strategy(const AdversarySpec& spec);
+
+}  // namespace moonshot::adversary

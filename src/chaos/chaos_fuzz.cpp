@@ -10,13 +10,22 @@
 //                                       schedule each, double-run determinism
 //   chaos_fuzz --inject-bug             treat partition-overlapping-crash as a
 //                                       safety bug (exercises the shrinker)
+//   chaos_fuzz --adversary 1            include active-Byzantine placements
+//                                       (adv() events) in generated schedules
+//   chaos_fuzz --adversary-smoke        CI smoke: every strategy x every
+//                                       protocol, singleton (n=4, latency
+//                                       oracle on) and f-sized coalition (n=7)
+//   chaos_fuzz --latency-oracle         judge per-view commit latency against
+//                                       the paper's failure bounds
 //
 // On a failing run the schedule is shrunk to a locally minimal reproducer and
 // printed as a replayable command line; the exit code is non-zero.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "chaos/engine.hpp"
 #include "chaos/generate.hpp"
@@ -47,6 +56,14 @@ struct Options {
   bool crash_heavy = false;
   /// Modelled fsync base latency (µs); nonzero implies the WAL is enabled.
   std::int64_t fsync_us = 0;
+  /// Active-adversary placements per generated schedule (0 = none).
+  std::size_t adversary = 0;
+  /// Strategy pool for generated placements (comma-separated; empty = all).
+  std::vector<std::string> adversary_strategies;
+  /// Judge per-view commit latency against the failure-scenario bounds.
+  bool latency_oracle = false;
+  /// Strategy x protocol smoke matrix.
+  bool adversary_smoke = false;
 };
 
 [[noreturn]] void usage_error(const char* what) {
@@ -56,7 +73,9 @@ struct Options {
                "                  [--n N] [--duration-ms N] [--delta-ms N]\n"
                "                  [--max-events N] [--schedule STR] [--smoke]\n"
                "                  [--inject-bug] [--recovery in-memory|amnesia|durable]\n"
-               "                  [--crash-heavy] [--fsync-us N] [--flight PATH]\n");
+               "                  [--crash-heavy] [--fsync-us N] [--flight PATH]\n"
+               "                  [--adversary N] [--adversary-strategies s1,s2,...]\n"
+               "                  [--latency-oracle] [--adversary-smoke]\n");
   std::exit(2);
 }
 
@@ -108,6 +127,26 @@ Options parse_args(int argc, char** argv) {
       opt.crash_heavy = true;
     } else if (arg == "--fsync-us") {
       opt.fsync_us = std::strtoll(value().c_str(), nullptr, 10);
+    } else if (arg == "--adversary") {
+      opt.adversary = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--adversary-strategies") {
+      std::string list = value();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name =
+            list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!name.empty()) {
+          if (!adversary::known_strategy(name)) usage_error("unknown adversary strategy");
+          opt.adversary_strategies.push_back(name);
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--latency-oracle") {
+      opt.latency_oracle = true;
+    } else if (arg == "--adversary-smoke") {
+      opt.adversary_smoke = true;
     } else {
       usage_error(("unknown argument: " + arg).c_str());
     }
@@ -127,6 +166,7 @@ ChaosRunConfig make_run_config(const Options& opt, std::uint64_t seed,
   cfg.inject_bug = opt.inject_bug;
   cfg.recovery = opt.recovery;
   cfg.flight_path = opt.flight;
+  cfg.latency_oracle = opt.latency_oracle;
   if (opt.fsync_us > 0) {
     cfg.enable_wal = true;
     cfg.wal.fsync_base = microseconds(opt.fsync_us);
@@ -137,7 +177,10 @@ ChaosRunConfig make_run_config(const Options& opt, std::uint64_t seed,
 GenerateOptions make_gen_options(const Options& opt) {
   GenerateOptions gen;
   gen.n = opt.n;
-  gen.crash_pool = (opt.n - 1) / 3;
+  gen.adversary_pool = std::min(opt.adversary, (opt.n - 1) / 3);
+  gen.adversary_strategies = opt.adversary_strategies;
+  // Adversary placements are budgeted against f with the crash pool.
+  gen.crash_pool = (opt.n - 1) / 3 - gen.adversary_pool;
   gen.duration = milliseconds(opt.duration_ms);
   gen.stable_tail = milliseconds(std::min<std::int64_t>(opt.duration_ms / 2, 4000));
   gen.max_events = opt.max_events;
@@ -153,6 +196,7 @@ void print_reproducer(const Options& opt, std::uint64_t seed, const FaultSchedul
     extras += recovery_mode_name(opt.recovery);
   }
   if (opt.fsync_us > 0) extras += " --fsync-us " + std::to_string(opt.fsync_us);
+  if (opt.latency_oracle) extras += " --latency-oracle";
   std::printf("  chaos_fuzz --protocol %s --seed %llu --n %zu --duration-ms %lld"
               " --delta-ms %lld%s --schedule \"%s\"\n",
               protocol_cli_tag(opt.protocol), static_cast<unsigned long long>(seed), opt.n,
@@ -234,11 +278,56 @@ int smoke(Options opt) {
   return ok ? 0 : 1;
 }
 
+/// Every strategy x every protocol, twice over: a singleton placement at n=4
+/// with the latency-degradation oracle armed, and an f-sized coalition at
+/// n=7 with the oracle off (two coalition members can lead consecutive
+/// views, which legitimately exceeds the paper's single-failure bounds).
+/// Each cell runs twice and must produce identical digests.
+int adversary_smoke(Options opt) {
+  const ProtocolKind protocols[] = {
+      ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
+      ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon, ProtocolKind::kHotStuff};
+  opt.duration_ms = 6'000;
+  bool ok = true;
+  for (const std::string& strat : adversary::strategy_names()) {
+    for (const ProtocolKind p : protocols) {
+      for (const std::size_t n : {std::size_t{4}, std::size_t{7}}) {
+        opt.protocol = p;
+        opt.n = n;
+        opt.latency_oracle = n == 4;
+        const std::size_t f = (n - 1) / 3;
+        FaultSchedule schedule;
+        for (std::size_t k = 0; k < f; ++k) {
+          FaultEvent ev;
+          ev.type = FaultType::kAdversary;
+          ev.start = ev.end = TimePoint{0};
+          ev.nodes.push_back(static_cast<NodeId>(n - 1 - k));
+          ev.adv_strategy = strat;
+          schedule.events.push_back(std::move(ev));
+        }
+        const ChaosReport first = run_chaos(make_run_config(opt, opt.seed, schedule));
+        const ChaosReport second = run_chaos(make_run_config(opt, opt.seed, schedule));
+        const bool deterministic = first.digest == second.digest;
+        std::printf("  %-13s %-2s n=%zu: %s digest=%016llx replay=%s\n", strat.c_str(),
+                    protocol_cli_tag(p), n, first.ok() ? "ok" : first.failure().c_str(),
+                    static_cast<unsigned long long>(first.digest),
+                    deterministic ? "identical" : "DIVERGED");
+        if (!first.ok() || !deterministic) {
+          ok = false;
+          print_reproducer(opt, opt.seed, schedule);
+        }
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
   if (!opt.schedule.empty()) return replay(opt);
   if (opt.smoke) return smoke(opt);
+  if (opt.adversary_smoke) return adversary_smoke(opt);
   return fuzz(opt);
 }

@@ -33,6 +33,7 @@ net::LinkFaultPtr ChaosEngine::build_filter(const FaultEvent& ev, std::size_t in
                                                    ev.delay, std::vector<net::Link>{}, stream);
     case FaultType::kCrash:
     case FaultType::kMcChoice:
+    case FaultType::kAdversary:
       return nullptr;
   }
   return nullptr;
@@ -83,8 +84,10 @@ void ChaosEngine::arm() {
   for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
     const FaultEvent& ev = schedule_.events[i];
     // Model-checker choices are not network faults; src/mc/ interprets them
-    // against the pending-event frontier instead. The engine never arms them.
-    if (ev.type == FaultType::kMcChoice) continue;
+    // against the pending-event frontier instead. Adversary placements are
+    // applied when the experiment is *built* (runner.cpp translates them into
+    // ExperimentConfig::adversaries). The engine never arms either.
+    if (ev.type == FaultType::kMcChoice || ev.type == FaultType::kAdversary) continue;
     MOONSHOT_INVARIANT(ev.start >= sched.now(), "fault event in the past");
     sched.schedule_at(ev.start, [this, i] { activate(i); });
     if (ev.end > ev.start) {

@@ -38,8 +38,8 @@ FaultSchedule generate_schedule(const GenerateOptions& opt, std::uint64_t seed) 
   MOONSHOT_INVARIANT(ms_of(opt.duration) > ms_of(opt.stable_tail) + 200,
                      "duration must leave room before the stable tail");
   const std::size_t f = (opt.n - 1) / 3;
-  MOONSHOT_INVARIANT(opt.crash_pool + opt.static_faulty <= f,
-                     "crash pool + static faults exceed f");
+  MOONSHOT_INVARIANT(opt.crash_pool + opt.static_faulty + opt.adversary_pool <= f,
+                     "crash pool + static faults + adversaries exceed f");
 
   Prng prng(seed ^ 0x67656e65726174ull);
   FaultSchedule schedule;
@@ -134,6 +134,37 @@ FaultSchedule generate_schedule(const GenerateOptions& opt, std::uint64_t seed) 
           ev.nodes.push_back(id);
       }
       std::sort(ev.nodes.begin(), ev.nodes.end());
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
+  // Adversary placements: zero-width events on the highest node ids (the
+  // crash pool owns the lowest), one strategy each from the configured pool.
+  if (opt.adversary_pool > 0) {
+    const std::vector<std::string>& pool = opt.adversary_strategies.empty()
+                                               ? adversary::strategy_names()
+                                               : opt.adversary_strategies;
+    const std::size_t picks = 1 + prng.next_below(opt.adversary_pool);
+    for (std::size_t p = 0; p < picks; ++p) {
+      FaultEvent ev;
+      ev.type = FaultType::kAdversary;
+      ev.start = ev.end = TimePoint::zero();
+      ev.nodes.push_back(static_cast<NodeId>(opt.n - 1 - p));
+      ev.adv_strategy = pool[prng.next_below(pool.size())];
+      // Half the placements are view-bounded, so fuzz runs also exercise the
+      // honest-mimic fallback outside the range.
+      if (prng.next_below(2) == 0) {
+        ev.adv_view_from = 1 + static_cast<View>(prng.next_below(8));
+        ev.adv_view_to = ev.adv_view_from + static_cast<View>(prng.next_below(12));
+      }
+      if (ev.adv_strategy == "delay") {
+        ev.delay = milliseconds(
+            prng.next_range(100, std::max<std::int64_t>(200, 2 * ms_of(opt.max_delay))));
+      }
+      if (ev.adv_strategy == "partial") {
+        // f+1 default or a random wider subset (still short of quorum).
+        if (prng.next_below(2) == 0) ev.adv_subset = f + 1 + prng.next_below(f + 1);
+      }
       schedule.events.push_back(std::move(ev));
     }
   }

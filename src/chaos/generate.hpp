@@ -36,6 +36,14 @@ struct GenerateOptions {
   /// Crash-heavy bias: several non-overlapping crash windows per schedule
   /// (plus the usual background faults) instead of at most one.
   bool crash_heavy = false;
+  /// Active-adversary placements per schedule (0 = none). Placements take
+  /// the HIGHEST node ids — disjoint from the low-id crash pool — and are
+  /// budgeted against f with the other faults:
+  /// crash_pool + static_faulty + adversary_pool <= (n-1)/3.
+  std::size_t adversary_pool = 0;
+  /// Strategy names drawn for placements; empty = every registered strategy
+  /// (adversary::strategy_names()).
+  std::vector<std::string> adversary_strategies;
 };
 
 FaultSchedule generate_schedule(const GenerateOptions& opt, std::uint64_t seed);

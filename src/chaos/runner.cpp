@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "adversary/oracle.hpp"
 #include "chaos/engine.hpp"
 #include "harness/conformance.hpp"
 #include "obs/flight.hpp"
@@ -65,6 +66,7 @@ std::string ChaosReport::failure() const {
   if (!liveness_ok) os << "[liveness] ";
   if (!conformance_ok) os << "[conformance] ";
   if (!chain_shape_ok) os << "[chain-shape] ";
+  if (!latency_ok) os << "[latency] ";
   for (std::size_t i = 0; i < violations.size() && i < 3; ++i) os << violations[i] << "; ";
   if (violations.size() > 3) os << "(+" << violations.size() - 3 << " more)";
   return os.str();
@@ -99,6 +101,9 @@ ChaosReport run_chaos(const ChaosRunConfig& cfg) {
     ecfg.crashed = cfg.byzantine;
     ecfg.fault_kind = FaultKind::kEquivocate;
   }
+  // adv() placements become framework adversaries, built before start (a
+  // node cannot turn Byzantine mid-run); the engine never arms the events.
+  ecfg.adversaries = cfg.schedule.adversaries();
   ecfg.recovery = cfg.recovery;
   ecfg.wal = cfg.wal;
   ecfg.enable_wal = cfg.enable_wal || cfg.recovery == RecoveryMode::kDurable ||
@@ -195,6 +200,20 @@ ChaosReport run_chaos(const ChaosRunConfig& cfg) {
   if (!conf.empty()) {
     report.conformance_ok = false;
     for (auto& v : conf) report.violations.push_back("conformance: " + std::move(v));
+  }
+
+  if (cfg.latency_oracle) {
+    adversary::LatencyOracle::Config ocfg;
+    ocfg.protocol = protocol_cli_tag(cfg.protocol);
+    ocfg.delta = cfg.delta;
+    ocfg.hop = cfg.oracle_hop > Duration(0) ? cfg.oracle_hop : cfg.delta / 4;
+    ocfg.n = cfg.n;
+    ocfg.leader_of = [leaders = e.leaders()](View v) { return leaders->leader(v); };
+    adversary::LatencyOracle oracle(std::move(ocfg), cfg.schedule.adversaries());
+    for (const auto& v : oracle.check(e.metrics().per_view_latencies(r.quorum))) {
+      report.latency_ok = false;
+      report.violations.push_back("latency: " + v.detail);
+    }
   }
 
   if (!report.ok() && !cfg.flight_path.empty()) {

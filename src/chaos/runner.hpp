@@ -59,6 +59,15 @@ struct ChaosRunConfig {
   /// Network model override (latency matrix, drops, GST). Seed and delta are
   /// stamped in by the experiment.
   net::NetworkConfig net;
+  /// Check per-view commit latency against the paper's failure-scenario
+  /// bounds (src/adversary/oracle.hpp). Judges only views inside an adv()
+  /// placement's blast radius, so it is meant for adversary-only schedules
+  /// (smoke tests, bound calibration) — network faults stretch latency for
+  /// reasons the adversary bounds don't model.
+  bool latency_oracle = false;
+  /// Worst-case honest message delay δ fed to the oracle; 0 = Δ/4 (a
+  /// conservative default for LAN-like matrices under Δ=500ms).
+  Duration oracle_hop = Duration(0);
   /// When non-empty and any oracle latches, a flight recording (metrics,
   /// span tail, critical paths, event tail, replay command — see
   /// obs/flight.hpp) is written here. If no tracer was supplied, the run
@@ -73,13 +82,16 @@ struct ChaosReport {
   bool liveness_ok = true;
   bool conformance_ok = true;
   bool chain_shape_ok = true;
+  bool latency_ok = true;  // latency-degradation oracle (when enabled)
   std::vector<std::string> violations;  // human-readable failure details
   /// Determinism digest: commit logs + metrics + scheduler fingerprint.
   std::uint64_t digest = 0;
   std::uint64_t committed_blocks = 0;  // 2f+1-threshold commits
   View max_view = 0;
 
-  bool ok() const { return safety_ok && liveness_ok && conformance_ok && chain_shape_ok; }
+  bool ok() const {
+    return safety_ok && liveness_ok && conformance_ok && chain_shape_ok && latency_ok;
+  }
   /// One-line failure summary ("" when ok()).
   std::string failure() const;
 };

@@ -26,6 +26,7 @@ const char* fault_type_tag(FaultType t) {
     case FaultType::kCrash: return "crash";
     case FaultType::kBurst: return "burst";
     case FaultType::kMcChoice: return "mc";
+    case FaultType::kAdversary: return "adv";
   }
   return "?";
 }
@@ -92,6 +93,19 @@ std::string FaultEvent::to_string() const {
       os << ";k=" << (mc_kind == 't' ? 't' : 'd') << ";r=" << mc_to;
       if (mc_kind != 't') os << ";p=" << mc_from << ";y=" << mc_type << ";u=" << mc_ordinal;
       break;
+    case FaultType::kAdversary:
+      os << ";n=";
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (i) os << ',';
+        os << nodes[i];
+      }
+      os << ";s=" << adv_strategy;
+      // Defaults are omitted so the minimal form round-trips byte-for-byte.
+      if (adv_view_from != 1 || adv_view_to != 0)
+        os << ";v=" << adv_view_from << '-' << adv_view_to;
+      if (delay.count() > 0) os << ";d=" << delay.count() / 1'000'000;
+      if (adv_subset != 0) os << ";q=" << adv_subset;
+      break;
   }
   os << ')';
   return os.str();
@@ -119,6 +133,30 @@ bool FaultSchedule::wants_wal() const {
     if (e.type == FaultType::kCrash && e.crash_mode == CrashMode::kDurable) return true;
   }
   return false;
+}
+
+std::vector<adversary::AdversarySpec> FaultEvent::adversary_specs() const {
+  std::vector<adversary::AdversarySpec> out;
+  if (type != FaultType::kAdversary) return out;
+  for (const NodeId id : nodes) {
+    adversary::AdversarySpec spec;
+    spec.node = id;
+    spec.strategy = adv_strategy;
+    spec.view_from = adv_view_from;
+    spec.view_to = adv_view_to;
+    spec.delay = delay;
+    spec.subset = adv_subset;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<adversary::AdversarySpec> FaultSchedule::adversaries() const {
+  std::vector<adversary::AdversarySpec> out;
+  for (const FaultEvent& e : events) {
+    for (auto& spec : e.adversary_specs()) out.push_back(std::move(spec));
+  }
+  return out;
 }
 
 std::string FaultSchedule::to_string() const {
@@ -243,6 +281,28 @@ bool parse_kv(std::string_view param, FaultEvent& ev) {
     ev.delay = milliseconds(static_cast<std::int64_t>(value));
     return true;
   }
+  if (kv[0] == "s") {
+    if (ev.type != FaultType::kAdversary) return false;
+    ev.adv_strategy = std::string(kv[1]);
+    return adversary::known_strategy(ev.adv_strategy);
+  }
+  if (kv[0] == "v") {
+    if (ev.type != FaultType::kAdversary) return false;
+    const auto range = split(kv[1], '-');
+    if (range.size() != 2) return false;
+    std::uint64_t from = 0, to = 0;
+    if (!parse_u64(range[0], from) || !parse_u64(range[1], to)) return false;
+    if (from == 0) return false;  // views start at 1
+    if (to != 0 && to < from) return false;
+    ev.adv_view_from = from;
+    ev.adv_view_to = to;
+    return true;
+  }
+  if (kv[0] == "q") {
+    if (ev.type != FaultType::kAdversary || !parse_u64(kv[1], value)) return false;
+    ev.adv_subset = static_cast<std::size_t>(value);
+    return true;
+  }
   if (kv[0] == "links") return parse_links(kv[1], ev.links);
   if (kv[0] == "n") return parse_node_list(kv[1], ev.nodes);
   if (kv[0] == "m") {
@@ -304,6 +364,13 @@ bool parse_event(std::string_view kind, std::string_view body, FaultEvent& ev) {
       if (!parse_kv(params[i], ev)) return false;
     }
     return true;
+  }
+  if (kind == "adv") {
+    ev.type = FaultType::kAdversary;
+    for (std::size_t i = 1; i < params.size(); ++i) {
+      if (!parse_kv(params[i], ev)) return false;
+    }
+    return !ev.nodes.empty();
   }
   return false;
 }

@@ -16,6 +16,14 @@
 //   mc(40-40;k=d;r=2;p=1;y=3;u=0)    model-checker choice: deliver the 0th
 //                                    pending (1→2, wire-type 3) event now
 //   mc(40-40;k=t;r=2)                model-checker choice: fire node 2's timer
+//   adv(0-0;n=3;s=silent)            node 3 runs the SilentLeader strategy
+//   adv(0-0;n=3;s=delay;v=2-9;d=800) DelayedRelease over views 2..9, 800 ms
+//   adv(0-0;n=3;s=partial;q=2)       PartialBroadcast to the 2 lowest ids
+//
+// adv() events are zero-width placements, not timed faults: the adversary is
+// built into the experiment before it starts (a node cannot turn Byzantine
+// mid-run), and the view range v=a-b (b=0 = unbounded) — not the time
+// window — bounds when the strategy acts. The engine never arms them.
 //
 // Times are milliseconds from simulation start; events are ';'-separated.
 // Probabilities are integer percents and delays integer milliseconds so the
@@ -28,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "adversary/spec.hpp"
 #include "net/fault.hpp"
 #include "support/time.hpp"
 #include "types/ids.hpp"
@@ -43,6 +52,7 @@ enum class FaultType {
   kCrash,      // crash-stop at start, rebuild from persisted state at end
   kBurst,      // adversarial delay burst on every link
   kMcChoice,   // model-checker scheduling choice (counterexample replay only)
+  kAdversary,  // active-Byzantine placement (src/adversary/), built pre-start
 };
 const char* fault_type_tag(FaultType t);
 
@@ -79,6 +89,17 @@ struct FaultEvent {
   std::uint32_t mc_type = 0;   // message wire-type index (delivery only)
   std::uint32_t mc_ordinal = 0;  // ordinal among matching frontier entries
 
+  // kAdversary only (node in `nodes`, hold-back in `delay`). Defaults are
+  // never printed, so minimal adv() strings round-trip byte-for-byte.
+  std::string adv_strategy = "silent";  // s= (one of adversary::strategy_names())
+  View adv_view_from = 1;               // v=a-b active view range
+  View adv_view_to = 0;                 //   (b = 0 → unbounded)
+  std::size_t adv_subset = 0;           // q= PartialBroadcast recipient count
+
+  /// The kAdversary event as a framework placement spec (one per node id in
+  /// `nodes`, normally exactly one).
+  std::vector<adversary::AdversarySpec> adversary_specs() const;
+
   std::string to_string() const;
 };
 
@@ -94,6 +115,9 @@ struct FaultSchedule {
   /// True when any crash event requests durable (WAL) recovery, so runners
   /// can auto-enable the write-ahead log.
   bool wants_wal() const;
+  /// Every adversary placement in the schedule, flattened for
+  /// ExperimentConfig::adversaries.
+  std::vector<adversary::AdversarySpec> adversaries() const;
 
   std::string to_string() const;
   static std::optional<FaultSchedule> parse(std::string_view text);

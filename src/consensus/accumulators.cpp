@@ -1,5 +1,7 @@
 #include "consensus/accumulators.hpp"
 
+#include <algorithm>
+
 #include "support/mutations.hpp"
 
 namespace moonshot {
@@ -21,8 +23,12 @@ QcPtr VoteAccumulator::add(const Vote& vote, Height block_height) {
   auto& per_view = by_view_[vote.view];
   auto& bucket = per_view.buckets[Key{vote.kind, vote.block}];
   if (bucket.emitted) return nullptr;
-  for (const auto& v : bucket.votes)
-    if (v.voter == vote.voter) return nullptr;  // duplicate
+  for (const auto& v : bucket.votes) {
+    if (v.voter == vote.voter) {
+      ++duplicates_dropped_;
+      return nullptr;
+    }
+  }
 
   if (verify_ && !vote.verify(*validators_)) return nullptr;
 
@@ -53,10 +59,28 @@ TimeoutAccumulator::Result TimeoutAccumulator::add(const TimeoutMsg& timeout) {
   Result result;
   if (!validators_->contains(timeout.sender)) return result;
 
-  // Dedupe first: replays never reach signature verification.
+  // Dedupe first: replays never reach signature verification. First-wins:
+  // the counted message may already be embedded in an emitted TC, so a later
+  // conflicting one must not replace it — it is only *counted* (once per
+  // (view, sender)) as equivocation evidence.
   auto& bucket = by_view_[timeout.view];
-  for (const auto& t : bucket.timeouts)
-    if (t.sender == timeout.sender) return result;  // duplicate
+  for (const auto& t : bucket.timeouts) {
+    if (t.sender != timeout.sender) continue;
+    const View seen_lock = t.high_qc ? t.high_qc->view : 0;
+    const View new_lock = timeout.high_qc ? timeout.high_qc->view : 0;
+    if (seen_lock != new_lock) {
+      const bool counted =
+          std::find(bucket.equivocators.begin(), bucket.equivocators.end(),
+                    timeout.sender) != bucket.equivocators.end();
+      if (!counted) {
+        bucket.equivocators.push_back(timeout.sender);
+        ++equivocations_seen_;
+      }
+    } else {
+      ++duplicates_dropped_;
+    }
+    return result;
+  }
 
   if (!timeout.verify(*validators_, verify_, cert_cache_)) return result;
   bucket.timeouts.push_back(timeout);

@@ -48,6 +48,11 @@ class VoteAccumulator {
   /// of Byzantine behaviour.
   std::uint64_t equivocations_seen() const { return equivocations_seen_; }
 
+  /// Exact re-sends dropped by the dedupe fast path: same (view, kind,
+  /// block, voter) seen again. Benign under retransmission, but a spike is
+  /// evidence of replayed traffic.
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+
   /// Drops all state for views < `view`.
   void prune_below(View view);
 
@@ -75,6 +80,7 @@ class VoteAccumulator {
   bool aggregate_;
   std::map<View, PerView> by_view_;
   std::uint64_t equivocations_seen_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
 };
 
 /// Accumulates timeout messages per view. Emits two one-shot events per
@@ -100,9 +106,20 @@ class TimeoutAccumulator {
   std::size_t count(View view) const;
   void prune_below(View view);
 
+  /// Conflicting timeouts observed: a second timeout from an already-counted
+  /// sender for the same view carrying a DIFFERENT high-QC view. The first
+  /// message wins (it may already be embedded in an emitted TC; swapping
+  /// retroactively would let the sender rewrite certificates); the conflict
+  /// is counted exactly once per (view, sender) as adversary evidence.
+  std::uint64_t equivocations_seen() const { return equivocations_seen_; }
+  /// Exact re-sends from an already-counted sender (identical high-QC view):
+  /// legitimate pacemaker retransmission, dropped by the dedupe fast path.
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+
  private:
   struct Bucket {
     std::vector<TimeoutMsg> timeouts;  // distinct senders
+    std::vector<NodeId> equivocators;  // senders already counted as conflicting
     bool f1_emitted = false;
     bool tc_emitted = false;
   };
@@ -111,6 +128,8 @@ class TimeoutAccumulator {
   bool verify_;
   CertVerifyCache* cert_cache_ = nullptr;
   std::map<View, Bucket> by_view_;
+  std::uint64_t equivocations_seen_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
 };
 
 }  // namespace moonshot

@@ -5,6 +5,7 @@
 #include "support/mutations.hpp"
 #include "support/assert.hpp"
 #include "support/hex.hpp"
+#include "support/prng.hpp"
 #include "wal/wal.hpp"
 
 namespace moonshot {
@@ -332,10 +333,29 @@ bool BaseNode::handle_sync(NodeId from, const Message& m) {
 
 Duration BaseNode::backed_off(Duration base) const {
   if (!ctx_.timeout_backoff) return base;
-  return base * (1 << std::min(backoff_exponent_, 6));
+  const int cap = std::max(ctx_.timeout_backoff_cap, 0);
+  Duration d = base * (1 << std::min(backoff_exponent_, cap));
+  if (ctx_.timeout_jitter_pct > 0) {
+    // Deterministic per-node jitter stream: stretch the timer by up to
+    // jitter% so the fleet's expiries desynchronize. The stream advances
+    // once per arming (mutable nonce) and depends only on (seed, id), so a
+    // fixed config still replays to a fixed digest.
+    std::uint64_t state =
+        ctx_.seed ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(ctx_.id) + 1)) ^
+        ++jitter_nonce_;
+    const double frac = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+    const double stretch = 1.0 + frac * static_cast<double>(ctx_.timeout_jitter_pct) / 100.0;
+    d = std::chrono::duration_cast<Duration>(d * stretch);
+  }
+  return d;
 }
 
 void BaseNode::note_progress() {
+  if (ctx_.backoff_reset_on_progress) {
+    backoff_exponent_ = 0;
+    progress_streak_ = 0;
+    return;
+  }
   // Decay slowly: resetting to zero on every success makes a chronically
   // undersized Δ saw-tooth (the view after each success gets the short timer
   // again and fails, so two *consecutive* certified views — the commit
@@ -363,6 +383,9 @@ bool BaseNode::check_tc(const TimeoutCert& tc) const {
 NodeCounters BaseNode::counters() const {
   NodeCounters c = counters_;
   c.equivocations_seen = vote_acc_.equivocations_seen();
+  c.timeout_equivocations_seen = timeout_acc_.equivocations_seen();
+  c.vote_duplicates_dropped = vote_acc_.duplicates_dropped();
+  c.timeout_duplicates_dropped = timeout_acc_.duplicates_dropped();
   c.cert_cache_hits = cert_cache_.stats().hits;
   c.cert_cache_misses = cert_cache_.stats().misses;
   return c;

@@ -227,6 +227,9 @@ class BaseNode : public IConsensusNode {
   std::uint64_t timer_generation_ = 0;
   int backoff_exponent_ = 0;
   int progress_streak_ = 0;
+  /// Advances the deterministic jitter stream; mutable because backed_off()
+  /// is a const observer of pacemaker state.
+  mutable std::uint64_t jitter_nonce_ = 0;
   bool halted_ = false;
   /// True while restore_from_wal() replays state: suppresses WAL re-appends
   /// (the records being replayed are already in the log).

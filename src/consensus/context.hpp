@@ -58,6 +58,24 @@ struct NodeContext {
   /// paper's analyses and failure experiments assume a fixed τ per view.
   /// Enable when Δ may underestimate the real network (huge payloads).
   bool timeout_backoff = false;
+  /// Backoff exponent cap: the timer never exceeds base × 2^cap. The default
+  /// matches the historical hard-coded ceiling.
+  int timeout_backoff_cap = 6;
+  /// Seeded timer jitter, percent of the backed-off timeout (0 = off). Each
+  /// arming stretches the timer by up to this fraction, drawn from a
+  /// deterministic per-node stream — desynchronizing the fleet's expiries so
+  /// simultaneous timeout storms (and the synchronized view thrash they
+  /// cause under a Byzantine leader) cannot lock in. Deterministic given
+  /// (seed, node id), so replay digests remain stable for a fixed config.
+  int timeout_jitter_pct = 0;
+  /// Reset the exponent to zero on certificate progress instead of the slow
+  /// streak decay. Off by default: the decay protects a chronically
+  /// undersized Δ from saw-toothing (see BaseNode::note_progress), but after
+  /// a transient Byzantine-leader window the fast reset restores the paper's
+  /// τ immediately.
+  bool backoff_reset_on_progress = false;
+  /// Experiment seed, forked into the jitter stream.
+  std::uint64_t seed = 1;
 
   // --- ablation switches (bench_ablation; defaults = the paper's design) ----
   /// Optimistic proposal (ω = δ). Off: leaders propose only at view entry,

@@ -24,6 +24,13 @@ struct NodeCounters {
   std::uint64_t timeouts_fired = 0;
   std::uint64_t timeout_retransmits = 0;
   std::uint64_t equivocations_seen = 0;
+  /// Byzantine-evidence counters (accumulator detections, see
+  /// consensus/accumulators.hpp): conflicting timeouts from one sender, and
+  /// exact vote/timeout re-sends dropped by the dedupe fast path. Exported
+  /// as adversary_detected_total{kind,node}.
+  std::uint64_t timeout_equivocations_seen = 0;
+  std::uint64_t vote_duplicates_dropped = 0;
+  std::uint64_t timeout_duplicates_dropped = 0;
   std::uint64_t cert_cache_hits = 0;
   std::uint64_t cert_cache_misses = 0;
 };

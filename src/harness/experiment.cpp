@@ -1,6 +1,6 @@
 #include "harness/experiment.hpp"
 
-#include "consensus/byzantine.hpp"
+#include "adversary/adversary_node.hpp"
 #include "consensus/hotstuff/hotstuff.hpp"
 #include "consensus/jolteon/jolteon.hpp"
 #include "consensus/moonshot/commit_moonshot.hpp"
@@ -133,6 +133,37 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
     byzantine.push_back(static_cast<NodeId>(i));
   leaders_ = build_schedule(cfg_, byzantine);
 
+  // Active-Byzantine placements. fault_kind == kEquivocate is sugar: the
+  // statically faulty ids are rewritten into "equivocate" specs, so
+  // everything downstream (WAL handout, commit hooks, node construction,
+  // conformance exemption) has exactly one notion of "adversary".
+  adversary_.assign(cfg_.n, 0);
+  if (cfg_.fault_kind == FaultKind::kEquivocate) {
+    for (NodeId b : byzantine) {
+      adversary::AdversarySpec spec;
+      spec.node = b;
+      spec.strategy = "equivocate";
+      cfg_.adversaries.push_back(std::move(spec));
+    }
+  }
+  for (const auto& spec : cfg_.adversaries) {
+    MOONSHOT_INVARIANT(spec.node < cfg_.n, "adversary spec names an unknown node");
+    MOONSHOT_INVARIANT(adversary::known_strategy(spec.strategy),
+                       "unknown adversary strategy");
+    MOONSHOT_INVARIANT(!is_crashed(spec.node),
+                       "a node cannot be both crashed and adversarial");
+    adversary_[spec.node] = 1;
+  }
+  std::size_t faulty_total =
+      cfg_.fault_kind == FaultKind::kCrash ? cfg_.crashed : 0;
+  for (NodeId id = 0; id < cfg_.n; ++id) faulty_total += adversary_[id] ? 1 : 0;
+  MOONSHOT_INVARIANT(faulty_total <= (cfg_.n - 1) / 3,
+                     "crashed + adversarial nodes must not exceed f");
+  coalition_ = std::make_shared<adversary::CoalitionState>();
+  for (NodeId id = 0; id < cfg_.n; ++id) {
+    if (adversary_[id]) coalition_->members.push_back(id);
+  }
+
   // Deterministic per-view payloads (fixed per view; see types/payload.hpp).
   payloads_ = cfg_.payload_source;
   if (!payloads_) {
@@ -144,12 +175,12 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   }
 
   // WALs are built before the nodes so make_node() can hand out pointers.
-  // Equivocators never get one: enforcing one-vote-per-view on the adversary
+  // Adversaries never get one: enforcing one-vote-per-view on the adversary
   // would neuter the very attacks the Byzantine tests exercise.
   if (cfg_.enable_wal) {
     wals_.resize(cfg_.n);
     for (NodeId id = 0; id < cfg_.n; ++id) {
-      if (is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate) continue;
+      if (is_adversary(id)) continue;
       wals_[id] = std::make_unique<wal::Wal>(id, &sched_, cfg_.seed, cfg_.wal);
       wals_[id]->set_tracer(cfg_.tracer);
     }
@@ -158,9 +189,7 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   nodes_.reserve(cfg_.n);
   for (NodeId id = 0; id < cfg_.n; ++id) {
     auto node = make_node(id);
-    if (!(is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate)) {
-      attach_commit_hook(*node, id);
-    }
+    if (!is_adversary(id)) attach_commit_hook(*node, id);
     if (cfg_.tolerant_commit_log) {
       node->commit_log_mutable().set_fork_policy(CommitLog::ForkPolicy::kRecord);
     }
@@ -190,13 +219,27 @@ std::unique_ptr<IConsensusNode> Experiment::make_node(NodeId id) {
   ctx.enable_opt_proposal = cfg_.enable_opt_proposal;
   ctx.multicast_votes = cfg_.multicast_votes;
   ctx.timeout_backoff = cfg_.timeout_backoff;
+  ctx.timeout_backoff_cap = cfg_.timeout_backoff_cap;
+  ctx.timeout_jitter_pct = cfg_.timeout_jitter_pct;
+  ctx.backoff_reset_on_progress = cfg_.backoff_reset_on_progress;
+  ctx.seed = cfg_.seed;
   ctx.aggregate_certificates =
       cfg_.aggregate_certificates && validators_->scheme().supports_aggregation();
   ctx.lso_mode = cfg_.lso_mode;
   ctx.tracer = cfg_.tracer;
 
-  if (is_faulty(id) && cfg_.fault_kind == FaultKind::kEquivocate) {
-    return std::make_unique<EquivocatorNode>(std::move(ctx));
+  if (is_adversary(id)) {
+    std::vector<adversary::Binding> bindings;
+    for (const auto& spec : cfg_.adversaries) {
+      if (spec.node != id) continue;
+      adversary::Binding b;
+      b.spec = spec;
+      b.strategy = adversary::make_strategy(spec);
+      MOONSHOT_INVARIANT(b.strategy != nullptr, "unknown adversary strategy");
+      bindings.push_back(std::move(b));
+    }
+    return std::make_unique<adversary::AdversaryNode>(std::move(ctx), std::move(bindings),
+                                                      coalition_);
   }
   ctx.wal = id < wals_.size() ? wals_[id].get() : nullptr;
   switch (cfg_.protocol) {
@@ -367,6 +410,25 @@ void Experiment::export_metrics(obs::Registry& reg) {
     reg.counter("node_equivocations_seen_total",
                 "Conflicting votes observed by the accumulator", labels)
         .set(c.equivocations_seen);
+    // Byzantine-evidence detections, nonzero-only so fault-free runs export
+    // a clean series. `node` is the *detector*, not the culprit: every
+    // honest accumulator that observed the misbehaviour reports it.
+    const std::pair<const char*, std::uint64_t> detections[] = {
+        {"vote-equivocation", c.equivocations_seen},
+        {"timeout-equivocation", c.timeout_equivocations_seen},
+        {"vote-duplicate", c.vote_duplicates_dropped},
+        {"timeout-duplicate", c.timeout_duplicates_dropped},
+    };
+    for (const auto& [kind, value] : detections) {
+      if (value == 0) continue;
+      const obs::MetricLabels det{{"protocol", tag},
+                                  {"kind", kind},
+                                  {"node", std::to_string(id)}};
+      reg.counter("adversary_detected_total",
+                  "Byzantine evidence observed by honest accumulators, by kind",
+                  det)
+          .set(value);
+    }
   }
   reg.counter("view_change_total",
               "Views entered via a timeout certificate (all nodes)", proto)

@@ -9,6 +9,8 @@
 #include <string_view>
 #include <vector>
 
+#include "adversary/coalition.hpp"
+#include "adversary/spec.hpp"
 #include "consensus/context.hpp"
 #include "consensus/node.hpp"
 #include "harness/metrics.hpp"
@@ -82,6 +84,14 @@ struct ExperimentConfig {
   std::size_t crashed = 0;
   /// How the faulty nodes misbehave.
   FaultKind fault_kind = FaultKind::kCrash;
+  /// Active-Byzantine placements (src/adversary/). Each spec turns its node
+  /// into an AdversaryNode running the named strategy over the given view
+  /// range; several specs may target one node (disjoint ranges). All
+  /// adversaries in a run share one coalition. Combined with `crashed`
+  /// kCrash nodes the total faulty count must stay ≤ (n-1)/3.
+  /// (fault_kind == kEquivocate is sugar: the ctor rewrites the `crashed`
+  /// ids into "equivocate" specs here.)
+  std::vector<adversary::AdversarySpec> adversaries;
   /// Network model (latency matrix, bandwidth, GST…). `delta`/`seed` above
   /// are copied in when the experiment is built.
   net::NetworkConfig net;
@@ -98,6 +108,12 @@ struct ExperimentConfig {
   bool multicast_votes = true;
   /// Exponential pacemaker backoff (see consensus/context.hpp).
   bool timeout_backoff = false;
+  /// Backoff hardening knobs (see consensus/context.hpp): exponent cap,
+  /// seeded per-node timer jitter (percent), fast reset on certificate
+  /// progress. Defaults reproduce the historical behaviour exactly.
+  int timeout_backoff_cap = 6;
+  int timeout_jitter_pct = 0;
+  bool backoff_reset_on_progress = false;
   /// Threshold-style O(1) certificates (see consensus/context.hpp).
   bool aggregate_certificates = false;
   /// Leader-speaks-once variant (see consensus/context.hpp).
@@ -188,10 +204,17 @@ class Experiment {
   net::SimNetwork& network() { return *network_; }
   IConsensusNode& node(NodeId id) { return *nodes_.at(id); }
   std::size_t node_count() const { return nodes_.size(); }
-  bool is_faulty(NodeId id) const { return id + cfg_.crashed >= cfg_.n; }
-  bool is_crashed(NodeId id) const {
-    return is_faulty(id) && cfg_.fault_kind == FaultKind::kCrash;
+  bool is_faulty(NodeId id) const {
+    return id + cfg_.crashed >= cfg_.n || is_adversary(id);
   }
+  bool is_crashed(NodeId id) const {
+    return id + cfg_.crashed >= cfg_.n && cfg_.fault_kind == FaultKind::kCrash;
+  }
+  /// True when `id` runs the active-Byzantine framework (any adversary spec
+  /// names it — including the kEquivocate sugar).
+  bool is_adversary(NodeId id) const { return id < adversary_.size() && adversary_[id] != 0; }
+  /// The shared coalition state of this run's adversaries (tests inspect it).
+  const adversary::CoalitionPtr& coalition() const { return coalition_; }
   const ExperimentConfig& config() const { return cfg_; }
   /// The node's write-ahead log (null when enable_wal is off or the node is
   /// an equivocator). Exposed for tests and fuzzers to corrupt/inspect.
@@ -220,6 +243,8 @@ class Experiment {
   std::vector<std::unique_ptr<IConsensusNode>> retired_;
   std::vector<char> down_;
   std::vector<char> recovered_once_;
+  std::vector<char> adversary_;  // bitmap: node id runs the adversary framework
+  adversary::CoalitionPtr coalition_;
   MetricsCollector metrics_;
   std::unique_ptr<TxTracker> tx_tracker_;
   bool started_ = false;

@@ -9,6 +9,7 @@ void MetricsCollector::on_created(const BlockPtr& block, TimePoint when) {
     stat.created = when;
     stat.payload_bytes = block->payload().wire_size();
     stat.height = block->height();
+    stat.view = block->view();
   }
 }
 
@@ -22,6 +23,7 @@ void MetricsCollector::on_committed(NodeId /*node*/, const BlockPtr& block, Time
     stat.created = when;
     stat.payload_bytes = block->payload().wire_size();
     stat.height = block->height();
+    stat.view = block->view();
   }
   stat.commits.push_back(when);  // nodes commit a block at most once
 }
@@ -85,6 +87,20 @@ std::vector<Duration> MetricsCollector::commit_latencies(
                      commits.begin() + static_cast<std::ptrdiff_t>(threshold - 1),
                      commits.end());
     out.push_back(commits[threshold - 1] - stat.created);
+  }
+  return out;
+}
+
+std::vector<std::pair<View, Duration>> MetricsCollector::per_view_latencies(
+    std::size_t threshold) const {
+  std::vector<std::pair<View, Duration>> out;
+  for (const auto& [id, stat] : blocks_) {
+    if (stat.commits.size() < threshold) continue;
+    auto commits = stat.commits;
+    std::nth_element(commits.begin(),
+                     commits.begin() + static_cast<std::ptrdiff_t>(threshold - 1),
+                     commits.end());
+    out.emplace_back(stat.view, commits[threshold - 1] - stat.created);
   }
   return out;
 }

@@ -50,12 +50,18 @@ class MetricsCollector {
   /// registry's commit-latency histogram.
   std::vector<Duration> commit_latencies(std::size_t threshold) const;
 
+  /// (view, creation → threshold-th-commit latency) pairs for every block
+  /// committed by at least `threshold` nodes, unsorted. Feeds the adversary
+  /// latency-degradation oracle, which judges latency per proposing view.
+  std::vector<std::pair<View, Duration>> per_view_latencies(std::size_t threshold) const;
+
  private:
   struct BlockStat {
     TimePoint created{};
     bool has_created = false;
     std::uint64_t payload_bytes = 0;
     Height height = 0;
+    View view = 0;
     std::vector<TimePoint> commits;  // one entry per distinct committing node
   };
 

@@ -132,6 +132,40 @@ chaos::FaultSchedule to_schedule(const std::vector<Choice>& path) {
   return s;
 }
 
+/// The complete adversary world of a config: explicit placements plus the
+/// byzantine-equivocator sugar, as specs.
+std::vector<adversary::AdversarySpec> world_adversaries(const McConfig& cfg) {
+  std::vector<adversary::AdversarySpec> out = cfg.adversaries;
+  for (std::size_t k = 0; k < cfg.byzantine; ++k) {
+    adversary::AdversarySpec sp;  // default strategy: equivocate
+    sp.node = static_cast<NodeId>(cfg.n - 1 - k);
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+/// Prepends the adversary world to a counterexample as zero-width adv()
+/// events, making the schedule self-contained: replay() rebuilds the exact
+/// placements from the schedule, not from the caller's flags.
+chaos::FaultSchedule with_adversaries(chaos::FaultSchedule s,
+                                      const std::vector<adversary::AdversarySpec>& specs) {
+  std::vector<chaos::FaultEvent> evs;
+  for (const adversary::AdversarySpec& sp : specs) {
+    chaos::FaultEvent e;
+    e.type = chaos::FaultType::kAdversary;
+    e.start = e.end = TimePoint{0};
+    e.nodes.push_back(sp.node);
+    e.adv_strategy = sp.strategy;
+    e.adv_view_from = sp.view_from;
+    e.adv_view_to = sp.view_to;
+    e.delay = sp.delay;
+    e.adv_subset = sp.subset;
+    evs.push_back(std::move(e));
+  }
+  s.events.insert(s.events.begin(), evs.begin(), evs.end());
+  return s;
+}
+
 /// One execution of the small world under explorer control: an Experiment on
 /// a uniform 1 ms LAN with zero jitter and zero processing cost, a tolerant
 /// commit log (forks latch instead of aborting), and a private tracer whose
@@ -152,6 +186,7 @@ class Run {
       e.crashed = cfg.byzantine;
       e.fault_kind = FaultKind::kEquivocate;
     }
+    e.adversaries = cfg.adversaries;
     e.net.matrix = net::LatencyMatrix::uniform(milliseconds(1), 1);
     e.net.regions_used = 1;
     e.net.jitter = 0.0;
@@ -170,7 +205,9 @@ class Run {
     drain();
   }
 
-  std::size_t honest_count() const { return cfg_.n - cfg_.byzantine; }
+  /// Faulty = equivocator sugar + framework adversary placements; oracles
+  /// judge the honest remainder only.
+  bool is_honest(NodeId id) const { return !exp_->is_faulty(id); }
   std::uint64_t events_run() const { return exp_->scheduler().events_executed(); }
   std::uint64_t state_digest() const { return tracer_.state_digest(); }
   Experiment& experiment() { return *exp_; }
@@ -236,7 +273,8 @@ class Run {
   /// first cross-node divergence point never changes.
   Violation check_safety() const {
     Violation v;
-    for (NodeId id = 0; id < honest_count(); ++id) {
+    for (NodeId id = 0; id < cfg_.n; ++id) {
+      if (!is_honest(id)) continue;
       const CommitLog& log = exp_->node(id).commit_log();
       if (log.fork_detected()) {
         v.kind = ViolationKind::kCommitFork;
@@ -247,8 +285,10 @@ class Run {
         return v;
       }
     }
-    for (NodeId i = 0; i < honest_count(); ++i) {
-      for (NodeId j = i + 1; j < honest_count(); ++j) {
+    for (NodeId i = 0; i < cfg_.n; ++i) {
+      if (!is_honest(i)) continue;
+      for (NodeId j = i + 1; j < cfg_.n; ++j) {
+        if (!is_honest(j)) continue;
         const auto& a = exp_->node(i).commit_log().blocks();
         const auto& b = exp_->node(j).commit_log().blocks();
         const std::size_t common = std::min(a.size(), b.size());
@@ -272,9 +312,9 @@ class Run {
   /// must resynchronize views and grow every honest commit log. Consumes the
   /// run (the tail executes tagged events in natural order).
   Violation run_tail_and_check() {
-    std::vector<std::size_t> before(honest_count());
-    for (NodeId id = 0; id < honest_count(); ++id)
-      before[id] = exp_->node(id).commit_log().size();
+    std::vector<std::size_t> before(cfg_.n, 0);
+    for (NodeId id = 0; id < cfg_.n; ++id)
+      if (is_honest(id)) before[id] = exp_->node(id).commit_log().size();
 
     sim::Scheduler& s = exp_->scheduler();
     s.run_until(s.now() + cfg_.delta * static_cast<std::int64_t>(cfg_.liveness_tail_deltas));
@@ -284,7 +324,8 @@ class Run {
     if (Violation v = check_safety()) return v;
 
     Violation v;
-    for (NodeId id = 0; id < honest_count(); ++id) {
+    for (NodeId id = 0; id < cfg_.n; ++id) {
+      if (!is_honest(id)) continue;
       if (exp_->node(id).commit_log().size() > before[id]) continue;
       v.kind = ViolationKind::kLiveness;
       std::ostringstream os;
@@ -296,10 +337,13 @@ class Run {
       return v;
     }
     View lo = 0, hi = 0;
-    for (NodeId id = 0; id < honest_count(); ++id) {
+    bool first = true;
+    for (NodeId id = 0; id < cfg_.n; ++id) {
+      if (!is_honest(id)) continue;
       const View view = exp_->node(id).current_view();
-      if (id == 0 || view < lo) lo = view;
-      if (id == 0 || view > hi) hi = view;
+      if (first || view < lo) lo = view;
+      if (first || view > hi) hi = view;
+      first = false;
     }
     if (hi > lo + 2) {
       v.kind = ViolationKind::kLiveness;
@@ -370,7 +414,7 @@ McResult explore_exhaustive(const McConfig& cfg) {
   };
 
   auto finish = [&](Violation v) {
-    v.schedule = to_schedule(path);
+    v.schedule = with_adversaries(to_schedule(path), world_adversaries(cfg));
     res.violation = std::move(v);
     res.stats.events += run->events_run();
     return res;
@@ -456,7 +500,24 @@ McResult explore_random(const McConfig& cfg) {
   McResult res;
   for (std::size_t trace = 0; trace < cfg.max_traces; ++trace) {
     Prng rng(cfg.seed * 0x9e3779b97f4a7c15ull + trace + 1);
-    Run run(cfg);
+    // Per-trace strategy sampling: each of the `byzantine` highest ids gets a
+    // strategy drawn from the pool, replacing the fixed equivocator sugar for
+    // this trace. The draws happen before the deaf-set draws, so traces with
+    // an empty pool keep their historical rng stream.
+    McConfig tcfg;
+    const McConfig* world = &cfg;
+    if (!cfg.adversary_pool.empty() && cfg.byzantine > 0) {
+      tcfg = cfg;
+      tcfg.byzantine = 0;
+      for (std::size_t k = 0; k < cfg.byzantine; ++k) {
+        adversary::AdversarySpec sp;
+        sp.node = static_cast<NodeId>(cfg.n - 1 - k);
+        sp.strategy = cfg.adversary_pool[rng.next_below(cfg.adversary_pool.size())];
+        tcfg.adversaries.push_back(std::move(sp));
+      }
+      world = &tcfg;
+    }
+    Run run(*world);
     std::vector<Choice> path;
 
     // Twins-style targeted withholding: during a window of choice steps, a
@@ -520,7 +581,7 @@ McResult explore_random(const McConfig& cfg) {
       res.stats.max_depth_seen =
           std::max<std::uint64_t>(res.stats.max_depth_seen, path.size());
       if (Violation v = run.check_safety()) {
-        v.schedule = to_schedule(path);
+        v.schedule = with_adversaries(to_schedule(path), world_adversaries(*world));
         res.violation = std::move(v);
         res.stats.events += run.events_run();
         ++res.stats.traces;
@@ -533,7 +594,7 @@ McResult explore_random(const McConfig& cfg) {
         trace % cfg.liveness_sample_every == 0) {
       ++res.stats.liveness_checks;
       if (Violation v = run.run_tail_and_check()) {
-        v.schedule = to_schedule(path);
+        v.schedule = with_adversaries(to_schedule(path), world_adversaries(*world));
         res.violation = std::move(v);
         return res;
       }
@@ -555,7 +616,17 @@ McResult explore(const McConfig& cfg) {
 
 Violation replay(const McConfig& cfg, const chaos::FaultSchedule& schedule) {
   MutationGuard guard(cfg.mutation);
-  Run run(cfg);
+  // adv() events in a counterexample define the entire adversary world (the
+  // byzantine sugar was folded in when the schedule was emitted), so replay
+  // is independent of the caller's placement flags. A schedule without adv()
+  // events — hand-written, or shrunk down to none — falls back to the
+  // caller's configuration.
+  McConfig rcfg = cfg;
+  if (std::vector<adversary::AdversarySpec> advs = schedule.adversaries(); !advs.empty()) {
+    rcfg.byzantine = 0;
+    rcfg.adversaries = std::move(advs);
+  }
+  Run run(rcfg);
   // Snapshots the run's observability state into a postmortem when an oracle
   // latched during this replay.
   const auto record_flight = [&](const Violation& v) {

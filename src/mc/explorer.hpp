@@ -59,6 +59,17 @@ struct McConfig {
   std::vector<NodeId> leader_order;
   /// Actively Byzantine equivocators (the highest node ids).
   std::size_t byzantine = 0;
+  /// Explicit active-adversary placements (src/adversary/ strategies) for the
+  /// small world. Twins-style probes combine them with leader_order to hand a
+  /// strategy consecutive views. Counterexample schedules embed the full
+  /// adversary world as adv() events, so a replayed schedule rebuilds the
+  /// same placements regardless of the caller's flags.
+  std::vector<adversary::AdversarySpec> adversaries;
+  /// Random strategy only: when non-empty, each trace samples one strategy
+  /// from this pool for each of the `byzantine` highest node ids (replacing
+  /// the fixed equivocator sugar for that trace). Placements ride along in
+  /// any counterexample via the adv() events above.
+  std::vector<std::string> adversary_pool;
   /// Protocol Δ. Small: mc worlds run on a 1 ms uniform LAN.
   Duration delta = milliseconds(40);
   /// Check bounded view synchronization + commit growth on sampled leaves by

@@ -41,6 +41,10 @@ int usage(const char* argv0) {
       << "  --seed N          random-strategy seed\n"
       << "  --timers N        early timer-fire budget per trace\n"
       << "  --byzantine N     active equivocators (highest node ids)\n"
+      << "  --adversary NODE:STRATEGY[:FROM-TO]  explicit adversary placement\n"
+      << "                    (repeatable; see adversary/spec.hpp for names)\n"
+      << "  --adversary-pool s1,s2,...  random strategy only: sample one\n"
+      << "                    strategy per byzantine node from this pool each trace\n"
       << "  --leaders a,b,c   explicit leader rotation\n"
       << "  --no-liveness     skip natural-tail liveness checks\n"
       << "  --mutation NAME   arm a seeded bug and use its tuned probe config\n"
@@ -118,6 +122,42 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       cfg.byzantine = std::stoull(v);
+    } else if (a == "--adversary") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      std::stringstream ss(v);
+      std::string node, strat, range;
+      if (!std::getline(ss, node, ':') || !std::getline(ss, strat, ':')) {
+        return usage(argv[0]);
+      }
+      adversary::AdversarySpec sp;
+      sp.node = static_cast<NodeId>(std::stoul(node));
+      sp.strategy = strat;
+      if (!adversary::known_strategy(sp.strategy)) {
+        std::cerr << "unknown adversary strategy: " << sp.strategy << "\n";
+        return 2;
+      }
+      if (std::getline(ss, range, ':')) {
+        const auto dash = range.find('-');
+        if (dash == std::string::npos) return usage(argv[0]);
+        sp.view_from = std::stoull(range.substr(0, dash));
+        sp.view_to = std::stoull(range.substr(dash + 1));
+      }
+      cfg.adversaries.push_back(std::move(sp));
+    } else if (a == "--adversary-pool") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      std::stringstream ss(v);
+      std::string tok;
+      cfg.adversary_pool.clear();
+      while (std::getline(ss, tok, ',')) {
+        if (tok.empty()) continue;
+        if (!adversary::known_strategy(tok)) {
+          std::cerr << "unknown adversary strategy: " << tok << "\n";
+          return 2;
+        }
+        cfg.adversary_pool.push_back(tok);
+      }
     } else if (a == "--leaders") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -184,10 +224,14 @@ int main(int argc, char** argv) {
     const auto keep_leaders = cfg.leader_order;
     const auto keep_byz = cfg.byzantine;
     const auto keep_seed = cfg.seed;
+    const auto keep_advs = cfg.adversaries;
+    const auto keep_pool = cfg.adversary_pool;
     cfg = smoke;
     if (!keep_leaders.empty()) cfg.leader_order = keep_leaders;
     cfg.byzantine = keep_byz;
     cfg.seed = keep_seed;
+    cfg.adversaries = keep_advs;
+    cfg.adversary_pool = keep_pool;
   }
   if (no_liveness) cfg.check_liveness = false;
   cfg.flight_path = flight_path;

@@ -1,0 +1,82 @@
+// Broad adversary fuzz sweep: ≥100 generated schedules
+// across all five protocols with every registered strategy in the sampling
+// pool — singleton placements at n=4 and f=2 coalitions at n=7 — plus the
+// usual background network faults. Safety must hold on every run and
+// liveness must return in the fault-free tail.
+//
+// The latency oracle is deliberately off here: generated network faults can
+// overlap adversary windows, stretching latency for reasons the paper's
+// failure bounds do not model (the tier-1 suite calibrates the bounds on a
+// quiet LAN instead).
+#include <gtest/gtest.h>
+
+#include "adversary/spec.hpp"
+#include "chaos/generate.hpp"
+#include "chaos/runner.hpp"
+
+namespace moonshot {
+namespace {
+
+struct SweepStats {
+  std::size_t runs = 0;
+  std::size_t with_adversary = 0;
+};
+
+SweepStats sweep(ProtocolKind protocol, std::size_t n, std::size_t adversaries,
+                 std::uint64_t seed_base, std::size_t seeds) {
+  chaos::GenerateOptions gen;
+  gen.n = n;
+  gen.adversary_pool = adversaries;
+  gen.crash_pool = (n - 1) / 3 - adversaries;
+  gen.duration = seconds(8);
+  gen.stable_tail = seconds(4);
+
+  SweepStats stats;
+  for (std::uint64_t seed = seed_base; seed < seed_base + seeds; ++seed) {
+    chaos::ChaosRunConfig cfg;
+    cfg.protocol = protocol;
+    cfg.n = n;
+    cfg.duration = gen.duration;
+    cfg.seed = seed;
+    cfg.schedule = chaos::generate_schedule(gen, seed);
+    const chaos::ChaosReport rep = chaos::run_chaos(cfg);
+    EXPECT_TRUE(rep.ok()) << protocol_name(protocol) << " n=" << n << " seed=" << seed
+                          << ": " << rep.failure() << "\n  schedule: "
+                          << cfg.schedule.to_string();
+    ++stats.runs;
+    if (!cfg.schedule.adversaries().empty()) ++stats.with_adversary;
+  }
+  return stats;
+}
+
+// One TEST per protocol keeps each case inside the per-test timeout and the
+// failure report attributable. 16 singleton + 8 coalition seeds per
+// protocol = 120 runs total (≥100 required), pool = every registered
+// strategy (GenerateOptions default when adversary_strategies is empty).
+class AdversarySweep : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(AdversarySweep, GeneratedSchedulesStaySafeAndLive) {
+  const ProtocolKind p = GetParam();
+  const std::uint64_t base = 1000 * static_cast<std::uint64_t>(p);
+  const SweepStats singleton = sweep(p, 4, 1, base + 1, 16);
+  const SweepStats coalition = sweep(p, 7, 2, base + 501, 8);
+  EXPECT_EQ(singleton.runs + coalition.runs, 24u);
+  // The generator draws placements probabilistically; over 24 seeds the
+  // sweep must actually have exercised adversaries.
+  EXPECT_GT(singleton.with_adversary + coalition.with_adversary, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, AdversarySweep,
+                         ::testing::Values(ProtocolKind::kSimpleMoonshot,
+                                           ProtocolKind::kPipelinedMoonshot,
+                                           ProtocolKind::kCommitMoonshot,
+                                           ProtocolKind::kJolteon,
+                                           ProtocolKind::kHotStuff),
+                         [](const auto& info) {
+                           return std::string(protocol_cli_tag(info.param)) == "j"
+                                      ? "jolteon"
+                                      : protocol_cli_tag(info.param);
+                         });
+
+}  // namespace
+}  // namespace moonshot

@@ -172,6 +172,67 @@ TEST_F(AccumulatorTest, TimeoutLockValidationUsesCertCache) {
   EXPECT_EQ(cache.stats().hits, 2u);        // the other two timeouts hit
 }
 
+TEST_F(AccumulatorTest, ConflictingTimeoutFirstWins) {
+  // Node 0 first claims no lock, then re-times-out claiming a view-1 lock.
+  // The first message is pinned: swapping retroactively would let the sender
+  // rewrite an already-emitted TC's high-QC.
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < 3; ++i) votes.push_back(vote_from(i));
+  const QcPtr lock = QuorumCert::assemble(votes, 1, *gen_.set);
+  ASSERT_TRUE(lock);
+
+  TimeoutAccumulator acc(gen_.set, true);
+  acc.add(timeout_from(0, 2));  // no lock
+  const auto conflict = TimeoutMsg::make(2, 0, lock, gen_.private_keys[0],
+                                         gen_.set->scheme());
+  const auto r = acc.add(conflict);
+  EXPECT_FALSE(r.reached_f_plus_1);
+  EXPECT_EQ(r.tc, nullptr);
+  EXPECT_EQ(acc.count(2), 1u);
+  EXPECT_EQ(acc.equivocations_seen(), 1u);
+  EXPECT_EQ(acc.duplicates_dropped(), 0u);
+
+  // The TC assembled after two more honest timeouts carries the pinned
+  // no-lock entry for node 0, not the conflicting lock.
+  acc.add(timeout_from(1, 2));
+  const auto done = acc.add(timeout_from(2, 2));
+  ASSERT_NE(done.tc, nullptr);
+  EXPECT_EQ(done.tc->high_qc, nullptr);
+  EXPECT_EQ(done.tc->high_qc_view(), 0u);
+}
+
+TEST_F(AccumulatorTest, ConflictingTimeoutCountedOncePerSender) {
+  std::vector<Vote> votes;
+  for (NodeId i = 0; i < 3; ++i) votes.push_back(vote_from(i));
+  const QcPtr lock = QuorumCert::assemble(votes, 1, *gen_.set);
+  ASSERT_TRUE(lock);
+
+  TimeoutAccumulator acc(gen_.set, true);
+  acc.add(timeout_from(0, 2));
+  const auto conflict = TimeoutMsg::make(2, 0, lock, gen_.private_keys[0],
+                                         gen_.set->scheme());
+  // A TimeoutEquivocator spamming the same conflict is one equivocation, not
+  // one per message.
+  acc.add(conflict);
+  acc.add(conflict);
+  acc.add(conflict);
+  EXPECT_EQ(acc.equivocations_seen(), 1u);
+  // A second sender conflicting is its own piece of evidence.
+  acc.add(timeout_from(1, 2));
+  acc.add(TimeoutMsg::make(2, 1, lock, gen_.private_keys[1], gen_.set->scheme()));
+  EXPECT_EQ(acc.equivocations_seen(), 2u);
+}
+
+TEST_F(AccumulatorTest, ExactTimeoutResendIsDuplicateNotEquivocation) {
+  TimeoutAccumulator acc(gen_.set, true);
+  acc.add(timeout_from(0, 2));
+  acc.add(timeout_from(0, 2));  // identical lock view: pacemaker retransmit
+  acc.add(timeout_from(0, 2));
+  EXPECT_EQ(acc.equivocations_seen(), 0u);
+  EXPECT_EQ(acc.duplicates_dropped(), 2u);
+  EXPECT_EQ(acc.count(2), 1u);
+}
+
 TEST_F(AccumulatorTest, TimeoutViewsIndependent) {
   TimeoutAccumulator acc(gen_.set, true);
   acc.add(timeout_from(0, 2));

@@ -1,0 +1,149 @@
+// Pacemaker backoff hardening: exponent growth, the configurable cap,
+// fast reset-on-progress vs the default streak decay, and determinism of the
+// seeded timer jitter.
+#include <gtest/gtest.h>
+
+#include "consensus/base_node.hpp"
+
+namespace moonshot {
+namespace {
+
+/// Delivers nothing; the probe never sends.
+class NullNetwork final : public net::INetwork {
+ public:
+  void multicast(NodeId, MessagePtr) override {}
+  void unicast(NodeId, NodeId, MessagePtr) override {}
+};
+
+/// Exposes the protected backoff machinery for direct unit testing.
+class BackoffProbe final : public BaseNode {
+ public:
+  explicit BackoffProbe(NodeContext ctx) : BaseNode(std::move(ctx)) {}
+  void start() override {}
+  void handle(NodeId, const MessagePtr&) override {}
+  std::string protocol_name() const override { return "backoff-probe"; }
+  void on_view_timer_expired() override {}
+
+  using BaseNode::backed_off;
+  using BaseNode::note_progress;
+  using BaseNode::note_timeout;
+};
+
+class BackoffTest : public ::testing::Test {
+ protected:
+  BackoffTest() : gen_(ValidatorSet::generate(4, crypto::fast_scheme(), 1)) {}
+
+  NodeContext make_ctx(NodeId id = 0) {
+    NodeContext ctx;
+    ctx.id = id;
+    ctx.validators = gen_.set;
+    ctx.priv = gen_.private_keys[id];
+    ctx.network = &net_;
+    ctx.sched = &sched_;
+    ctx.leaders = std::make_shared<const RoundRobinSchedule>(4);
+    ctx.delta = milliseconds(100);
+    ctx.payload_for_view = [](View v) { return Payload::synthetic(16, v); };
+    ctx.timeout_backoff = true;
+    return ctx;
+  }
+
+  ValidatorSet::Generated gen_;
+  sim::Scheduler sched_;
+  NullNetwork net_;
+};
+
+constexpr Duration kBase = milliseconds(300);  // a 3Δ-style base timeout
+
+TEST_F(BackoffTest, DisabledBackoffKeepsBaseTimeout) {
+  NodeContext ctx = make_ctx();
+  ctx.timeout_backoff = false;
+  BackoffProbe node(std::move(ctx));
+  for (int i = 0; i < 5; ++i) node.note_timeout();
+  EXPECT_EQ(node.backed_off(kBase), kBase);
+}
+
+TEST_F(BackoffTest, ExponentDoublesPerConsecutiveTimeout) {
+  BackoffProbe node(make_ctx());
+  EXPECT_EQ(node.backed_off(kBase), kBase);
+  node.note_timeout();
+  EXPECT_EQ(node.backed_off(kBase), kBase * 2);
+  node.note_timeout();
+  EXPECT_EQ(node.backed_off(kBase), kBase * 4);
+  node.note_timeout();
+  EXPECT_EQ(node.backed_off(kBase), kBase * 8);
+}
+
+TEST_F(BackoffTest, ConfigurableCapBoundsTheTimer) {
+  NodeContext ctx = make_ctx();
+  ctx.timeout_backoff_cap = 3;
+  BackoffProbe node(std::move(ctx));
+  for (int i = 0; i < 20; ++i) node.note_timeout();
+  EXPECT_EQ(node.backed_off(kBase), kBase * 8);  // never beyond 2^3
+
+  NodeContext wide = make_ctx();
+  wide.timeout_backoff_cap = 6;  // the historical default ceiling
+  BackoffProbe node6(std::move(wide));
+  for (int i = 0; i < 20; ++i) node6.note_timeout();
+  EXPECT_EQ(node6.backed_off(kBase), kBase * 64);
+}
+
+TEST_F(BackoffTest, DefaultDecayNeedsSustainedProgressStreak) {
+  BackoffProbe node(make_ctx());
+  node.note_timeout();
+  node.note_timeout();
+  EXPECT_EQ(node.backed_off(kBase), kBase * 4);
+  // Seven certificate-driven views are not enough to decay the exponent.
+  for (int i = 0; i < 7; ++i) node.note_progress();
+  EXPECT_EQ(node.backed_off(kBase), kBase * 4);
+  // The eighth completes a streak and releases one doubling.
+  node.note_progress();
+  EXPECT_EQ(node.backed_off(kBase), kBase * 2);
+}
+
+TEST_F(BackoffTest, ResetOnProgressRestoresBaseImmediately) {
+  NodeContext ctx = make_ctx();
+  ctx.backoff_reset_on_progress = true;
+  BackoffProbe node(std::move(ctx));
+  for (int i = 0; i < 4; ++i) node.note_timeout();
+  EXPECT_EQ(node.backed_off(kBase), kBase * 16);
+  node.note_progress();
+  EXPECT_EQ(node.backed_off(kBase), kBase);
+}
+
+TEST_F(BackoffTest, JitterStretchesWithinTheConfiguredBand) {
+  NodeContext ctx = make_ctx();
+  ctx.timeout_jitter_pct = 20;
+  ctx.seed = 42;
+  BackoffProbe node(std::move(ctx));
+  for (int i = 0; i < 50; ++i) {
+    const Duration d = node.backed_off(kBase);
+    EXPECT_GE(d, kBase);
+    EXPECT_LE(d, std::chrono::duration_cast<Duration>(kBase * 1.2));
+  }
+}
+
+TEST_F(BackoffTest, JitterIsDeterministicPerSeedAndNode) {
+  const auto draw = [&](NodeId id, std::uint64_t seed, int count) {
+    NodeContext ctx = make_ctx(id);
+    ctx.timeout_jitter_pct = 15;
+    ctx.seed = seed;
+    BackoffProbe node(std::move(ctx));
+    std::vector<Duration> out;
+    for (int i = 0; i < count; ++i) out.push_back(node.backed_off(kBase));
+    return out;
+  };
+  // Same (seed, id) -> the same stream. Different id or seed -> a different
+  // stream (the whole point: fleet expiries must desynchronize).
+  EXPECT_EQ(draw(0, 7, 8), draw(0, 7, 8));
+  EXPECT_NE(draw(0, 7, 8), draw(1, 7, 8));
+  EXPECT_NE(draw(0, 7, 8), draw(0, 8, 8));
+}
+
+TEST_F(BackoffTest, JitterOffIsExact) {
+  BackoffProbe node(make_ctx());
+  node.note_timeout();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(node.backed_off(kBase), kBase * 2);
+}
+
+}  // namespace
+}  // namespace moonshot
