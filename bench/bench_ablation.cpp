@@ -9,6 +9,12 @@
 //     next leader is Byzantine.
 //  3. Pipelined vs explicit commit (PM vs CM) as payload grows — the §V
 //     argument: λ = 2β+ρ vs β+2ρ diverges once blocks dominate votes.
+//
+// Every measurement is an independent world, so the units all run up front
+// (concurrently under --jobs N) and the sections below print from their
+// recorded results; stdout and the JSON report are byte-identical across
+// --jobs values.
+#include <functional>
 #include <set>
 
 #include "bench_common.hpp"
@@ -18,19 +24,36 @@ namespace {
 using namespace moonshot;
 using namespace moonshot::bench;
 
-void run_row(JsonReport& report, const char* section, const char* label,
-             const ExperimentConfig& cfg) {
+/// One measurement's results; sections use the fields they need.
+struct Res {
+  double bps = 0;
+  double lat = 0;
+  bool consistent = true;
+  bool kept = false;      // WM sections: honest-led blocks of views 1 and 3 kept
+  double clean_bps = 0;   // partition section: throughput without the partition
+};
+
+Res run_unit(const ExperimentConfig& cfg, obs::Registry* reg) {
   ExperimentConfig c = cfg;
-  c.registry = &report.registry();
+  c.registry = reg;
   const auto r = run_experiment(c);
-  std::printf("%-34s %8.2f blk/s %10.1f ms %8s\n", label, r.summary.blocks_per_sec,
-              r.summary.avg_latency_ms, r.logs_consistent ? "safe" : "UNSAFE");
+  Res res;
+  res.bps = r.summary.blocks_per_sec;
+  res.lat = r.summary.avg_latency_ms;
+  res.consistent = r.logs_consistent;
+  return res;
+}
+
+void print_row(JsonReport& report, const char* section, const char* label,
+               const Res& r) {
+  std::printf("%-34s %8.2f blk/s %10.1f ms %8s\n", label, r.bps, r.lat,
+              r.consistent ? "safe" : "UNSAFE");
   report.row()
       .add("section", section)
       .add("variant", label)
-      .add("blocks_per_sec", r.summary.blocks_per_sec)
-      .add("latency_ms", r.summary.avg_latency_ms)
-      .add("consistent", r.logs_consistent);
+      .add("blocks_per_sec", r.bps)
+      .add("latency_ms", r.lat)
+      .add("consistent", r.consistent);
 }
 
 }  // namespace
@@ -41,48 +64,163 @@ int main(int argc, char** argv) {
   const auto opt = Options::parse(argc, argv);
   JsonReport report("ablation", opt);
 
-  std::printf("=== Ablations (Pipelined Moonshot, WAN, n=100) ===\n\n");
+  // Build the unit list in presentation order (the order a sequential run
+  // executed them in), then run them all.
+  std::vector<std::function<Res(obs::Registry*)>> units;
+  auto unit = [&units](std::function<Res(obs::Registry*)> fn) {
+    units.push_back(std::move(fn));
+    return units.size() - 1;
+  };
 
   // 1. Optimistic proposal.
-  std::printf("--- optimistic proposal (f'=0) ---\n");
-  {
+  const std::size_t u_opt_on = unit([&](obs::Registry* reg) {
+    return run_unit(wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt), reg);
+  });
+  const std::size_t u_opt_off = unit([&](obs::Registry* reg) {
     auto cfg = wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt);
-    run_row(report, "opt_proposal", "opt-proposal ON  (omega = d)", cfg);
     cfg.enable_opt_proposal = false;
-    run_row(report, "opt_proposal", "opt-proposal OFF (omega = 2d)", cfg);
-  }
+    return run_unit(cfg, reg);
+  });
 
   // 2. Vote dissemination, happy path.
-  std::printf("\n--- vote dissemination (f'=0) ---\n");
-  {
+  const std::size_t u_votes_multi = unit([&](obs::Registry* reg) {
+    return run_unit(wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt), reg);
+  });
+  const std::size_t u_votes_aggr = unit([&](obs::Registry* reg) {
     auto cfg = wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt);
-    run_row(report, "vote_dissemination", "votes MULTICAST", cfg);
     cfg.multicast_votes = false;
-    run_row(report, "vote_dissemination", "votes to AGGREGATOR", cfg);
+    return run_unit(cfg, reg);
+  });
+
+  // 2b. Vote dissemination under failures: reorg resilience (no registry —
+  // matches the sequential original, which ran these outside run_row).
+  std::size_t u_wm[2];
+  for (const bool multicast : {true, false}) {
+    u_wm[multicast ? 0 : 1] = unit([&opt, multicast](obs::Registry*) {
+      ExperimentConfig cfg = wan_config(ProtocolKind::kPipelinedMoonshot, 7, 0, 1, opt);
+      cfg.crashed = 2;
+      cfg.schedule = ScheduleKind::kWM;
+      cfg.duration = seconds(60);
+      cfg.multicast_votes = multicast;
+      Experiment e(cfg);
+      const auto r = e.run();
+      std::set<View> views;
+      for (const auto& b : e.node(0).commit_log().blocks()) views.insert(b->view());
+      Res res;
+      res.bps = r.summary.blocks_per_sec;
+      res.lat = r.summary.avg_latency_ms;
+      res.kept = views.count(1) > 0 && views.count(3) > 0;
+      return res;
+    });
   }
 
-  // 2b. Vote dissemination under failures: reorg resilience.
+  // 2c. LCO vs LSO.
+  const std::size_t u_lco = unit([&](obs::Registry* reg) {
+    return run_unit(wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt), reg);
+  });
+  const std::size_t u_lso = unit([&](obs::Registry* reg) {
+    auto cfg = wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt);
+    cfg.lso_mode = true;
+    return run_unit(cfg, reg);
+  });
+
+  // 3. Pipelining vs explicit commit across payloads (no registry).
+  std::vector<std::size_t> u_pm, u_cm;
+  for (const std::uint64_t payload : paper_payloads()) {
+    u_pm.push_back(unit([&opt, payload](obs::Registry*) {
+      return run_unit(wan_config(ProtocolKind::kPipelinedMoonshot, 100, payload, 1, opt),
+                      nullptr);
+    }));
+    u_cm.push_back(unit([&opt, payload](obs::Registry*) {
+      return run_unit(wan_config(ProtocolKind::kCommitMoonshot, 100, payload, 1, opt),
+                      nullptr);
+    }));
+  }
+
+  // 3b. β >> ρ regime.
+  std::vector<std::size_t> u_beta;
+  for (const auto p : {ProtocolKind::kPipelinedMoonshot, ProtocolKind::kCommitMoonshot}) {
+    u_beta.push_back(unit([p](obs::Registry* reg) {
+      ExperimentConfig cfg;
+      cfg.protocol = p;
+      cfg.n = 4;
+      cfg.payload_size = 1000000;
+      cfg.delta = seconds(5);
+      cfg.duration = seconds(60);
+      cfg.seed = 1;
+      cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(10), 1);
+      cfg.net.regions_used = 1;
+      cfg.net.jitter = 0;
+      cfg.net.bandwidth_bps = 40e6;
+      cfg.net.tcp_window_bytes = 0;
+      cfg.net.proc_base = cfg.net.proc_sig = cfg.net.proc_cert = cfg.net.proc_per_kb =
+          Duration(0);
+      return run_unit(cfg, reg);
+    }));
+  }
+
+  // 4. Partition resilience: clean run plus a chaos-engine partition episode
+  // per protocol (no registry).
+  const std::vector<ProtocolKind> part_protocols = {
+      ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
+      ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon};
+  std::vector<std::size_t> u_part;
+  for (const auto p : part_protocols) {
+    u_part.push_back(unit([p](obs::Registry*) {
+      ExperimentConfig cfg;
+      cfg.protocol = p;
+      cfg.n = 4;
+      cfg.delta = milliseconds(100);
+      cfg.duration = seconds(30);
+      cfg.seed = 1;
+      cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(5), 1);
+      cfg.net.regions_used = 1;
+      const auto clean = run_experiment(cfg);
+
+      Experiment e(cfg);
+      const auto sched = chaos::FaultSchedule::parse("part(10000-20000;3)");
+      chaos::ChaosEngine engine(e, *sched, cfg.seed);
+      engine.arm();
+      e.start();
+      e.scheduler().run_until(TimePoint{cfg.duration.count()});
+      const auto part = e.result();
+      Res res;
+      res.clean_bps = clean.summary.blocks_per_sec;
+      res.bps = part.summary.blocks_per_sec;
+      res.consistent = part.logs_consistent;
+      return res;
+    }));
+  }
+
+  std::vector<Res> results(units.size());
+  run_world_tasks(opt, units.size(), &report.registry(),
+                  [&](std::size_t i, obs::Registry* reg) {
+    results[i] = units[i](reg);
+  });
+
+  std::printf("=== Ablations (Pipelined Moonshot, WAN, n=100) ===\n\n");
+
+  std::printf("--- optimistic proposal (f'=0) ---\n");
+  print_row(report, "opt_proposal", "opt-proposal ON  (omega = d)", results[u_opt_on]);
+  print_row(report, "opt_proposal", "opt-proposal OFF (omega = 2d)", results[u_opt_off]);
+
+  std::printf("\n--- vote dissemination (f'=0) ---\n");
+  print_row(report, "vote_dissemination", "votes MULTICAST", results[u_votes_multi]);
+  print_row(report, "vote_dissemination", "votes to AGGREGATOR", results[u_votes_aggr]);
+
   std::printf("\n--- vote dissemination under WM failures (n=7, f'=2) ---\n");
-  for (const bool multicast : {true, false}) {
-    ExperimentConfig cfg = wan_config(ProtocolKind::kPipelinedMoonshot, 7, 0, 1, opt);
-    cfg.crashed = 2;
-    cfg.schedule = ScheduleKind::kWM;
-    cfg.duration = seconds(60);
-    cfg.multicast_votes = multicast;
-    Experiment e(cfg);
-    const auto r = e.run();
-    std::set<View> views;
-    for (const auto& b : e.node(0).commit_log().blocks()) views.insert(b->view());
-    const bool kept = views.count(1) > 0 && views.count(3) > 0;
+  for (int k = 0; k < 2; ++k) {
+    const bool multicast = k == 0;
+    const Res& r = results[u_wm[k]];
     std::printf("%-34s %8.2f blk/s %10.1f ms  honest-led blocks kept: %s\n",
-                multicast ? "votes MULTICAST" : "votes to AGGREGATOR",
-                r.summary.blocks_per_sec, r.summary.avg_latency_ms, kept ? "yes" : "NO");
+                multicast ? "votes MULTICAST" : "votes to AGGREGATOR", r.bps, r.lat,
+                r.kept ? "yes" : "NO");
     report.row()
         .add("section", "vote_dissemination_wm")
         .add("variant", multicast ? "votes MULTICAST" : "votes to AGGREGATOR")
-        .add("blocks_per_sec", r.summary.blocks_per_sec)
-        .add("latency_ms", r.summary.avg_latency_ms)
-        .add("honest_blocks_kept", kept);
+        .add("blocks_per_sec", r.bps)
+        .add("latency_ms", r.lat)
+        .add("honest_blocks_kept", r.kept);
   }
 
   // 2c. LCO vs LSO: the paper keeps the normal proposal even after an
@@ -90,53 +228,30 @@ int main(int argc, char** argv) {
   // path: identical. The difference appears when optimistic proposals fail
   // (see sync_test.cpp for the adversarial construction).
   std::printf("\n--- LCO (propose twice) vs LSO (speak once), f'=0 ---\n");
-  {
-    auto cfg = wan_config(ProtocolKind::kPipelinedMoonshot, 100, 0, 1, opt);
-    run_row(report, "lco_vs_lso", "LCO (paper default)", cfg);
-    cfg.lso_mode = true;
-    run_row(report, "lco_vs_lso", "LSO variant", cfg);
-  }
+  print_row(report, "lco_vs_lso", "LCO (paper default)", results[u_lco]);
+  print_row(report, "lco_vs_lso", "LSO variant", results[u_lso]);
 
-  // 3. Pipelining vs explicit commit across payloads (WAN).
   std::printf("\n--- pipelining (PM) vs explicit commit (CM), n=100, latency (ms) ---\n");
   std::printf("%-10s %10s %10s %10s\n", "payload", "PM", "CM", "CM/PM");
-  for (const std::uint64_t payload : paper_payloads()) {
-    const auto pm =
-        run_experiment(wan_config(ProtocolKind::kPipelinedMoonshot, 100, payload, 1, opt));
-    const auto cm =
-        run_experiment(wan_config(ProtocolKind::kCommitMoonshot, 100, payload, 1, opt));
-    std::printf("%-10s %10.1f %10.1f %9.2fx\n", payload_label(payload).c_str(),
-                pm.summary.avg_latency_ms, cm.summary.avg_latency_ms,
-                cm.summary.avg_latency_ms / pm.summary.avg_latency_ms);
+  const auto payloads = paper_payloads();
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const Res& pm = results[u_pm[i]];
+    const Res& cm = results[u_cm[i]];
+    std::printf("%-10s %10.1f %10.1f %9.2fx\n", payload_label(payloads[i]).c_str(),
+                pm.lat, cm.lat, cm.lat / pm.lat);
     report.row()
         .add("section", "pm_vs_cm_payload")
-        .add("payload_bytes", static_cast<double>(payload))
-        .add("pm_latency_ms", pm.summary.avg_latency_ms)
-        .add("cm_latency_ms", cm.summary.avg_latency_ms);
+        .add("payload_bytes", static_cast<double>(payloads[i]))
+        .add("pm_latency_ms", pm.lat)
+        .add("cm_latency_ms", cm.lat);
   }
 
   // 3b. The §V effect isolated: a bandwidth-dominated network where block
   // dissemination (β) far exceeds vote dissemination (ρ). CM commits at
   // β+2ρ, PM at 2β+ρ.
   std::printf("\n--- beta >> rho regime (n=4, 1MB blocks through a 5 MB/s NIC) ---\n");
-  for (const auto p : {ProtocolKind::kPipelinedMoonshot, ProtocolKind::kCommitMoonshot}) {
-    ExperimentConfig cfg;
-    cfg.protocol = p;
-    cfg.n = 4;
-    cfg.payload_size = 1000000;
-    cfg.delta = seconds(5);
-    cfg.duration = seconds(60);
-    cfg.seed = 1;
-    cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(10), 1);
-    cfg.net.regions_used = 1;
-    cfg.net.jitter = 0;
-    cfg.net.bandwidth_bps = 40e6;
-    cfg.net.tcp_window_bytes = 0;
-    cfg.net.proc_base = cfg.net.proc_sig = cfg.net.proc_cert = cfg.net.proc_per_kb =
-        Duration(0);
-    run_row(report, "beta_dominant",
-            p == ProtocolKind::kCommitMoonshot ? "CM (beta+2rho)" : "PM (2beta+rho)", cfg);
-  }
+  print_row(report, "beta_dominant", "PM (2beta+rho)", results[u_beta[0]]);
+  print_row(report, "beta_dominant", "CM (beta+2rho)", results[u_beta[1]]);
 
   // 4. Partition resilience across protocols: an f-sized partition for the
   // middle third of the run (chaos engine schedule). Throughput degrades
@@ -144,33 +259,16 @@ int main(int argc, char** argv) {
   // of one partition episode per protocol.
   std::printf("\n--- f-sized partition, middle third of a 30s run (n=4, LAN) ---\n");
   std::printf("%-22s %12s %12s %8s\n", "protocol", "clean blk/s", "part blk/s", "safety");
-  for (const auto p : {ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
-                       ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon}) {
-    ExperimentConfig cfg;
-    cfg.protocol = p;
-    cfg.n = 4;
-    cfg.delta = milliseconds(100);
-    cfg.duration = seconds(30);
-    cfg.seed = 1;
-    cfg.net.matrix = net::LatencyMatrix::uniform(milliseconds(5), 1);
-    cfg.net.regions_used = 1;
-    const auto clean = run_experiment(cfg);
-
-    Experiment e(cfg);
-    const auto sched = chaos::FaultSchedule::parse("part(10000-20000;3)");
-    chaos::ChaosEngine engine(e, *sched, cfg.seed);
-    engine.arm();
-    e.start();
-    e.scheduler().run_until(TimePoint{cfg.duration.count()});
-    const auto part = e.result();
-    std::printf("%-22s %12.2f %12.2f %8s\n", protocol_name(p), clean.summary.blocks_per_sec,
-                part.summary.blocks_per_sec, part.logs_consistent ? "safe" : "UNSAFE");
+  for (std::size_t i = 0; i < part_protocols.size(); ++i) {
+    const Res& r = results[u_part[i]];
+    std::printf("%-22s %12.2f %12.2f %8s\n", protocol_name(part_protocols[i]),
+                r.clean_bps, r.bps, r.consistent ? "safe" : "UNSAFE");
     report.row()
         .add("section", "partition")
-        .add("variant", protocol_name(p))
-        .add("clean_blocks_per_sec", clean.summary.blocks_per_sec)
-        .add("partitioned_blocks_per_sec", part.summary.blocks_per_sec)
-        .add("consistent", part.logs_consistent);
+        .add("variant", protocol_name(part_protocols[i]))
+        .add("clean_blocks_per_sec", r.clean_bps)
+        .add("partitioned_blocks_per_sec", r.bps)
+        .add("consistent", r.consistent);
   }
 
   std::printf("\nExpected: near-parity on the WAN (pipelined child proposals overlap the\n");

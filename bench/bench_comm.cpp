@@ -40,17 +40,40 @@ int main(int argc, char** argv) {
   const auto opt = Options::parse(argc, argv);
   JsonReport report("comm", opt);
   const std::vector<std::size_t> sizes = {10, 20, 40, 80};
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
+      ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon, ProtocolKind::kHotStuff};
+
+  // Section 1 measurements (protocol-major, n-minor — the sequential order),
+  // then section 2's array/threshold pairs, all as independent worlds.
+  const std::size_t kThresholdSizes[] = {10, 40, 80};
+  const std::size_t n_grid = protocols.size() * sizes.size();
+  std::vector<Usage> grid(n_grid);
+  std::vector<Usage> arrays_u(3), agg_u(3);
+  run_world_tasks(opt, n_grid + 6, &report.registry(),
+                  [&](std::size_t i, obs::Registry* reg) {
+    if (i < n_grid) {
+      const ProtocolKind p = protocols[i / sizes.size()];
+      const std::size_t n = sizes[i % sizes.size()];
+      grid[i] = measure(p, n, false, reg);
+      return;
+    }
+    // Section 2 ran without the registry in the sequential original.
+    const std::size_t k = (i - n_grid) / 2;
+    const bool aggregate = (i - n_grid) % 2 != 0;
+    Usage& slot = aggregate ? agg_u[k] : arrays_u[k];
+    slot = measure(ProtocolKind::kPipelinedMoonshot, kThresholdSizes[k], aggregate);
+  });
 
   std::printf("=== Communication complexity per view (Table I, empirical) ===\n\n");
   std::printf("%-20s", "protocol");
   for (std::size_t n : sizes) std::printf("  %8s n=%-3zu", "", n);
   std::printf("  growth/doubling\n");
 
-  for (const auto p :
-       {ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
-        ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon, ProtocolKind::kHotStuff}) {
-    std::vector<Usage> usage;
-    for (std::size_t n : sizes) usage.push_back(measure(p, n, false, &report.registry()));
+  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+    const ProtocolKind p = protocols[pi];
+    std::vector<Usage> usage(grid.begin() + pi * sizes.size(),
+                             grid.begin() + (pi + 1) * sizes.size());
     std::printf("%-20s", protocol_name(p));
     for (std::size_t i = 0; i < usage.size(); ++i) {
       std::printf("  %9.0f msg", usage[i].msgs_per_view);
@@ -70,9 +93,10 @@ int main(int argc, char** argv) {
   std::printf("=== Certificate bytes: signature arrays vs threshold aggregates ===\n\n");
   std::printf("%-8s %22s %22s %8s\n", "n", "bytes/view (arrays)", "bytes/view (threshold)",
               "ratio");
-  for (std::size_t n : {10u, 40u, 80u}) {
-    const auto arrays = measure(ProtocolKind::kPipelinedMoonshot, n, false);
-    const auto agg = measure(ProtocolKind::kPipelinedMoonshot, n, true);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const std::size_t n = kThresholdSizes[k];
+    const Usage& arrays = arrays_u[k];
+    const Usage& agg = agg_u[k];
     std::printf("%-8zu %22.0f %22.0f %7.2fx\n", n, arrays.bytes_per_view,
                 agg.bytes_per_view, arrays.bytes_per_view / agg.bytes_per_view);
     report.row()

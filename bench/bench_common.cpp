@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "exec/line_sink.hpp"
+#include "exec/world_runner.hpp"
+
 namespace moonshot::bench {
 
 Options Options::parse(int argc, char** argv) {
@@ -10,6 +13,10 @@ Options Options::parse(int argc, char** argv) {
     if (std::strcmp(argv[i], "--full") == 0) opt.mode = Mode::kFull;
     if (std::strcmp(argv[i], "--quick") == 0) opt.mode = Mode::kQuick;
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) opt.json_path = argv[++i];
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opt.jobs = exec::parse_jobs(argv[++i]);
+      if (opt.jobs == 0) opt.jobs = 1;  // malformed value: stay sequential
+    }
   }
   return opt;
 }
@@ -178,40 +185,70 @@ ExperimentConfig ideal_config(ProtocolKind p, std::size_t n, Duration delta_one_
   return cfg;
 }
 
+void run_world_tasks(const Options& opt, std::size_t count, obs::Registry* registry,
+                     const std::function<void(std::size_t, obs::Registry*)>& fn) {
+  if (count == 0) return;
+  if (opt.jobs <= 1 || count == 1) {
+    // The sequential reference: every task writes straight into the shared
+    // registry, in order. The parallel path below must reproduce this.
+    for (std::size_t i = 0; i < count; ++i) fn(i, registry);
+    return;
+  }
+  std::vector<obs::Registry> parts(registry ? count : 0);
+  exec::LineSink& sink = exec::LineSink::instance();
+  const bool was_tagged = sink.set_tagged(true);
+  exec::run_worlds(opt.jobs, count, [&](std::size_t i) {
+    fn(i, registry ? &parts[i] : nullptr);
+  });
+  sink.set_tagged(was_tagged);
+  if (registry) {
+    for (const obs::Registry& part : parts) registry->merge_from(part);
+  }
+}
+
 std::vector<GridCell> run_happy_grid(const std::vector<ProtocolKind>& protocols,
                                      const std::vector<std::size_t>& sizes,
                                      const std::vector<std::uint64_t>& payloads,
                                      const Options& opt,
                                      obs::Registry* registry) {
-  std::vector<GridCell> grid;
-  for (const std::size_t n : sizes) {
-    for (const std::uint64_t payload : payloads) {
-      for (const ProtocolKind p : protocols) {
-        GridCell cell;
-        cell.protocol = p;
-        cell.n = n;
-        cell.payload = payload;
-        for (int s = 0; s < opt.seeds(); ++s) {
-          ExperimentConfig cfg = wan_config(p, n, payload, 1 + s, opt);
-          cfg.registry = registry;
-          const auto result = run_experiment(cfg);
-          cell.blocks_per_sec += result.summary.blocks_per_sec;
-          cell.latency_ms += result.summary.avg_latency_ms;
-          cell.transfer_bps += result.summary.transfer_rate_bps;
-          cell.consistent = cell.consistent && result.logs_consistent;
-        }
-        const double k = opt.seeds();
-        cell.blocks_per_sec /= k;
-        cell.latency_ms /= k;
-        cell.transfer_bps /= k;
-        std::fprintf(stderr, "  [grid] %-2s n=%-3zu p=%-8s  %6.2f blk/s  %8.1f ms%s\n",
-                     protocol_tag(p), n, payload_label(payload).c_str(),
-                     cell.blocks_per_sec, cell.latency_ms,
-                     cell.consistent ? "" : "  *** INCONSISTENT ***");
-        grid.push_back(cell);
-      }
+  struct Combo {
+    std::size_t n;
+    std::uint64_t payload;
+    ProtocolKind p;
+  };
+  std::vector<Combo> combos;
+  for (const std::size_t n : sizes)
+    for (const std::uint64_t payload : payloads)
+      for (const ProtocolKind p : protocols) combos.push_back(Combo{n, payload, p});
+
+  std::vector<GridCell> grid(combos.size());
+  run_world_tasks(opt, combos.size(), registry,
+                  [&](std::size_t i, obs::Registry* reg) {
+    const Combo& c = combos[i];
+    GridCell cell;
+    cell.protocol = c.p;
+    cell.n = c.n;
+    cell.payload = c.payload;
+    for (int s = 0; s < opt.seeds(); ++s) {
+      ExperimentConfig cfg = wan_config(c.p, c.n, c.payload, 1 + s, opt);
+      cfg.registry = reg;
+      const auto result = run_experiment(cfg);
+      cell.blocks_per_sec += result.summary.blocks_per_sec;
+      cell.latency_ms += result.summary.avg_latency_ms;
+      cell.transfer_bps += result.summary.transfer_rate_bps;
+      cell.consistent = cell.consistent && result.logs_consistent;
     }
-  }
+    const double k = opt.seeds();
+    cell.blocks_per_sec /= k;
+    cell.latency_ms /= k;
+    cell.transfer_bps /= k;
+    exec::LineSink::instance().line(
+        i, "  [grid] %-2s n=%-3zu p=%-8s  %6.2f blk/s  %8.1f ms%s\n",
+        protocol_tag(c.p), c.n, payload_label(c.payload).c_str(),
+        cell.blocks_per_sec, cell.latency_ms,
+        cell.consistent ? "" : "  *** INCONSISTENT ***");
+    grid[i] = cell;
+  });
   return grid;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@ struct Options {
   enum class Mode { kQuick, kDefault, kFull };
   Mode mode = Mode::kDefault;
   std::string json_path;  // --json <path>: machine-readable results (empty = off)
+  unsigned jobs = 1;      // --jobs N: concurrent worlds ("auto"/0 = all cores)
   static Options parse(int argc, char** argv);
   int seeds() const { return mode == Mode::kFull ? 3 : 1; }
   double duration_scale() const {
@@ -118,9 +120,22 @@ struct GridCell {
   bool consistent = true;
 };
 
+/// Runs `count` independent world tasks with opt.jobs concurrent lanes.
+/// When `registry` is non-null each task receives a private registry and the
+/// parts are merged into `registry` in task order afterwards, so the merged
+/// contents (and everything JsonReport::write derives from them) are
+/// byte-identical to a --jobs 1 run that handed every task the shared
+/// registry directly. `fn` must confine its other side effects to
+/// index-addressed state; progress lines should go through exec::LineSink
+/// (tagged with the world id while the sweep is parallel).
+void run_world_tasks(const Options& opt, std::size_t count, obs::Registry* registry,
+                     const std::function<void(std::size_t, obs::Registry*)>& fn);
+
 /// Runs the (protocol x n x payload) grid and returns one averaged cell per
-/// combination. Progress goes to stderr. When `registry` is non-null every
-/// run publishes its metrics there (see JsonReport::registry()).
+/// combination, parallelising across cells with opt.jobs lanes. Progress
+/// goes to stderr. When `registry` is non-null every run publishes its
+/// metrics there (see JsonReport::registry()); results and metrics are
+/// byte-identical across --jobs values.
 std::vector<GridCell> run_happy_grid(const std::vector<ProtocolKind>& protocols,
                                      const std::vector<std::size_t>& sizes,
                                      const std::vector<std::uint64_t>& payloads,

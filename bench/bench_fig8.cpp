@@ -3,6 +3,7 @@
 // finding: every Moonshot reaches a higher maximum transfer rate at lower
 // latency than Jolteon, with Commit Moonshot best overall.
 #include "bench_common.hpp"
+#include "exec/line_sink.hpp"
 
 int main(int argc, char** argv) {
   using namespace moonshot;
@@ -14,34 +15,37 @@ int main(int argc, char** argv) {
 
   const std::vector<std::uint64_t> payloads = {180000,  1800000, 3600000,
                                                5400000, 7200000, 9000000};
+  const auto protocols = all_protocols();
   // Multi-megabyte blocks take longer to disseminate than 3Δ at Δ = 500 ms;
   // like the implementation the paper built on, rely on pacemaker backoff to
   // stretch the view timers until views fit the actual network.
-  std::vector<GridCell> grid;
-  for (const std::uint64_t payload : payloads) {
-    for (const ProtocolKind p : all_protocols()) {
-      GridCell cell;
-      cell.protocol = p;
-      cell.n = 200;
-      cell.payload = payload;
-      for (int s = 0; s < opt.seeds(); ++s) {
-        auto cfg = wan_config(p, 200, payload, 1 + s, opt);
-        cfg.timeout_backoff = true;
-        cfg.registry = &report.registry();
-        const auto r = run_experiment(cfg);
-        cell.blocks_per_sec += r.summary.blocks_per_sec;
-        cell.latency_ms += r.summary.avg_latency_ms;
-        cell.transfer_bps += r.summary.transfer_rate_bps;
-        cell.consistent = cell.consistent && r.logs_consistent;
-      }
-      cell.blocks_per_sec /= opt.seeds();
-      cell.latency_ms /= opt.seeds();
-      cell.transfer_bps /= opt.seeds();
-      std::fprintf(stderr, "  [fig8] %-2s p=%-8s  %6.2f blk/s  %8.1f ms\n", protocol_tag(p),
-                   payload_label(payload).c_str(), cell.blocks_per_sec, cell.latency_ms);
-      grid.push_back(cell);
+  std::vector<GridCell> grid(payloads.size() * protocols.size());
+  run_world_tasks(opt, grid.size(), &report.registry(),
+                  [&](std::size_t i, obs::Registry* reg) {
+    const std::uint64_t payload = payloads[i / protocols.size()];
+    const ProtocolKind p = protocols[i % protocols.size()];
+    GridCell cell;
+    cell.protocol = p;
+    cell.n = 200;
+    cell.payload = payload;
+    for (int s = 0; s < opt.seeds(); ++s) {
+      auto cfg = wan_config(p, 200, payload, 1 + s, opt);
+      cfg.timeout_backoff = true;
+      cfg.registry = reg;
+      const auto r = run_experiment(cfg);
+      cell.blocks_per_sec += r.summary.blocks_per_sec;
+      cell.latency_ms += r.summary.avg_latency_ms;
+      cell.transfer_bps += r.summary.transfer_rate_bps;
+      cell.consistent = cell.consistent && r.logs_consistent;
     }
-  }
+    cell.blocks_per_sec /= opt.seeds();
+    cell.latency_ms /= opt.seeds();
+    cell.transfer_bps /= opt.seeds();
+    exec::LineSink::instance().line(i, "  [fig8] %-2s p=%-8s  %6.2f blk/s  %8.1f ms\n",
+                                    protocol_tag(p), payload_label(payload).c_str(),
+                                    cell.blocks_per_sec, cell.latency_ms);
+    grid[i] = cell;
+  });
 
   for (const auto p : all_protocols()) {
     std::printf("--- %s ---\n", protocol_name(p));

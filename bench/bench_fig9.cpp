@@ -15,6 +15,7 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "exec/line_sink.hpp"
 
 int main(int argc, char** argv) {
   using namespace moonshot;
@@ -38,37 +39,43 @@ int main(int argc, char** argv) {
   // 60–130 s of simulated time depending on the protocol. The paper's
   // 5-minute runs cover several cycles; we default to the same 300 s.
   const double dur_s = opt.mode == Options::Mode::kQuick ? 120.0 : 300.0;
-  int si = 0;
-  for (const auto s : schedules) {
-    int pi = 0;
-    for (const auto p : all_protocols()) {
-      Cell cell;
-      for (int seed = 0; seed < opt.seeds(); ++seed) {
-        ExperimentConfig cfg = wan_config(p, 100, 0, 1 + seed, opt);
-        cfg.crashed = 33;
-        cfg.schedule = s;
-        cfg.duration = Duration(static_cast<std::int64_t>(dur_s * 1e9));
-        cfg.registry = &report.registry();
-        const auto r = run_experiment(cfg);
-        cell.blocks_per_sec += r.summary.blocks_per_sec;
-        cell.latency_ms += r.summary.avg_latency_ms;
-        cell.consistent = cell.consistent && r.logs_consistent;
-      }
-      cell.blocks_per_sec /= opt.seeds();
-      cell.latency_ms /= opt.seeds();
-      std::fprintf(stderr, "  [fig9] %-2s schedule=%-2s  %6.2f blk/s  %9.1f ms%s\n",
-                   protocol_tag(p), schedule_name(s), cell.blocks_per_sec, cell.latency_ms,
-                   cell.consistent ? "" : "  *** INCONSISTENT ***");
-      report.row()
-          .add("schedule", schedule_name(s))
-          .add("protocol", protocol_tag(p))
-          .add("blocks_per_sec", cell.blocks_per_sec)
-          .add("latency_ms", cell.latency_ms)
-          .add("consistent", cell.consistent);
-      cells[{si, pi}] = cell;
-      ++pi;
+  const auto protocols = all_protocols();
+  std::vector<Cell> flat(schedules.size() * protocols.size());
+  run_world_tasks(opt, flat.size(), &report.registry(),
+                  [&](std::size_t i, obs::Registry* reg) {
+    const ScheduleKind s = schedules[i / protocols.size()];
+    const ProtocolKind p = protocols[i % protocols.size()];
+    Cell cell;
+    for (int seed = 0; seed < opt.seeds(); ++seed) {
+      ExperimentConfig cfg = wan_config(p, 100, 0, 1 + seed, opt);
+      cfg.crashed = 33;
+      cfg.schedule = s;
+      cfg.duration = Duration(static_cast<std::int64_t>(dur_s * 1e9));
+      cfg.registry = reg;
+      const auto r = run_experiment(cfg);
+      cell.blocks_per_sec += r.summary.blocks_per_sec;
+      cell.latency_ms += r.summary.avg_latency_ms;
+      cell.consistent = cell.consistent && r.logs_consistent;
     }
-    ++si;
+    cell.blocks_per_sec /= opt.seeds();
+    cell.latency_ms /= opt.seeds();
+    moonshot::exec::LineSink::instance().line(
+        i, "  [fig9] %-2s schedule=%-2s  %6.2f blk/s  %9.1f ms%s\n",
+        protocol_tag(p), schedule_name(s), cell.blocks_per_sec, cell.latency_ms,
+        cell.consistent ? "" : "  *** INCONSISTENT ***");
+    flat[i] = cell;
+  });
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const int si = static_cast<int>(i / protocols.size());
+    const int pi = static_cast<int>(i % protocols.size());
+    const Cell& cell = flat[i];
+    report.row()
+        .add("schedule", schedule_name(schedules[si]))
+        .add("protocol", protocol_tag(protocols[pi]))
+        .add("blocks_per_sec", cell.blocks_per_sec)
+        .add("latency_ms", cell.latency_ms)
+        .add("consistent", cell.consistent);
+    cells[{si, pi}] = cell;
   }
 
   for (int metric = 0; metric < 2; ++metric) {

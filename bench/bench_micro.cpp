@@ -115,6 +115,46 @@ void BM_Ed25519_BatchVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_Ed25519_BatchVerify)->Arg(16)->Arg(67);
 
+// Shared key/signature pool for the parallel cache benchmark. Function-local
+// static so the (expensive) signing setup runs once, not once per bench
+// thread.
+struct KeyPool {
+  Bytes msg;
+  std::vector<crypto::Ed25519PublicKey> pubs;
+  std::vector<crypto::Ed25519Signature> sigs;
+};
+
+const KeyPool& key_pool() {
+  static const KeyPool pool = [] {
+    KeyPool p;
+    p.msg = Bytes(32, 0x42);
+    const std::size_t n = 32;
+    for (std::size_t i = 0; i < n; ++i) {
+      crypto::Ed25519Seed seed;
+      seed.data[0] = static_cast<std::uint8_t>(i + 1);
+      p.pubs.push_back(crypto::ed25519_public_key(seed));
+      p.sigs.push_back(crypto::ed25519_sign(seed, p.msg));
+    }
+    return p;
+  }();
+  return pool;
+}
+
+void BM_KeyCtxParallel(benchmark::State& state) {
+  // Concurrent verification across 32 distinct keys: the sharded per-key
+  // wNAF-table cache (crypto/ed25519.cpp) under contention. Items/s should
+  // hold (or scale) as threads rise; a single global cache lock would
+  // serialize the lookups and flatline it.
+  const KeyPool& pool = key_pool();
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 7;
+  for (auto _ : state) {
+    const std::size_t k = i++ % pool.pubs.size();
+    benchmark::DoNotOptimize(crypto::ed25519_verify(pool.pubs[k], pool.msg, pool.sigs[k]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KeyCtxParallel)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
 void BM_FastScheme_Verify(benchmark::State& state) {
   const auto kp = crypto::fast_scheme()->derive_keypair(1);
   const Bytes msg(32, 0x42);

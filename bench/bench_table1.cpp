@@ -86,11 +86,14 @@ int main(int argc, char** argv) {
       {ProtocolKind::kJolteon, "4*Delta", "yes", "5d", "2d"},
       {ProtocolKind::kHotStuff, "4*Delta", "yes", "7d", "2d"},
   };
-  for (const auto& s : specs) {
-    rows.push_back(Row{protocol_name(s.p), measure_lambda(s.p, &report.registry()),
-                       measure_omega(s.p), s.tau, measure_reorg_resilience(s.p), s.pipelined,
-                       s.lambda_paper, s.omega_paper});
-  }
+  rows.resize(specs.size());
+  run_world_tasks(opt, specs.size(), &report.registry(),
+                  [&](std::size_t i, obs::Registry* reg) {
+    const Spec& s = specs[i];
+    rows[i] = Row{protocol_name(s.p), measure_lambda(s.p, reg),
+                  measure_omega(s.p), s.tau, measure_reorg_resilience(s.p),
+                  s.pipelined, s.lambda_paper, s.omega_paper};
+  });
 
   std::printf("%-20s %14s %14s %10s %8s %10s\n", "protocol", "lambda (paper)",
               "omega (paper)", "tau", "reorg", "pipelined");

@@ -31,6 +31,8 @@
 #include "chaos/generate.hpp"
 #include "chaos/runner.hpp"
 #include "chaos/shrink.hpp"
+#include "exec/line_sink.hpp"
+#include "exec/world_runner.hpp"
 
 namespace {
 
@@ -64,6 +66,10 @@ struct Options {
   bool latency_oracle = false;
   /// Strategy x protocol smoke matrix.
   bool adversary_smoke = false;
+  /// Concurrent worlds for sweeps and shrinking ("auto"/0 = all cores).
+  /// Verdict lines, shrink trajectories, and exit codes are byte-identical
+  /// across --jobs values.
+  unsigned jobs = 1;
 };
 
 [[noreturn]] void usage_error(const char* what) {
@@ -75,7 +81,7 @@ struct Options {
                "                  [--inject-bug] [--recovery in-memory|amnesia|durable]\n"
                "                  [--crash-heavy] [--fsync-us N] [--flight PATH]\n"
                "                  [--adversary N] [--adversary-strategies s1,s2,...]\n"
-               "                  [--latency-oracle] [--adversary-smoke]\n");
+               "                  [--latency-oracle] [--adversary-smoke] [--jobs N|auto]\n");
   std::exit(2);
 }
 
@@ -147,6 +153,9 @@ Options parse_args(int argc, char** argv) {
       opt.latency_oracle = true;
     } else if (arg == "--adversary-smoke") {
       opt.adversary_smoke = true;
+    } else if (arg == "--jobs") {
+      opt.jobs = exec::parse_jobs(value().c_str());
+      if (opt.jobs == 0) usage_error("bad --jobs value");
     } else {
       usage_error(("unknown argument: " + arg).c_str());
     }
@@ -188,7 +197,8 @@ GenerateOptions make_gen_options(const Options& opt) {
   return gen;
 }
 
-void print_reproducer(const Options& opt, std::uint64_t seed, const FaultSchedule& schedule) {
+std::string reproducer_line(const Options& opt, std::uint64_t seed,
+                            const FaultSchedule& schedule) {
   std::string extras;
   if (opt.inject_bug) extras += " --inject-bug";
   if (opt.recovery != RecoveryMode::kInMemory) {
@@ -197,11 +207,18 @@ void print_reproducer(const Options& opt, std::uint64_t seed, const FaultSchedul
   }
   if (opt.fsync_us > 0) extras += " --fsync-us " + std::to_string(opt.fsync_us);
   if (opt.latency_oracle) extras += " --latency-oracle";
-  std::printf("  chaos_fuzz --protocol %s --seed %llu --n %zu --duration-ms %lld"
-              " --delta-ms %lld%s --schedule \"%s\"\n",
-              protocol_cli_tag(opt.protocol), static_cast<unsigned long long>(seed), opt.n,
-              static_cast<long long>(opt.duration_ms), static_cast<long long>(opt.delta_ms),
-              extras.c_str(), schedule.to_string().c_str());
+  std::string out;
+  exec::appendf(out, "  chaos_fuzz --protocol %s --seed %llu --n %zu --duration-ms %lld"
+                " --delta-ms %lld%s --schedule \"%s\"\n",
+                protocol_cli_tag(opt.protocol), static_cast<unsigned long long>(seed), opt.n,
+                static_cast<long long>(opt.duration_ms), static_cast<long long>(opt.delta_ms),
+                extras.c_str(), schedule.to_string().c_str());
+  return out;
+}
+
+void print_reproducer(const Options& opt, std::uint64_t seed, const FaultSchedule& schedule) {
+  const std::string line = reproducer_line(opt, seed, schedule);
+  std::fputs(line.c_str(), stdout);
 }
 
 int replay(const Options& opt) {
@@ -218,37 +235,66 @@ int replay(const Options& opt) {
   return report.ok() ? 0 : 1;
 }
 
-/// One fuzz iteration; returns true when it passed.
-bool fuzz_one(const Options& opt, std::uint64_t seed) {
-  const FaultSchedule schedule = generate_schedule(make_gen_options(opt), seed);
-  const ChaosReport report = run_chaos(make_run_config(opt, seed, schedule));
-  if (report.ok()) {
-    std::printf("  seed %llu: ok (%llu blocks, %zu fault events)\n",
-                static_cast<unsigned long long>(seed),
-                static_cast<unsigned long long>(report.committed_blocks),
-                schedule.events.size());
-    return true;
-  }
-  std::printf("  seed %llu: FAIL %s\n", static_cast<unsigned long long>(seed),
-              report.failure().c_str());
-  std::printf("  shrinking %zu-event schedule...\n", schedule.events.size());
-  const ShrinkOracle oracle = [&](const FaultSchedule& candidate) {
-    return !run_chaos(make_run_config(opt, seed, candidate)).ok();
-  };
-  const ShrinkResult shrunk = shrink_schedule(schedule, oracle);
-  std::printf("  minimal reproducer (%zu events, %zu oracle calls):\n",
-              shrunk.schedule.events.size(), shrunk.oracle_calls);
-  print_reproducer(opt, seed, shrunk.schedule);
-  return false;
-}
-
 int fuzz(const Options& opt) {
   std::printf("fuzzing %s: %zu runs from seed %llu (n=%zu, %lldms runs)\n",
               protocol_cli_tag(opt.protocol), opt.runs, static_cast<unsigned long long>(opt.seed),
               opt.n, static_cast<long long>(opt.duration_ms));
+  // Sweep first (concurrently under --jobs), recording failing schedules;
+  // verdict lines stream in seed order through the reorder buffer. Shrinking
+  // is deferred past the sweep so the sweep itself parallelises cleanly —
+  // the same structure at every --jobs value, so output is byte-identical.
+  std::vector<char> failed(opt.runs, 0);
+  std::vector<FaultSchedule> failing(opt.runs);
+  {
+    exec::OrderedEmitter emit(opt.runs, stdout);
+    exec::run_worlds(opt.jobs, opt.runs, [&](std::size_t i) {
+      const std::uint64_t seed = opt.seed + i;
+      const FaultSchedule schedule = generate_schedule(make_gen_options(opt), seed);
+      // Flight recording is deferred to one deterministic replay after
+      // shrinking — concurrent failing worlds must not race on the file.
+      ChaosRunConfig cfg = make_run_config(opt, seed, schedule);
+      cfg.flight_path.clear();
+      const ChaosReport report = run_chaos(cfg);
+      std::string out;
+      if (report.ok()) {
+        exec::appendf(out, "  seed %llu: ok (%llu blocks, %zu fault events)\n",
+                      static_cast<unsigned long long>(seed),
+                      static_cast<unsigned long long>(report.committed_blocks),
+                      schedule.events.size());
+      } else {
+        exec::appendf(out, "  seed %llu: FAIL %s\n",
+                      static_cast<unsigned long long>(seed), report.failure().c_str());
+        failed[i] = 1;
+        failing[i] = schedule;
+      }
+      emit.append(i, std::move(out));
+      emit.complete(i);
+    });
+  }
   std::size_t failures = 0;
   for (std::size_t i = 0; i < opt.runs; ++i) {
-    if (!fuzz_one(opt, opt.seed + i)) ++failures;
+    if (!failed[i]) continue;
+    ++failures;
+    const std::uint64_t seed = opt.seed + i;
+    std::printf("  shrinking seed %llu's %zu-event schedule...\n",
+                static_cast<unsigned long long>(seed), failing[i].events.size());
+    const ShrinkOracle oracle = [&](const FaultSchedule& candidate) {
+      // Oracle replays run by the hundred (and concurrently under --jobs);
+      // none of them may write the flight recording.
+      ChaosRunConfig cfg = make_run_config(opt, seed, candidate);
+      cfg.flight_path.clear();
+      return !run_chaos(cfg).ok();
+    };
+    const ShrinkResult shrunk = shrink_schedule(failing[i], oracle, 200, opt.jobs);
+    std::printf("  minimal reproducer (%zu events, %zu oracle calls):\n",
+                shrunk.schedule.events.size(), shrunk.oracle_calls);
+    print_reproducer(opt, seed, shrunk.schedule);
+    if (!opt.flight.empty()) {
+      // One sequential replay of the minimal reproducer writes the
+      // postmortem (later failing seeds overwrite, like the sequential
+      // sweep always did).
+      run_chaos(make_run_config(opt, seed, shrunk.schedule));
+    }
   }
   std::printf("%zu/%zu runs ok\n", opt.runs - failures, opt.runs);
   return failures == 0 ? 0 : 1;
@@ -259,23 +305,28 @@ int smoke(Options opt) {
       ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
       ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon};
   opt.duration_ms = 6'000;
-  bool ok = true;
-  for (const ProtocolKind p : protocols) {
-    opt.protocol = p;
-    const FaultSchedule schedule = generate_schedule(make_gen_options(opt), opt.seed);
-    const ChaosReport first = run_chaos(make_run_config(opt, opt.seed, schedule));
-    const ChaosReport second = run_chaos(make_run_config(opt, opt.seed, schedule));
+  std::vector<char> bad(std::size(protocols), 0);
+  exec::OrderedEmitter emit(std::size(protocols), stdout);
+  exec::run_worlds(opt.jobs, std::size(protocols), [&](std::size_t i) {
+    Options o = opt;
+    o.protocol = protocols[i];
+    const FaultSchedule schedule = generate_schedule(make_gen_options(o), o.seed);
+    const ChaosReport first = run_chaos(make_run_config(o, o.seed, schedule));
+    const ChaosReport second = run_chaos(make_run_config(o, o.seed, schedule));
     const bool deterministic = first.digest == second.digest;
-    std::printf("  %s: %s digest=%016llx replay=%s\n", protocol_cli_tag(p),
-                first.ok() ? "ok" : first.failure().c_str(),
-                static_cast<unsigned long long>(first.digest),
-                deterministic ? "identical" : "DIVERGED");
+    std::string out;
+    exec::appendf(out, "  %s: %s digest=%016llx replay=%s\n", protocol_cli_tag(o.protocol),
+                  first.ok() ? "ok" : first.failure().c_str(),
+                  static_cast<unsigned long long>(first.digest),
+                  deterministic ? "identical" : "DIVERGED");
     if (!first.ok() || !deterministic) {
-      ok = false;
-      print_reproducer(opt, opt.seed, schedule);
+      bad[i] = 1;
+      out += reproducer_line(o, o.seed, schedule);
     }
-  }
-  return ok ? 0 : 1;
+    emit.append(i, std::move(out));
+    emit.complete(i);
+  });
+  return std::count(bad.begin(), bad.end(), 1) == 0 ? 0 : 1;
 }
 
 /// Every strategy x every protocol, twice over: a singleton placement at n=4
@@ -287,39 +338,47 @@ int adversary_smoke(Options opt) {
   const ProtocolKind protocols[] = {
       ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
       ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon, ProtocolKind::kHotStuff};
+  const std::size_t sizes[] = {4, 7};
   opt.duration_ms = 6'000;
-  bool ok = true;
-  for (const std::string& strat : adversary::strategy_names()) {
-    for (const ProtocolKind p : protocols) {
-      for (const std::size_t n : {std::size_t{4}, std::size_t{7}}) {
-        opt.protocol = p;
-        opt.n = n;
-        opt.latency_oracle = n == 4;
-        const std::size_t f = (n - 1) / 3;
-        FaultSchedule schedule;
-        for (std::size_t k = 0; k < f; ++k) {
-          FaultEvent ev;
-          ev.type = FaultType::kAdversary;
-          ev.start = ev.end = TimePoint{0};
-          ev.nodes.push_back(static_cast<NodeId>(n - 1 - k));
-          ev.adv_strategy = strat;
-          schedule.events.push_back(std::move(ev));
-        }
-        const ChaosReport first = run_chaos(make_run_config(opt, opt.seed, schedule));
-        const ChaosReport second = run_chaos(make_run_config(opt, opt.seed, schedule));
-        const bool deterministic = first.digest == second.digest;
-        std::printf("  %-13s %-2s n=%zu: %s digest=%016llx replay=%s\n", strat.c_str(),
-                    protocol_cli_tag(p), n, first.ok() ? "ok" : first.failure().c_str(),
-                    static_cast<unsigned long long>(first.digest),
-                    deterministic ? "identical" : "DIVERGED");
-        if (!first.ok() || !deterministic) {
-          ok = false;
-          print_reproducer(opt, opt.seed, schedule);
-        }
-      }
+  const std::vector<std::string> strategies = adversary::strategy_names();
+  const std::size_t cells =
+      strategies.size() * std::size(protocols) * std::size(sizes);
+  std::vector<char> bad(cells, 0);
+  exec::OrderedEmitter emit(cells, stdout);
+  exec::run_worlds(opt.jobs, cells, [&](std::size_t i) {
+    const std::string& strat = strategies[i / (std::size(protocols) * std::size(sizes))];
+    const ProtocolKind p = protocols[(i / std::size(sizes)) % std::size(protocols)];
+    const std::size_t n = sizes[i % std::size(sizes)];
+    Options o = opt;
+    o.protocol = p;
+    o.n = n;
+    o.latency_oracle = n == 4;
+    const std::size_t f = (n - 1) / 3;
+    FaultSchedule schedule;
+    for (std::size_t k = 0; k < f; ++k) {
+      FaultEvent ev;
+      ev.type = FaultType::kAdversary;
+      ev.start = ev.end = TimePoint{0};
+      ev.nodes.push_back(static_cast<NodeId>(n - 1 - k));
+      ev.adv_strategy = strat;
+      schedule.events.push_back(std::move(ev));
     }
-  }
-  return ok ? 0 : 1;
+    const ChaosReport first = run_chaos(make_run_config(o, o.seed, schedule));
+    const ChaosReport second = run_chaos(make_run_config(o, o.seed, schedule));
+    const bool deterministic = first.digest == second.digest;
+    std::string out;
+    exec::appendf(out, "  %-13s %-2s n=%zu: %s digest=%016llx replay=%s\n", strat.c_str(),
+                  protocol_cli_tag(p), n, first.ok() ? "ok" : first.failure().c_str(),
+                  static_cast<unsigned long long>(first.digest),
+                  deterministic ? "identical" : "DIVERGED");
+    if (!first.ok() || !deterministic) {
+      bad[i] = 1;
+      out += reproducer_line(o, o.seed, schedule);
+    }
+    emit.append(i, std::move(out));
+    emit.complete(i);
+  });
+  return std::count(bad.begin(), bad.end(), 1) == 0 ? 0 : 1;
 }
 
 }  // namespace

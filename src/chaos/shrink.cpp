@@ -1,6 +1,9 @@
 #include "chaos/shrink.hpp"
 
 #include <algorithm>
+#include <vector>
+
+#include "exec/world_runner.hpp"
 
 namespace moonshot::chaos {
 
@@ -10,8 +13,9 @@ constexpr std::int64_t kMsNs = 1'000'000;
 
 class Shrinker {
  public:
-  Shrinker(FaultSchedule failing, const ShrinkOracle& oracle, std::size_t budget)
-      : best_(std::move(failing)), oracle_(oracle), budget_(budget) {}
+  Shrinker(FaultSchedule failing, const ShrinkOracle& oracle, std::size_t budget,
+           unsigned jobs)
+      : best_(std::move(failing)), oracle_(oracle), budget_(budget), jobs_(jobs) {}
 
   ShrinkResult run() {
     bool progress = true;
@@ -25,13 +29,39 @@ class Shrinker {
   }
 
  private:
-  /// Oracle wrapper: adopts `candidate` as the new best when it still fails.
-  bool try_candidate(FaultSchedule candidate) {
+  /// Evaluates one scan round's candidates — concurrently when jobs_ > 1 —
+  /// and adopts the one a sequential first-match scan would have: the
+  /// lowest-index candidate that still fails. Charges the oracle calls that
+  /// scan would have made (k+1 when candidate k is adopted, the full round
+  /// when none is) and caps the round at the remaining budget, so call
+  /// counts and budget exhaustion are identical across jobs values.
+  /// Returns whether a candidate was adopted.
+  bool adopt_first_failing(std::vector<FaultSchedule> candidates) {
     if (calls_ >= budget_) return false;
-    ++calls_;
-    if (!oracle_(candidate)) return false;
-    best_ = std::move(candidate);
-    return true;
+    const std::size_t limit = std::min(candidates.size(), budget_ - calls_);
+    if (jobs_ <= 1 || limit == 1) {
+      for (std::size_t i = 0; i < limit; ++i) {
+        ++calls_;
+        if (oracle_(candidates[i])) {
+          best_ = std::move(candidates[i]);
+          return true;
+        }
+      }
+      return false;
+    }
+    std::vector<char> fails(limit, 0);
+    exec::run_worlds(jobs_, limit, [&](std::size_t i) {
+      fails[i] = oracle_(candidates[i]) ? 1 : 0;
+    });
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (fails[i]) {
+        calls_ += i + 1;
+        best_ = std::move(candidates[i]);
+        return true;
+      }
+    }
+    calls_ += limit;
+    return false;
   }
 
   /// ddmin-style removal: chunks of half the events, then quarters, … down
@@ -43,17 +73,18 @@ class Shrinker {
       bool removed = true;
       while (removed && best_.events.size() > 1) {
         removed = false;
+        std::vector<FaultSchedule> candidates;
         for (std::size_t at = 0; at + chunk <= best_.events.size(); ++at) {
           FaultSchedule candidate = best_;
           candidate.events.erase(candidate.events.begin() + static_cast<std::ptrdiff_t>(at),
                                  candidate.events.begin() + static_cast<std::ptrdiff_t>(at + chunk));
-          if (try_candidate(std::move(candidate))) {
-            removed = true;
-            progressed = true;
-            break;  // indices shifted; rescan
-          }
-          if (calls_ >= budget_) return progressed;
+          candidates.push_back(std::move(candidate));
         }
+        if (adopt_first_failing(std::move(candidates))) {
+          removed = true;  // indices shifted; rescan
+          progressed = true;
+        }
+        if (calls_ >= budget_) return progressed;
       }
       if (chunk == 1) break;
     }
@@ -74,13 +105,12 @@ class Shrinker {
 
         FaultSchedule earlier_end = best_;
         earlier_end.events[i].end = mid;
-        if (try_candidate(std::move(earlier_end))) {
-          progressed = shrunk = true;
-          continue;
-        }
         FaultSchedule later_start = best_;
         later_start.events[i].start = mid;
-        if (try_candidate(std::move(later_start))) progressed = shrunk = true;
+        std::vector<FaultSchedule> candidates;
+        candidates.push_back(std::move(earlier_end));
+        candidates.push_back(std::move(later_start));
+        if (adopt_first_failing(std::move(candidates))) progressed = shrunk = true;
         if (calls_ >= budget_) return progressed;
       }
     }
@@ -98,6 +128,7 @@ class Shrinker {
             ev.type == FaultType::kCrash ? ev.nodes.size()
             : ev.type == FaultType::kLinkCut ? ev.links.size()
                                              : 0;
+        std::vector<FaultSchedule> candidates;
         for (std::size_t j = 0; entries > 1 && j < entries; ++j) {
           FaultSchedule candidate = best_;
           FaultEvent& cev = candidate.events[i];
@@ -105,12 +136,11 @@ class Shrinker {
             cev.nodes.erase(cev.nodes.begin() + static_cast<std::ptrdiff_t>(j));
           else
             cev.links.erase(cev.links.begin() + static_cast<std::ptrdiff_t>(j));
-          if (try_candidate(std::move(candidate))) {
-            progressed = shrunk = true;
-            break;
-          }
-          if (calls_ >= budget_) return progressed;
+          candidates.push_back(std::move(candidate));
         }
+        if (candidates.empty()) break;
+        if (adopt_first_failing(std::move(candidates))) progressed = shrunk = true;
+        if (calls_ >= budget_) return progressed;
       }
     }
     return progressed;
@@ -119,14 +149,15 @@ class Shrinker {
   FaultSchedule best_;
   const ShrinkOracle& oracle_;
   std::size_t budget_;
+  unsigned jobs_;
   std::size_t calls_ = 0;
 };
 
 }  // namespace
 
 ShrinkResult shrink_schedule(FaultSchedule failing, const ShrinkOracle& oracle,
-                             std::size_t max_oracle_calls) {
-  return Shrinker(std::move(failing), oracle, max_oracle_calls).run();
+                             std::size_t max_oracle_calls, unsigned jobs) {
+  return Shrinker(std::move(failing), oracle, max_oracle_calls, jobs).run();
 }
 
 }  // namespace moonshot::chaos

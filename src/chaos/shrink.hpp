@@ -29,7 +29,16 @@ struct ShrinkResult {
 };
 
 /// `failing` must satisfy the oracle (the caller observed the failure).
+///
+/// `jobs` > 1 evaluates each scan round's candidates concurrently (the
+/// oracle must then be callable from multiple threads — replays of pure
+/// simulation worlds are). The shrink trajectory, final schedule, and
+/// oracle-call count are byte-identical across jobs values: each round
+/// adopts the lowest-index candidate that still fails — exactly the one a
+/// sequential scan adopts — and charges only the calls that scan would have
+/// made (speculative evaluations past it are not billed against the budget).
 ShrinkResult shrink_schedule(FaultSchedule failing, const ShrinkOracle& oracle,
-                             std::size_t max_oracle_calls = 200);
+                             std::size_t max_oracle_calls = 200,
+                             unsigned jobs = 1);
 
 }  // namespace moonshot::chaos

@@ -1,6 +1,7 @@
 #include "crypto/ed25519.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -46,27 +47,44 @@ struct KeyCtx {
 };
 
 // ~20 KiB of tables per key; the cap bounds the cache at ~20 MiB while still
-// covering far more validators than any simulated committee.
-constexpr std::size_t kMaxCachedKeys = 1024;
+// covering far more validators than any simulated committee. The cache is
+// sharded 16 ways so concurrent worlds verifying under different keys don't
+// serialise on one mutex; each shard carries its slice of the cap.
+constexpr std::size_t kCacheShards = 16;
+constexpr std::size_t kMaxCachedKeysPerShard = 1024 / kCacheShards;
 
-/// Shared, bounded, mutex-guarded cache. SignatureScheme promises
+struct KeyCtxShard {
+  std::mutex mu;
+  std::unordered_map<Ed25519PublicKey, std::shared_ptr<const KeyCtx>> map;
+};
+
+KeyCtxShard& key_ctx_shard(const Ed25519PublicKey& pub) {
+  static auto& shards = *new std::array<KeyCtxShard, kCacheShards>();
+  // Key bytes are a curve-point encoding — already well mixed, so a few
+  // bytes folded together pick a shard uniformly.
+  const std::size_t h = static_cast<std::size_t>(pub.data[0]) ^
+                        (static_cast<std::size_t>(pub.data[7]) << 1) ^
+                        (static_cast<std::size_t>(pub.data[19]) << 2);
+  return shards[h % kCacheShards];
+}
+
+/// Shared, bounded, sharded cache. SignatureScheme promises
 /// thread-compatibility for const methods, so the lookup must synchronise.
 /// Returns nullptr iff the key is not a valid point encoding.
 std::shared_ptr<const KeyCtx> key_ctx(const Ed25519PublicKey& pub) {
-  static std::mutex mu;
-  static auto& cache = *new std::unordered_map<Ed25519PublicKey, std::shared_ptr<const KeyCtx>>();
+  KeyCtxShard& shard = key_ctx_shard(pub);
   {
-    std::lock_guard<std::mutex> lock(mu);
-    if (auto it = cache.find(pub); it != cache.end()) return it->second;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto it = shard.map.find(pub); it != shard.map.end()) return it->second;
   }
   const auto A = ge_frombytes(pub.data.data());
   if (!A) return nullptr;
   GePoint a_hi = *A;
   for (int i = 0; i < 128; ++i) a_hi = ge_double_partial(a_hi, i == 127);
   auto ctx = std::make_shared<KeyCtx>(KeyCtx{ge_wnaf_table(*A, 8), ge_wnaf_table(a_hi, 8)});
-  std::lock_guard<std::mutex> lock(mu);
-  if (cache.size() >= kMaxCachedKeys) cache.clear();
-  return cache.try_emplace(pub, std::move(ctx)).first->second;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= kMaxCachedKeysPerShard) shard.map.clear();
+  return shard.map.try_emplace(pub, std::move(ctx)).first->second;
 }
 
 /// k = SHA512(R || A || M) mod L — the Schnorr challenge scalar.

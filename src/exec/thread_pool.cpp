@@ -1,0 +1,138 @@
+#include "exec/thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace moonshot::exec {
+
+namespace {
+
+/// Completion state for one parallel_for call. Tasks from several calls can
+/// interleave in the deques (nested pools); each task holds a shared_ptr to
+/// its own batch so completion is tracked per call.
+struct Batch {
+  std::atomic<std::size_t> remaining;
+  std::mutex mu;
+  std::condition_variable done;
+  std::exception_ptr error;       // first (lowest-index) exception
+  std::size_t error_index = SIZE_MAX;
+
+  explicit Batch(std::size_t n) : remaining(n) {}
+
+  void finish_one() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      done.notify_all();
+    }
+  }
+
+  void record_error(std::size_t index) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (index < error_index) {
+      error_index = index;
+      error = std::current_exception();
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::function<void()> ThreadPool::take(std::size_t self) {
+  const std::size_t n = workers_.size();
+  // Own deque from the back...
+  {
+    Worker& w = *workers_[self % n];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.q.empty()) {
+      auto task = std::move(w.q.back());
+      w.q.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  // ...then steal a peer's front (oldest task: the one a sequential run
+  // would reach next, which keeps index-ordered sweeps roughly in order).
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& w = *workers_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.q.empty()) {
+      auto task = std::move(w.q.front());
+      w.q.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  for (;;) {
+    if (auto task = take(index)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_ && queued_.load(std::memory_order_relaxed) == 0) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  auto batch = std::make_shared<Batch>(count);
+  const std::size_t n = workers_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    Worker& w = *workers_[i % n];
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.q.push_back([batch, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        batch->record_error(i);
+      }
+      batch->finish_one();
+    });
+  }
+  queued_.fetch_add(count, std::memory_order_relaxed);
+  wake_.notify_all();
+
+  // The submitting thread participates until its batch drains. A rotating
+  // start index spreads contention when several callers share the pool.
+  std::size_t start = 0;
+  while (batch->remaining.load(std::memory_order_acquire) > 0) {
+    if (auto task = take(start++)) {
+      task();
+      continue;
+    }
+    // Every deque was dry, so the stragglers are already running on worker
+    // threads (tasks never spawn tasks); wait for the batch to drain.
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done.wait(lock, [&] {
+      return batch->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace moonshot::exec

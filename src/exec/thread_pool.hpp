@@ -1,0 +1,62 @@
+// Work-stealing thread pool for running independent simulation worlds.
+//
+// Each worker owns a deque: its own tasks pop from the back (LIFO, cache
+// warm), idle workers steal from the front of a peer's deque (FIFO, oldest
+// first). parallel_for() deals tasks round-robin across the deques and the
+// calling thread joins the stealing until every task has finished, so a
+// pool of N threads gives N+1 lanes of useful work with no idle submitter.
+//
+// The pool knows nothing about determinism; that property comes from the
+// callers (exec::run_worlds and friends) storing every result into an
+// index-addressed slot and merging in task order afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moonshot::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(0) … fn(count-1), blocking until all complete. The calling
+  /// thread steals tasks while it waits. Exceptions are collected and the
+  /// first one (lowest task index) is rethrown after every task finished —
+  /// a throwing task never abandons its siblings mid-flight.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  /// Pops one task — own back first, then steals a peer's front. `self` is
+  /// the preferred deque (the worker's own, or a rotating start for the
+  /// submitting thread). Returns an empty function when every deque is dry.
+  std::function<void()> take(std::size_t self);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> queued_{0};  // tasks sitting in some deque
+  bool stop_ = false;                   // guarded by wake_mu_
+};
+
+}  // namespace moonshot::exec

@@ -1,0 +1,49 @@
+#include "exec/world_runner.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "exec/thread_pool.hpp"
+
+namespace moonshot::exec {
+
+unsigned hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned parse_jobs(const char* value) {
+  if (value == nullptr) return 0;
+  if (std::strcmp(value, "auto") == 0 || std::strcmp(value, "0") == 0)
+    return hardware_jobs();
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || n > 4096) return 0;
+  return static_cast<unsigned>(n);
+}
+
+void run_worlds(unsigned jobs, std::size_t count,
+                const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // jobs lanes = (jobs - 1) workers + the calling thread inside
+  // parallel_for. No point spinning up more lanes than tasks.
+  const unsigned lanes = static_cast<unsigned>(
+      count < jobs ? count : static_cast<std::size_t>(jobs));
+  ThreadPool pool(lanes - 1);
+  pool.parallel_for(count, fn);
+}
+
+unsigned test_jobs() {
+  if (const char* env = std::getenv("MOONSHOT_TEST_JOBS")) {
+    const unsigned n = parse_jobs(env);
+    if (n > 0) return n;
+  }
+  return hardware_jobs();
+}
+
+}  // namespace moonshot::exec

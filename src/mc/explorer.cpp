@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "chaos/shrink.hpp"
+#include "exec/world_runner.hpp"
 #include "obs/flight.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -385,7 +386,12 @@ struct Frame {
   std::vector<Choice> explored;  // fully explored at this frame
 };
 
-McResult explore_exhaustive(const McConfig& cfg) {
+/// One DFS over the ordering tree. `forced_root` restricts the root frame to
+/// a single first choice (the sharded driver runs one such DFS per root
+/// option); nullptr explores the full frontier — the legacy algorithm.
+/// `trace_budget` bounds the leaves this DFS may visit.
+McResult explore_exhaustive_impl(const McConfig& cfg, const Choice* forced_root,
+                                 std::size_t trace_budget) {
   McResult res;
   std::unordered_map<std::uint64_t, std::size_t> visited;  // state digest → min depth
   std::vector<Choice> path;
@@ -395,7 +401,7 @@ McResult explore_exhaustive(const McConfig& cfg) {
   visited[run->state_digest()] = 0;
   {
     Frame root;
-    root.choices = run->enabled();
+    root.choices = forced_root ? std::vector<Choice>{*forced_root} : run->enabled();
     stack.push_back(std::move(root));
   }
   // `run` mirrors the state at stack.back() with `path` applied; false after
@@ -421,7 +427,7 @@ McResult explore_exhaustive(const McConfig& cfg) {
   };
 
   while (!stack.empty()) {
-    if (res.stats.traces >= cfg.max_traces) {
+    if (res.stats.traces >= trace_budget) {
       res.stats.budget_exhausted = true;
       break;
     }
@@ -494,108 +500,203 @@ McResult explore_exhaustive(const McConfig& cfg) {
   return res;
 }
 
+/// cfg.jobs == 0: the legacy single-threaded DFS. cfg.jobs >= 1: the root
+/// frontier is sharded — one independent DFS per first choice, each with a
+/// private visited map and sleep sets and an even split of the trace budget.
+/// The shards are pure functions of the config (the thread count only decides
+/// how many run at once), so output is byte-identical across jobs values.
+/// The lowest-index violating shard wins — deterministic even though a later
+/// shard may finish its violation first — and stats sum over shards
+/// [0, winner], mirroring the prefix a sequential left-to-right scan of the
+/// shards would have accumulated.
+McResult explore_exhaustive(const McConfig& cfg) {
+  if (cfg.jobs == 0) return explore_exhaustive_impl(cfg, nullptr, cfg.max_traces);
+
+  std::vector<Choice> roots;
+  {
+    Run probe(cfg);
+    roots = probe.enabled();
+  }
+  // Match the sequential root gate: with no timer budget, a timer fire is
+  // only explorable when nothing else is (inside a shard the forced-root
+  // frame is trivially quiescent, so the gate must be applied here).
+  std::vector<Choice> shard_roots;
+  const bool quiet = quiescent(roots);
+  for (const Choice& c : roots) {
+    if (c.kind == 't' && !quiet && cfg.max_timer_injections == 0) continue;
+    shard_roots.push_back(c);
+  }
+  if (shard_roots.empty()) return explore_exhaustive_impl(cfg, nullptr, cfg.max_traces);
+
+  const std::size_t n = shard_roots.size();
+  std::vector<std::size_t> budget(n, cfg.max_traces / n);
+  for (std::size_t i = 0; i < cfg.max_traces % n; ++i) ++budget[i];
+
+  std::vector<McResult> shard(n);
+  exec::run_worlds(static_cast<unsigned>(cfg.jobs), n, [&](std::size_t i) {
+    shard[i] = explore_exhaustive_impl(cfg, &shard_roots[i], budget[i]);
+  });
+
+  McResult res;
+  for (std::size_t i = 0; i < n; ++i) {
+    McResult& s = shard[i];
+    res.stats.traces += s.stats.traces;
+    res.stats.choices += s.stats.choices;
+    res.stats.events += s.stats.events;
+    res.stats.states_deduped += s.stats.states_deduped;
+    res.stats.sleep_skips += s.stats.sleep_skips;
+    res.stats.liveness_checks += s.stats.liveness_checks;
+    res.stats.max_depth_seen = std::max(res.stats.max_depth_seen, s.stats.max_depth_seen);
+    res.stats.budget_exhausted |= s.stats.budget_exhausted;
+    if (s.violation) {
+      res.violation = std::move(s.violation);
+      return res;
+    }
+  }
+  return res;
+}
+
 // --- random strategy: deaf-set withholding + timer injection ----------------
 
+/// One sampled trace's contribution to the exploration stats. Everything a
+/// sequential scan would have accumulated while running this trace, so the
+/// parallel driver can replay the accumulation in index order.
+struct TraceOut {
+  Violation violation;
+  std::uint64_t choices = 0;
+  std::uint64_t events = 0;
+  std::uint64_t max_depth = 0;
+  bool liveness_checked = false;
+};
+
+/// Runs random trace `trace` to its leaf (or first violation). A pure
+/// function of (cfg, trace): the PRNG stream is derived from the trace index
+/// alone, so traces can run concurrently in any order.
+TraceOut run_random_trace(const McConfig& cfg, std::size_t trace) {
+  TraceOut out;
+  Prng rng(cfg.seed * 0x9e3779b97f4a7c15ull + trace + 1);
+  // Per-trace strategy sampling: each of the `byzantine` highest ids gets a
+  // strategy drawn from the pool, replacing the fixed equivocator sugar for
+  // this trace. The draws happen before the deaf-set draws, so traces with
+  // an empty pool keep their historical rng stream.
+  McConfig tcfg;
+  const McConfig* world = &cfg;
+  if (!cfg.adversary_pool.empty() && cfg.byzantine > 0) {
+    tcfg = cfg;
+    tcfg.byzantine = 0;
+    for (std::size_t k = 0; k < cfg.byzantine; ++k) {
+      adversary::AdversarySpec sp;
+      sp.node = static_cast<NodeId>(cfg.n - 1 - k);
+      sp.strategy = cfg.adversary_pool[rng.next_below(cfg.adversary_pool.size())];
+      tcfg.adversaries.push_back(std::move(sp));
+    }
+    world = &tcfg;
+  }
+  Run run(*world);
+  std::vector<Choice> path;
+
+  // Twins-style targeted withholding: during a window of choice steps, a
+  // random subset of nodes goes "deaf" — deliveries to them are postponed
+  // whenever anything else is enabled. Combined with early timer fires this
+  // reaches withheld-certificate states (certificates assembled by a
+  // minority) that fair orderings never produce.
+  std::vector<char> deaf(cfg.n, 0);
+  std::size_t w0 = 0, w1 = 0;
+  if (rng.next_below(4) != 0) {  // 3 in 4 traces use a deaf window
+    const std::size_t k = 1 + rng.next_below(cfg.n > 1 ? cfg.n - 1 : 1);
+    for (std::size_t picked = 0; picked < k;) {
+      const NodeId id = static_cast<NodeId>(rng.next_below(cfg.n));
+      if (!deaf[id]) {
+        deaf[id] = 1;
+        ++picked;
+      }
+    }
+    w0 = rng.next_below(cfg.max_depth > 1 ? cfg.max_depth / 2 : 1);
+    w1 = w0 + 1 + rng.next_below(cfg.max_depth);
+  }
+
+  std::size_t timers_used = 0;
+  for (std::size_t step = 0; step < cfg.max_depth; ++step) {
+    const std::vector<Choice> choices = run.enabled();
+    if (choices.empty()) break;
+    std::vector<Choice> deliveries, timers, preferred;
+    const bool in_window = step >= w0 && step < w1;
+    for (const Choice& c : choices) {
+      if (c.kind == 't') {
+        timers.push_back(c);
+        continue;
+      }
+      deliveries.push_back(c);
+      if (!(in_window && deaf[c.to])) preferred.push_back(c);
+    }
+
+    Choice c;
+    if (deliveries.empty()) {
+      if (timers.empty()) break;
+      // Quiescent: a timer is the protocol's own next move, not an injection.
+      c = timers[rng.next_below(timers.size())];
+    } else if (!timers.empty() && timers_used < cfg.max_timer_injections &&
+               rng.next_below(8) == 0) {
+      c = timers[rng.next_below(timers.size())];
+      ++timers_used;
+    } else if (!preferred.empty()) {
+      c = preferred[rng.next_below(preferred.size())];
+    } else if (!timers.empty() && timers_used < cfg.max_timer_injections) {
+      // Everything enabled targets a deaf node: fire a timer instead, which
+      // is exactly the withholding-then-timeout shape.
+      c = timers[rng.next_below(timers.size())];
+      ++timers_used;
+    } else {
+      c = deliveries[rng.next_below(deliveries.size())];
+    }
+
+    if (!run.apply(c)) break;
+    ++out.choices;
+    path.push_back(c);
+    out.max_depth = std::max<std::uint64_t>(out.max_depth, path.size());
+    if (Violation v = run.check_safety()) {
+      v.schedule = with_adversaries(to_schedule(path), world_adversaries(*world));
+      out.violation = std::move(v);
+      out.events = run.events_run();
+      return out;
+    }
+  }
+  // Events are captured before the liveness tail, like the sequential scan
+  // always did — the tail's events never count toward the stats.
+  out.events = run.events_run();
+  if (cfg.check_liveness && cfg.liveness_sample_every > 0 &&
+      trace % cfg.liveness_sample_every == 0) {
+    out.liveness_checked = true;
+    if (Violation v = run.run_tail_and_check()) {
+      v.schedule = with_adversaries(to_schedule(path), world_adversaries(*world));
+      out.violation = std::move(v);
+    }
+  }
+  return out;
+}
+
+/// cfg.jobs <= 1 samples traces one at a time — the legacy scan. cfg.jobs
+/// > 1 samples blocks of jobs*4 traces concurrently, then merges in trace
+/// order: the lowest-index violating trace wins and the stats stop at it,
+/// so the result is byte-identical to the sequential scan (which would have
+/// stopped there without ever running the later traces).
 McResult explore_random(const McConfig& cfg) {
   McResult res;
-  for (std::size_t trace = 0; trace < cfg.max_traces; ++trace) {
-    Prng rng(cfg.seed * 0x9e3779b97f4a7c15ull + trace + 1);
-    // Per-trace strategy sampling: each of the `byzantine` highest ids gets a
-    // strategy drawn from the pool, replacing the fixed equivocator sugar for
-    // this trace. The draws happen before the deaf-set draws, so traces with
-    // an empty pool keep their historical rng stream.
-    McConfig tcfg;
-    const McConfig* world = &cfg;
-    if (!cfg.adversary_pool.empty() && cfg.byzantine > 0) {
-      tcfg = cfg;
-      tcfg.byzantine = 0;
-      for (std::size_t k = 0; k < cfg.byzantine; ++k) {
-        adversary::AdversarySpec sp;
-        sp.node = static_cast<NodeId>(cfg.n - 1 - k);
-        sp.strategy = cfg.adversary_pool[rng.next_below(cfg.adversary_pool.size())];
-        tcfg.adversaries.push_back(std::move(sp));
-      }
-      world = &tcfg;
-    }
-    Run run(*world);
-    std::vector<Choice> path;
-
-    // Twins-style targeted withholding: during a window of choice steps, a
-    // random subset of nodes goes "deaf" — deliveries to them are postponed
-    // whenever anything else is enabled. Combined with early timer fires this
-    // reaches withheld-certificate states (certificates assembled by a
-    // minority) that fair orderings never produce.
-    std::vector<char> deaf(cfg.n, 0);
-    std::size_t w0 = 0, w1 = 0;
-    if (rng.next_below(4) != 0) {  // 3 in 4 traces use a deaf window
-      const std::size_t k = 1 + rng.next_below(cfg.n > 1 ? cfg.n - 1 : 1);
-      for (std::size_t picked = 0; picked < k;) {
-        const NodeId id = static_cast<NodeId>(rng.next_below(cfg.n));
-        if (!deaf[id]) {
-          deaf[id] = 1;
-          ++picked;
-        }
-      }
-      w0 = rng.next_below(cfg.max_depth > 1 ? cfg.max_depth / 2 : 1);
-      w1 = w0 + 1 + rng.next_below(cfg.max_depth);
-    }
-
-    std::size_t timers_used = 0;
-    for (std::size_t step = 0; step < cfg.max_depth; ++step) {
-      const std::vector<Choice> choices = run.enabled();
-      if (choices.empty()) break;
-      std::vector<Choice> deliveries, timers, preferred;
-      const bool in_window = step >= w0 && step < w1;
-      for (const Choice& c : choices) {
-        if (c.kind == 't') {
-          timers.push_back(c);
-          continue;
-        }
-        deliveries.push_back(c);
-        if (!(in_window && deaf[c.to])) preferred.push_back(c);
-      }
-
-      Choice c;
-      if (deliveries.empty()) {
-        if (timers.empty()) break;
-        // Quiescent: a timer is the protocol's own next move, not an injection.
-        c = timers[rng.next_below(timers.size())];
-      } else if (!timers.empty() && timers_used < cfg.max_timer_injections &&
-                 rng.next_below(8) == 0) {
-        c = timers[rng.next_below(timers.size())];
-        ++timers_used;
-      } else if (!preferred.empty()) {
-        c = preferred[rng.next_below(preferred.size())];
-      } else if (!timers.empty() && timers_used < cfg.max_timer_injections) {
-        // Everything enabled targets a deaf node: fire a timer instead, which
-        // is exactly the withholding-then-timeout shape.
-        c = timers[rng.next_below(timers.size())];
-        ++timers_used;
-      } else {
-        c = deliveries[rng.next_below(deliveries.size())];
-      }
-
-      if (!run.apply(c)) break;
-      ++res.stats.choices;
-      path.push_back(c);
-      res.stats.max_depth_seen =
-          std::max<std::uint64_t>(res.stats.max_depth_seen, path.size());
-      if (Violation v = run.check_safety()) {
-        v.schedule = with_adversaries(to_schedule(path), world_adversaries(*world));
-        res.violation = std::move(v);
-        res.stats.events += run.events_run();
-        ++res.stats.traces;
-        return res;
-      }
-    }
-    ++res.stats.traces;
-    res.stats.events += run.events_run();
-    if (cfg.check_liveness && cfg.liveness_sample_every > 0 &&
-        trace % cfg.liveness_sample_every == 0) {
-      ++res.stats.liveness_checks;
-      if (Violation v = run.run_tail_and_check()) {
-        v.schedule = with_adversaries(to_schedule(path), world_adversaries(*world));
-        res.violation = std::move(v);
+  const std::size_t block = cfg.jobs > 1 ? cfg.jobs * 4 : 1;
+  for (std::size_t base = 0; base < cfg.max_traces; base += block) {
+    const std::size_t count = std::min(block, cfg.max_traces - base);
+    std::vector<TraceOut> outs(count);
+    exec::run_worlds(static_cast<unsigned>(cfg.jobs), count,
+                     [&](std::size_t i) { outs[i] = run_random_trace(cfg, base + i); });
+    for (std::size_t i = 0; i < count; ++i) {
+      TraceOut& o = outs[i];
+      ++res.stats.traces;
+      res.stats.choices += o.choices;
+      res.stats.events += o.events;
+      res.stats.max_depth_seen = std::max(res.stats.max_depth_seen, o.max_depth);
+      if (o.liveness_checked) ++res.stats.liveness_checks;
+      if (o.violation) {
+        res.violation = std::move(o.violation);
         return res;
       }
     }
@@ -686,7 +787,8 @@ chaos::FaultSchedule shrink(const McConfig& cfg, const Violation& v,
   const chaos::ShrinkOracle oracle = [&](const chaos::FaultSchedule& candidate) {
     return replay(probe, candidate).kind == v.kind;
   };
-  return chaos::shrink_schedule(v.schedule, oracle, max_oracle_calls).schedule;
+  const unsigned jobs = cfg.jobs > 1 ? static_cast<unsigned>(cfg.jobs) : 1;
+  return chaos::shrink_schedule(v.schedule, oracle, max_oracle_calls, jobs).schedule;
 }
 
 McConfig smoke_config(ProtocolKind p) {

@@ -86,6 +86,24 @@ struct McConfig {
   /// here if the replayed schedule produces a violation. Shrinking clears it
   /// for its oracle calls so only the final replay emits a recording.
   std::string flight_path;
+  /// Worker lanes for exploration (exec/world_runner.hpp). 0 = the legacy
+  /// single-threaded algorithms, exactly as before this knob existed.
+  ///
+  /// jobs >= 1 selects the parallel drivers, whose result is a pure function
+  /// of the config — byte-identical between jobs=1 and jobs=N. (Diagnostic
+  /// stderr log lines are outside that contract: concurrent blocks run
+  /// speculative traces past an adopted violation, and those may log.)
+  ///  * random — traces are sampled in blocks (each trace's PRNG stream is
+  ///    already a pure function of its index); the lowest-index violating
+  ///    trace wins and stats are truncated to traces [0, violator], exactly
+  ///    the prefix a sequential scan would have accumulated;
+  ///  * exhaustive — the root frontier is sharded, one independent DFS per
+  ///    first choice (private visited/sleep state, the trace budget split
+  ///    evenly); the lowest-index violating shard wins and stats sum over
+  ///    shards [0, winner]. Sharding forgoes cross-shard dedup, so the
+  ///    explored set differs from (is a superset of) jobs=0 — coverage is
+  ///    preserved, counters are not comparable between jobs=0 and jobs>=1.
+  std::size_t jobs = 0;
 };
 
 enum class ViolationKind {

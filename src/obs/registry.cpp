@@ -247,6 +247,30 @@ std::string Registry::snapshot_jsonl() const {
   return out;
 }
 
+void Registry::merge_from(const Registry& other) {
+  for (const Family& ofam : other.families_) {
+    Family& fam = family(ofam.name, ofam.help, ofam.type);
+    for (const Series& os : ofam.series) {
+      Series& s = series(fam, os.labels);
+      switch (ofam.type) {
+        case MetricType::kCounter:
+          s.counter.set(os.counter.value());
+          break;
+        case MetricType::kGauge:
+          s.gauge.set(os.gauge.value());
+          break;
+        case MetricType::kHistogram:
+          // Exporters reset-then-republish the full distribution each
+          // snapshot, so the later world's histogram replaces wholesale —
+          // exactly what sequential export into a shared series produced.
+          s.hist = os.hist;
+          break;
+      }
+    }
+  }
+  if (!other.empty()) now_ = other.now_;
+}
+
 void Registry::clear() {
   families_.clear();
   index_.clear();

@@ -104,6 +104,15 @@ class Registry {
   void append_snapshot_jsonl(std::string& out) const;
   std::string snapshot_jsonl() const;
 
+  /// Folds another registry into this one, reproducing what sequential
+  /// export into a shared registry would have produced: families/series are
+  /// upserted in `other`'s registration order; counters take the monotone
+  /// max, gauges and histograms are last-write-wins (exporters re-publish
+  /// full cumulative state on every snapshot), and the timestamp is adopted.
+  /// Parallel sweeps give each world a private registry and merge them in
+  /// world order, so the merged result is byte-identical to --jobs 1.
+  void merge_from(const Registry& other);
+
   bool empty() const { return families_.empty(); }
   void clear();
 

@@ -40,7 +40,7 @@ void Scheduler::cancel(TaskId id) {
   // Only ids still in the queue are recorded: cancelling an already-run or
   // unknown id (a timer racing its own expiry) must not leave a stale entry
   // that would distort pending().
-  if (queued_.count(id)) cancelled_.insert(id);
+  if (queued_.contains(id)) cancelled_.insert(id);
 }
 
 void Scheduler::execute(Event ev) {
@@ -57,8 +57,7 @@ bool Scheduler::run_next() {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     Event ev = std::move(heap_.back());
     heap_.pop_back();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    if (cancelled_.erase(ev.id)) {
       queued_.erase(ev.id);
       continue;
     }
@@ -71,8 +70,7 @@ bool Scheduler::run_next() {
 void Scheduler::run_until(TimePoint limit) {
   while (!heap_.empty()) {
     const Event& top = heap_.front();
-    if (cancelled_.count(top.id)) {
-      cancelled_.erase(top.id);
+    if (cancelled_.erase(top.id)) {
       queued_.erase(top.id);
       std::pop_heap(heap_.begin(), heap_.end(), Later{});
       heap_.pop_back();
@@ -93,7 +91,7 @@ std::vector<PendingEvent> Scheduler::frontier() const {
   std::vector<PendingEvent> out;
   out.reserve(heap_.size());
   for (const Event& ev : heap_) {
-    if (cancelled_.count(ev.id)) continue;
+    if (cancelled_.contains(ev.id)) continue;
     out.push_back(PendingEvent{ev.id, ev.t, ev.seq, ev.tag});
   }
   std::sort(out.begin(), out.end(),
@@ -110,7 +108,7 @@ std::uint64_t Scheduler::run_internal(std::uint64_t max_events) {
     const Event* best = nullptr;
     for (const Event& ev : heap_) {
       if (ev.tag.kind != EventTag::Kind::kInternal) continue;
-      if (cancelled_.count(ev.id)) continue;
+      if (cancelled_.contains(ev.id)) continue;
       if (!best || ev.t < best->t || (ev.t == best->t && ev.seq < best->seq)) best = &ev;
     }
     if (!best) break;
@@ -121,7 +119,7 @@ std::uint64_t Scheduler::run_internal(std::uint64_t max_events) {
 }
 
 bool Scheduler::run_task(TaskId id) {
-  if (!queued_.count(id) || cancelled_.count(id)) return false;
+  if (!queued_.contains(id) || cancelled_.contains(id)) return false;
   auto it = std::find_if(heap_.begin(), heap_.end(),
                          [id](const Event& ev) { return ev.id == id; });
   MOONSHOT_INVARIANT(it != heap_.end(), "queued_ id missing from heap");

@@ -27,16 +27,19 @@ class StderrSink final : public LogSink {
 };
 
 StderrSink g_stderr_sink;
-LogSink* g_sink = &g_stderr_sink;
-LogClockFn g_clock_fn = nullptr;
-const void* g_clock_ctx = nullptr;
+std::atomic<LogSink*> g_sink{&g_stderr_sink};
+// The log clock is thread-confined: each Experiment registers its own
+// scheduler on the thread that runs it, so concurrent worlds stamp their
+// lines with their own simulated time instead of racing on one global.
+thread_local LogClockFn g_clock_fn = nullptr;
+thread_local const void* g_clock_ctx = nullptr;
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
-void set_log_sink(LogSink* sink) { g_sink = sink ? sink : &g_stderr_sink; }
-LogSink* log_sink() { return g_sink; }
+void set_log_sink(LogSink* sink) { g_sink.store(sink ? sink : &g_stderr_sink); }
+LogSink* log_sink() { return g_sink.load(); }
 
 void set_log_clock(LogClockFn fn, const void* ctx) {
   g_clock_fn = fn;
@@ -65,7 +68,7 @@ void log_at(LogLevel level, const char* fmt, ...) {
   } else {
     std::snprintf(line, sizeof line, "[%s] %s", level_name(level), msg);
   }
-  g_sink->write(level, line);
+  g_sink.load()->write(level, line);
 }
 
 }  // namespace moonshot

@@ -36,7 +36,8 @@ LogSink* log_sink();
 /// Registers a simulated-time source for line stamps: `fn(ctx)` returns
 /// nanoseconds of simulated time. Plain function pointer + context so the
 /// support layer stays free of upward dependencies (the scheduler lives
-/// above it). Null `fn` unstamps.
+/// above it). Null `fn` unstamps. The registration is per-thread, so
+/// concurrent worlds each stamp with their own simulated clock.
 using LogClockFn = std::int64_t (*)(const void* ctx);
 void set_log_clock(LogClockFn fn, const void* ctx);
 /// Clears the clock only if `ctx` is still the registered context — lets an

@@ -1,5 +1,7 @@
 #include "support/mutations.hpp"
 
+#include <atomic>
+
 namespace moonshot {
 
 std::string_view mutation_name(Mutation m) {
@@ -29,12 +31,15 @@ Mutation parse_mutation(std::string_view name) {
 #ifdef MOONSHOT_MUTATIONS
 
 namespace {
-Mutation g_active = Mutation::kNone;
+// Atomic so parallel worlds can read it while a driver holds it fixed for
+// the whole sweep (it is process-wide state: drivers must not flip it while
+// worlds are in flight — MutationGuard scopes it around a full explore()).
+std::atomic<Mutation> g_active{Mutation::kNone};
 }  // namespace
 
-Mutation active_mutation() { return g_active; }
-void set_active_mutation(Mutation m) { g_active = m; }
-bool mutation_on(Mutation m) { return g_active == m; }
+Mutation active_mutation() { return g_active.load(std::memory_order_relaxed); }
+void set_active_mutation(Mutation m) { g_active.store(m, std::memory_order_relaxed); }
+bool mutation_on(Mutation m) { return g_active.load(std::memory_order_relaxed) == m; }
 
 #endif
 

@@ -10,9 +10,12 @@
 // quiet LAN instead).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "adversary/spec.hpp"
 #include "chaos/generate.hpp"
 #include "chaos/runner.hpp"
+#include "exec/world_runner.hpp"
 
 namespace moonshot {
 namespace {
@@ -31,20 +34,35 @@ SweepStats sweep(ProtocolKind protocol, std::size_t n, std::size_t adversaries,
   gen.duration = seconds(8);
   gen.stable_tail = seconds(4);
 
-  SweepStats stats;
-  for (std::uint64_t seed = seed_base; seed < seed_base + seeds; ++seed) {
+  // Worlds run concurrently (gtest EXPECT is not thread-safe), so each seed
+  // writes into its own slot and all asserting happens sequentially after.
+  struct SeedResult {
+    chaos::ChaosReport report;
+    std::string schedule;
+    bool had_adversary = false;
+  };
+  std::vector<SeedResult> results(seeds);
+  exec::run_worlds(exec::test_jobs(), seeds, [&](std::size_t i) {
+    const std::uint64_t seed = seed_base + i;
     chaos::ChaosRunConfig cfg;
     cfg.protocol = protocol;
     cfg.n = n;
     cfg.duration = gen.duration;
     cfg.seed = seed;
     cfg.schedule = chaos::generate_schedule(gen, seed);
-    const chaos::ChaosReport rep = chaos::run_chaos(cfg);
-    EXPECT_TRUE(rep.ok()) << protocol_name(protocol) << " n=" << n << " seed=" << seed
-                          << ": " << rep.failure() << "\n  schedule: "
-                          << cfg.schedule.to_string();
+    results[i].report = chaos::run_chaos(cfg);
+    results[i].schedule = cfg.schedule.to_string();
+    results[i].had_adversary = !cfg.schedule.adversaries().empty();
+  });
+
+  SweepStats stats;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    const SeedResult& r = results[i];
+    EXPECT_TRUE(r.report.ok())
+        << protocol_name(protocol) << " n=" << n << " seed=" << seed_base + i
+        << ": " << r.report.failure() << "\n  schedule: " << r.schedule;
     ++stats.runs;
-    if (!cfg.schedule.adversaries().empty()) ++stats.with_adversary;
+    if (r.had_adversary) ++stats.with_adversary;
   }
   return stats;
 }

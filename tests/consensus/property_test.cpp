@@ -11,6 +11,10 @@
 //                    end-state invariants.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "exec/world_runner.hpp"
 #include "harness/conformance.hpp"
 #include "harness/experiment.hpp"
 #include "support/prng.hpp"
@@ -109,6 +113,51 @@ std::vector<PropertyCase> make_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, PropertyTest, ::testing::ValuesIn(make_cases()), case_name);
+
+// Wider sweep over fresh seeds, run as one test with the worlds executing
+// concurrently (exec::run_worlds). gtest's EXPECT machinery is not
+// thread-safe, so each world reduces its invariant checks to a failure
+// string in its own slot and all asserting happens sequentially after —
+// wall-clock is roughly the slowest single world instead of the sum.
+TEST(PropertySweepParallel, InvariantsHoldAcrossSeeds) {
+  std::vector<PropertyCase> cases;
+  for (const auto p : {ProtocolKind::kSimpleMoonshot, ProtocolKind::kPipelinedMoonshot,
+                       ProtocolKind::kCommitMoonshot, ProtocolKind::kJolteon}) {
+    for (std::uint64_t seed = 100; seed <= 102; ++seed) cases.push_back({p, seed});
+  }
+
+  std::vector<std::string> failures(cases.size());
+  exec::run_worlds(exec::test_jobs(), cases.size(), [&](std::size_t i) {
+    const auto cfg = random_config(cases[i]);
+    Experiment e(cfg);
+    ConformanceChecker checker = make_conformance_checker(e);
+    e.network().set_tap(
+        [&checker](NodeId from, const Message& m) { checker.observe(from, m); });
+    const auto result = e.run();
+
+    std::string fail;
+    if (const auto conf = checker.violations(); !conf.empty())
+      fail += "conformance: " + conf.front() + "; ";
+    if (!result.logs_consistent) fail += "commit logs diverged; ";
+    if (result.summary.committed_blocks == 0) fail += "no commits; ";
+    for (NodeId id = 0; id < cfg.n; ++id) {
+      if (e.is_faulty(id)) continue;
+      const auto& chain = e.node(id).commit_log().blocks();
+      for (std::size_t h = 0; h < chain.size(); ++h) {
+        if (chain[h]->height() != h + 1) fail += "height gap; ";
+        if (h > 0 && (chain[h]->parent() != chain[h - 1]->id() ||
+                      chain[h]->view() <= chain[h - 1]->view()))
+          fail += "broken parent/view link; ";
+      }
+    }
+    failures[i] = fail;
+  });
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(failures[i], "") << protocol_name(cases[i].protocol)
+                               << " seed=" << cases[i].seed;
+  }
+}
 
 // Reorg resilience as a universal property: in a crash-fault happy network
 // (GST = 0), every view led by an honest node whose view produced a commit
